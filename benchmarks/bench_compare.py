@@ -1,0 +1,34 @@
+"""The reproduction scorecard as a regression gate.
+
+Direction-of-effect agreement with the paper's Table 2 and the exact
+match of the average version ordering are the repository's headline
+claims — this bench computes and pins them.
+"""
+
+from conftest import run_once
+
+from repro.experiments.compare import table2_scorecard, table3_scorecard
+
+
+def test_scorecard(benchmark, settings):
+    text, summary = run_once(benchmark, table2_scorecard, settings)
+    print("\n" + text)
+    # the global conclusion of the paper, reproduced exactly
+    assert summary["average_order_matches"], summary
+    # per-cell direction agreement: at least 70% (documented deviations
+    # in EXPERIMENTS.md account for the rest)
+    assert summary["agreement"] >= 0.70, summary["disagreements"]
+    # none of the disagreements may be of the damning kind: the paper
+    # says a version IMPROVES but we measure it HURTING — that would
+    # contradict the paper's conclusions.  (The reverse — paper hurts,
+    # we improve — is the documented systematic effect of our more
+    # pessimistic col baseline; see EXPERIMENTS.md.)
+    for d in summary["disagreements"]:
+        assert "paper improves" not in d or "measured hurts" not in d, d
+
+
+def test_table3_scalability_scorecard(benchmark, settings):
+    text, summary = run_once(benchmark, table3_scorecard, settings)
+    print("\n" + text)
+    # the paper's scalability conclusion holds for at least 8 of 10 codes
+    assert summary["agreement"] >= 0.8, text

@@ -1,0 +1,46 @@
+"""Section 3.4: reducing the extra storage of general data
+transformations.
+
+The paper's example family ``[[a, b], [c, 0]]`` over ``u, v`` in
+``[1, N']``: composing a unimodular transformation that keeps the
+locality-critical zero shrinks the declared bounding box substantially.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.layout import expansion_factor, reduce_storage, storage_box
+from repro.layout.storage import box_volume
+from repro.linalg import IMat
+
+
+def _sweep():
+    results = []
+    for a, b, c in [(3, 1, 2), (2, 1, 1), (5, 2, 3), (4, 3, 1)]:
+        access = IMat([[a, b], [c, 0]])
+        ranges = [(1, 64), (1, 64)]
+        before = box_volume(storage_box(access, ranges))
+        e, new_l, after = reduce_storage(access, ranges)
+        results.append((a, b, c, before, after, e))
+    return results
+
+
+def test_storage_reduction(benchmark):
+    results = run_once(benchmark, _sweep)
+    print()
+    for a, b, c, before, after, e in results:
+        print(
+            f"access [[{a},{b}],[{c},0]]: declared {before} -> {after} "
+            f"elements ({100 * after / before:.0f}%), E = {e!r}"
+        )
+        assert after <= before
+        # the paper's example achieves a strict reduction whenever a != c
+        if a != c:
+            assert after < before
+
+
+def test_expansion_factor_identity_is_one(benchmark):
+    factor = run_once(
+        benchmark, expansion_factor, IMat.identity(2), [(0, 63), (0, 63)]
+    )
+    assert factor == pytest.approx(1.0)

@@ -1,0 +1,17 @@
+"""Table 1: program characteristics."""
+
+from conftest import run_once
+
+from repro.experiments.table1 import table1
+from repro.workloads import WORKLOADS
+
+
+def test_table1(benchmark):
+    text = run_once(benchmark, table1)
+    print("\n" + text)
+    # every paper row present with its source and iteration count
+    assert "mat" in text and "Nwchem" in text
+    for meta in WORKLOADS.values():
+        assert meta.name in text
+        assert meta.source in text
+    assert len(WORKLOADS) == 10

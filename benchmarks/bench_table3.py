@@ -1,0 +1,36 @@
+"""Table 3: scalability of the versions over 16..128 compute nodes.
+
+Per-code benchmarks for four representative codes (the full ten-code
+table is `python -m repro.experiments table3`), asserting the paper's
+scalability story: optimized versions scale further before the I/O
+subsystem saturates.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments.harness import run_table3_block
+
+
+@pytest.mark.parametrize("workload", ["mat", "adi", "trans", "emit"])
+def test_table3_block(benchmark, settings, workload):
+    block = run_once(benchmark, run_table3_block, workload, settings)
+    for version, curve in block.items():
+        print(f"\n{workload}.{version}: " + "  ".join(
+            f"p={p}:{s:.1f}" for p, s in sorted(curve.items())
+        ))
+        # parallel execution always helps at 16 nodes
+        assert curve[16] > 1.0, (workload, version, curve)
+
+    # optimized versions scale at least as far as the unoptimized one
+    best_opt = max(max(block[v].values()) for v in ("c-opt", "h-opt"))
+    best_col = max(block["col"].values())
+    assert best_opt >= best_col, block
+
+
+def test_table3_emit_row_scales_worst(benchmark, settings):
+    """The paper's emit block: the row version has by far the worst
+    speedups (6.8 at 16 nodes vs 12.7 for everything else)."""
+    block = run_once(benchmark, run_table3_block, "emit", settings)
+    for p in settings.table3_nodes:
+        assert block["row"][p] <= block["col"][p] + 0.5

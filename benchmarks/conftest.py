@@ -1,0 +1,25 @@
+"""Shared benchmark fixtures.
+
+Benchmarks regenerate the paper's tables/figures; they are *macro*
+benchmarks, so every one runs a single round (the results are
+deterministic — there is no noise to average away).
+"""
+
+import pytest
+
+from repro.experiments.harness import ExperimentSettings
+
+#: array extent used by the benchmark harness (paper: 4096; the machine
+#: constants are scaled to preserve the paper's geometry, see
+#: repro.experiments.harness._scaled_params)
+BENCH_N = 128
+
+
+@pytest.fixture(scope="session")
+def settings() -> ExperimentSettings:
+    return ExperimentSettings(n=BENCH_N)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """One deterministic measurement round."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""ADI alternating-direction sweeps: the loop-transformation showcase.
+
+``adi``'s x-sweep and y-sweep traverse the *same* arrays along different
+dimensions.  A fixed file layout cannot serve both (pure data
+transformations leave one sweep unoptimized), but per-nest loop
+transformations reconcile them — the paper's Table 2 shows l-opt and
+c-opt tied at 22.8% of col while d-opt only reaches 46.5%.
+
+This example dissects why: it prints each sweep's access matrices, the
+optimizer's per-nest reasoning, and per-nest I/O for the three
+strategies.
+"""
+
+from repro import IMat, build_version, run_version_parallel
+from repro.experiments.harness import ExperimentSettings
+from repro.workloads import build_workload
+
+
+def main(n=128, nodes=16):
+    settings = ExperimentSettings(n=n)
+    program = build_workload("adi", n)
+
+    print("the conflicting access patterns (access matrices of U1):")
+    from repro.transforms import normalize_program
+
+    norm = normalize_program(program)
+    for nest in norm.nests:
+        for _, ref, is_write in nest.refs():
+            if ref.array.name == "U1" and is_write:
+                print(f"  {nest.name}: {ref} -> L = "
+                      f"{ref.access_matrix(nest.loop_vars)!r}")
+
+    print("\nper-version outcome:")
+    for version in ("col", "l-opt", "d-opt", "c-opt"):
+        cfg = build_version(
+            version, program, params=settings.params, n_nodes=nodes
+        )
+        run = run_version_parallel(cfg, nodes, params=settings.params)
+        transforms = ""
+        if cfg.decision is not None:
+            changed = [
+                name
+                for name, t in cfg.decision.transforms.items()
+                if t != IMat.identity(t.nrows)
+            ]
+            transforms = f" (loop transforms applied to: {changed or 'none'})"
+        print(f"  {version:>6}: {run.time_s:8.2f}s{transforms}")
+        for nr in run.node_results[0].nest_runs:
+            print(f"          {nr.nest_name:10s} calls={nr.stats.calls:6d} "
+                  f"io={nr.stats.io_time_s:7.3f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Shim so the package installs in environments without the `wheel`
+package (offline boxes): `python setup.py develop` / `pip install -e .
+--no-build-isolation` both work through this."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,130 @@
+"""repro — compiler optimizations for I/O-intensive (out-of-core)
+computations.
+
+A from-scratch reproduction of Kandemir, Choudhary & Ramanujam,
+*Compiler Optimizations for I/O-Intensive Computations* (ICPP 1999):
+combined loop (iteration-space) and file-layout (data-space)
+transformations for out-of-core programs, the all-but-innermost tiling
+rule, a PASSION-style out-of-core runtime over a simulated striped
+parallel file system, an SPMD execution model, the paper's ten
+evaluation codes, and harnesses regenerating every table and figure.
+
+Quick start::
+
+    from repro import ProgramBuilder, optimize_program, OOCExecutor
+
+    b = ProgramBuilder("example", params=("N",), default_binding={"N": 64})
+    N = b.param("N")
+    U, V = b.array("U", (N, N)), b.array("V", (N, N))
+    with b.nest("copy") as nest:
+        i, j = nest.loop("i", 1, N), nest.loop("j", 1, N)
+        nest.assign(U[i, j], V[j, i] + 1.0)
+    program = b.build()
+
+    decision = optimize_program(program)        # layouts + loop transforms
+    executor = OOCExecutor(decision.program, decision.layout_objects())
+    result = executor.run()                     # exact I/O accounting
+    print(result.stats)
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from .ir import (
+    AffineExpr,
+    ArrayDecl,
+    ArrayRef,
+    IndexVar,
+    Loop,
+    LoopNest,
+    Program,
+    ProgramBuilder,
+    Statement,
+)
+from .linalg import IMat
+from .layout import (
+    BlockedLayout,
+    Hyperplane,
+    Layout,
+    LinearLayout,
+    antidiagonal,
+    col_major,
+    diagonal,
+    layout_from_direction,
+    row_major,
+)
+from .dependence import analyze_nest, transform_is_legal
+from .transforms import (
+    apply_loop_transform,
+    distribute,
+    fuse,
+    normalize_program,
+    ooc_tiling,
+    traditional_tiling,
+)
+from .optimizer import (
+    VERSION_NAMES,
+    GlobalDecision,
+    build_version,
+    optimize_nest,
+    optimize_program,
+)
+from .runtime import IOStats, MachineParams, OutOfCoreArray, ParallelFileSystem
+from .engine import OOCExecutor, generate_tiled_code, interpret_program
+from .parallel import run_version_parallel, speedup_curve
+from .workloads import WORKLOADS, build_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # IR
+    "AffineExpr",
+    "ArrayDecl",
+    "ArrayRef",
+    "IndexVar",
+    "Loop",
+    "LoopNest",
+    "Program",
+    "ProgramBuilder",
+    "Statement",
+    "IMat",
+    # layouts
+    "BlockedLayout",
+    "Hyperplane",
+    "Layout",
+    "LinearLayout",
+    "antidiagonal",
+    "col_major",
+    "diagonal",
+    "layout_from_direction",
+    "row_major",
+    # analysis & transforms
+    "analyze_nest",
+    "transform_is_legal",
+    "apply_loop_transform",
+    "distribute",
+    "fuse",
+    "normalize_program",
+    "ooc_tiling",
+    "traditional_tiling",
+    # optimizer
+    "VERSION_NAMES",
+    "GlobalDecision",
+    "build_version",
+    "optimize_nest",
+    "optimize_program",
+    # runtime & engine
+    "IOStats",
+    "MachineParams",
+    "OutOfCoreArray",
+    "ParallelFileSystem",
+    "OOCExecutor",
+    "generate_tiled_code",
+    "interpret_program",
+    # parallel & workloads
+    "run_version_parallel",
+    "speedup_curve",
+    "WORKLOADS",
+    "build_workload",
+    "__version__",
+]

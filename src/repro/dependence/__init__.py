@@ -1,0 +1,41 @@
+"""Data dependence analysis for affine loop nests.
+
+Loop transformations must preserve every data dependence (paper Section
+2.1); the optimizer asks two questions of this package:
+
+1. *What dependences does a nest carry?* — :func:`analyze_nest` returns
+   :class:`DependenceEdge` objects carrying exact distance vectors (for
+   uniform dependences) and direction-vector sign patterns (always).
+2. *Is a candidate loop transformation legal?* —
+   :func:`repro.dependence.legality.transform_is_legal` checks that every
+   dependence remains lexicographically positive after the transform.
+
+Fast independence disproofs (GCD test, Banerjee bounds test) run first;
+remaining pairs are resolved exactly on a small instantiation of the
+parameters.  For the affine program class handled here (constant
+coefficients, parameters only in offsets/bounds) the *sign patterns* of
+dependence distances are already exhibited at small parameter values, so
+the small-model directions are the directions — the standard small-model
+argument; the instantiation size is chosen per-nest as ``depth + 3``.
+"""
+
+from .vectors import DependenceEdge, Direction, direction_of, lex_positive
+from .gcd_test import gcd_independent
+from .dio_test import diophantine_independent
+from .banerjee import banerjee_independent
+from .analyzer import analyze_nest, analyze_pairwise
+from .legality import transform_is_legal, transformed_distance
+
+__all__ = [
+    "DependenceEdge",
+    "Direction",
+    "direction_of",
+    "lex_positive",
+    "gcd_independent",
+    "diophantine_independent",
+    "banerjee_independent",
+    "analyze_nest",
+    "analyze_pairwise",
+    "transform_is_legal",
+    "transformed_distance",
+]

@@ -1,0 +1,78 @@
+"""Banerjee's bounds independence test (rectangular approximation).
+
+For each array dimension, bound the value of ``s1(I) - s2(I')`` over the
+(rectangularized) iteration space; if 0 lies outside ``[min, max]`` the
+references are provably independent.  Requires a concrete parameter
+binding to evaluate the loop ranges.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..ir.arrays import ArrayRef
+from ..ir.nest import LoopNest
+
+
+def _rect_ranges(
+    nest: LoopNest, binding: Mapping[str, int]
+) -> dict[str, tuple[int, int]]:
+    """Over-approximate each loop's range by a rectangle: evaluate bounds
+    at the extreme values of already-ranged outer variables."""
+    ranges: dict[str, tuple[int, int]] = {}
+    for loop in nest.loops:
+        los: list[int] = []
+        his: list[int] = []
+        # evaluate bounds over corner assignments of outer variables
+        outer = [v for v in ranges]
+
+        def corners(idx: int, env: dict[str, int]):
+            if idx == len(outer):
+                los.append(max(b.eval_lower(env) for b in loop.lowers))
+                his.append(min(b.eval_upper(env) for b in loop.uppers))
+                return
+            v = outer[idx]
+            for value in set(ranges[v]):
+                env[v] = value
+                corners(idx + 1, env)
+            del env[v]
+
+        corners(0, dict(binding))
+        ranges[loop.var] = (min(los), max(his))
+    return ranges
+
+
+def banerjee_independent(
+    r1: ArrayRef,
+    r2: ArrayRef,
+    nest: LoopNest,
+    binding: Mapping[str, int],
+) -> bool:
+    """True if the bounds test *proves* independence within ``nest``."""
+    if r1.array.name != r2.array.name:
+        return True
+    ranges = _rect_ranges(nest, binding)
+    loop_vars = nest.loop_vars
+    for s1, s2 in zip(r1.subscripts, r2.subscripts):
+        lo = hi = 0
+        # difference expr: s1 over vars I, s2 over independent vars I'
+        for v in loop_vars:
+            vlo, vhi = ranges[v]
+            if vlo > vhi:
+                return True  # empty iteration space: trivially independent
+            for coeff in (s1.coeff(v), -s2.coeff(v)):
+                if coeff > 0:
+                    lo += coeff * vlo
+                    hi += coeff * vhi
+                elif coeff < 0:
+                    lo += coeff * vhi
+                    hi += coeff * vlo
+        # parameters/consts evaluate concretely
+        env = dict(binding)
+        c1 = s1.drop(set(loop_vars)).evaluate(env)
+        c2 = s2.drop(set(loop_vars)).evaluate(env)
+        lo += c1 - c2
+        hi += c1 - c2
+        if lo > 0 or hi < 0:
+            return True
+    return False

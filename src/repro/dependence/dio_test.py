@@ -1,0 +1,38 @@
+"""Coupled-subscript independence disproof via exact Diophantine solving.
+
+Where the GCD test looks at each array dimension separately, this test
+assembles the *whole* system — one equation per dimension, unknowns
+``(I, I')`` — and asks for an integer solution.  Provably independent
+when none exists, regardless of loop bounds.  Symbolic parameters with
+matching coefficients cancel; any mismatched parameter makes the test
+conservatively inconclusive.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..ir.arrays import ArrayRef
+from ..linalg import IMat, has_integer_solution
+
+
+def diophantine_independent(
+    r1: ArrayRef, r2: ArrayRef, loop_vars: Sequence[str]
+) -> bool:
+    """True iff the coupled system proves the references never touch the
+    same element (False = maybe dependent)."""
+    if r1.array.name != r2.array.name:
+        return True
+    loop_set = set(loop_vars)
+    rows: list[list[int]] = []
+    rhs: list[int] = []
+    for s1, s2 in zip(r1.subscripts, r2.subscripts):
+        for name in set(s1.names) | set(s2.names):
+            if name not in loop_set and s1.coeff(name) != s2.coeff(name):
+                return False  # mismatched symbolic term: stay conservative
+        rows.append(
+            [s1.coeff(v) for v in loop_vars]
+            + [-s2.coeff(v) for v in loop_vars]
+        )
+        rhs.append(s2.const - s1.const)
+    return not has_integer_solution(IMat(rows), rhs)

@@ -1,0 +1,60 @@
+"""The classic GCD independence test.
+
+Two references ``L1·I + o1`` and ``L2·I' + o2`` can only touch the same
+element if, per array dimension, the Diophantine equation
+
+    sum(a_j i_j) - sum(b_j i'_j) = c2 - c1
+
+has an integer solution — which requires gcd(all coefficients) to divide
+the constant difference.  When it does not for some dimension, the pair is
+provably independent (for every parameter value, since parameters appear
+with matching coefficients on both sides and cancel into the tested
+constant only when their coefficients differ — handled below).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..ir.arrays import ArrayRef
+from ..linalg import gcd_all
+
+
+def gcd_independent(
+    r1: ArrayRef, r2: ArrayRef, loop_vars: Sequence[str]
+) -> bool:
+    """True if the GCD test *proves* independence of the two references
+    (False means "maybe dependent").
+
+    Parameters occurring in subscripts are treated as additional unknowns
+    unless their coefficients match on both sides (then they cancel).
+    """
+    if r1.array.name != r2.array.name:
+        return True
+    loop_set = set(loop_vars)
+    for s1, s2 in zip(r1.subscripts, r2.subscripts):
+        coeffs: list[int] = []
+        # loop-index unknowns from both sides (distinct instances)
+        for v in loop_vars:
+            c1, c2 = s1.coeff(v), s2.coeff(v)
+            if c1:
+                coeffs.append(c1)
+            if c2:
+                coeffs.append(-c2)
+        # symbolic parameters: cancel when equal, otherwise unknowns
+        const = s2.const - s1.const
+        names = set(s1.names) | set(s2.names)
+        for name in names:
+            if name in loop_set:
+                continue
+            c1, c2 = s1.coeff(name), s2.coeff(name)
+            if c1 != c2:
+                coeffs.append(c1 - c2)
+        g = gcd_all(coeffs)
+        if g == 0:
+            if const != 0:
+                return True  # constant subscripts that differ: independent
+            continue
+        if const % g != 0:
+            return True
+    return False

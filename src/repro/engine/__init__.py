@@ -1,0 +1,35 @@
+"""Execution engine: runs (transformed, tiled) programs out of core.
+
+Two modes share one code path:
+
+- **real** — data actually moves through the simulated file system and the
+  element loops are interpreted, so results can be compared bit-for-bit
+  against the in-core reference interpreter (semantic verification);
+- **simulate** — only the I/O and compute *accounting* runs (no data, no
+  element interpretation), fast enough for the table-scale parameter
+  sweeps.
+
+The tiled execution structure is the paper's: tile loops outside, a
+read set of data tiles per tile iteration, element loops inside, write
+back of modified tiles (Section 3.3).
+"""
+
+from .footprint import ref_footprint, nest_footprints
+from .interpreter import interpret_program, run_element_loops
+from .plan import NestPlan, plan_nest, tiling_band_legal
+from .executor import OOCExecutor, RunResult, NestRun
+from .codegen import generate_tiled_code
+
+__all__ = [
+    "ref_footprint",
+    "nest_footprints",
+    "interpret_program",
+    "run_element_loops",
+    "NestPlan",
+    "plan_nest",
+    "tiling_band_legal",
+    "OOCExecutor",
+    "RunResult",
+    "NestRun",
+    "generate_tiled_code",
+]

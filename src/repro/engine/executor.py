@@ -1,0 +1,435 @@
+"""The out-of-core executor: tile loops around read / compute / write-back.
+
+Executes one compute node's share of a program against the simulated
+parallel file system, with exact I/O accounting.  Used directly for the
+single-node experiments; :mod:`repro.parallel` wraps it per SPMD node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..ir.nest import LoopNest
+from ..ir.program import Program
+from ..layout import Layout, row_major
+from ..runtime import (
+    InterleavedChunkedStore,
+    IOContext,
+    IOStats,
+    MachineParams,
+    MemoryBudgetExceeded,
+    MemoryManager,
+    OutOfCoreArray,
+    ParallelFileSystem,
+)
+from ..runtime.ooc_array import Region, region_size
+from ..transforms.tiling import TilingSpec, ooc_tiling
+from .interpreter import (
+    initial_arrays,
+    innermost_vectorizable,
+    run_element_loops,
+    run_element_loops_vectorized,
+)
+from .plan import NestPlan, plan_nest
+
+
+@dataclass(frozen=True)
+class LinearStoreSpec:
+    layout: Layout
+
+
+@dataclass(frozen=True)
+class InterleavedStoreSpec:
+    group: str
+    block: tuple[int, ...]
+    origin: tuple[int, ...] | None = None  # chunk-grid anchor (tile corner)
+
+
+StoreSpec = LinearStoreSpec | InterleavedStoreSpec
+
+
+@dataclass
+class NestRun:
+    nest_name: str
+    plan: NestPlan
+    stats: IOStats
+    tiles_executed: int
+
+
+@dataclass
+class RunResult:
+    stats: IOStats
+    io_node_load: np.ndarray
+    nest_runs: list[NestRun]
+    peak_memory: int
+    over_budget_tiles: int = 0
+
+    @property
+    def serial_time_s(self) -> float:
+        return self.stats.total_time_s
+
+
+class _LinearStore:
+    """Adapter giving plain arrays the combined read/write protocol."""
+
+    def __init__(self, arrays: dict[str, OutOfCoreArray]):
+        self.arrays = arrays
+
+    def read_many(self, requests, ctx):
+        return {
+            name: self.arrays[name].read_tile(region, ctx)
+            for name, region in requests
+        }
+
+    def write_many(self, requests, ctx):
+        for name, region, data in requests:
+            self.arrays[name].write_tile(region, data, ctx)
+
+    def to_ndarray(self, name):
+        return self.arrays[name].to_ndarray()
+
+    def load_ndarray(self, name, values):
+        self.arrays[name].load_ndarray(values)
+
+
+class _InterleavedStore:
+    def __init__(self, store: InterleavedChunkedStore):
+        self.store = store
+
+    def read_many(self, requests, ctx):
+        return self.store.read_tiles(list(requests), ctx)
+
+    def write_many(self, requests, ctx):
+        self.store.write_tiles(list(requests), ctx)
+
+    def to_ndarray(self, name):
+        return self.store.to_ndarray(name)
+
+    def load_ndarray(self, name, values):
+        self.store.load_ndarray(name, values)
+
+
+class OOCExecutor:
+    """Runs a program out of core under given file layouts and tiling.
+
+    Parameters
+    ----------
+    program:
+        normalized program (perfect nests only).
+    layouts:
+        file layout per array (default row-major), or full store specs
+        via ``storage_spec`` for chunked/interleaved files.
+    tiling:
+        per-nest :class:`TilingSpec` factory (default: the paper's
+        all-but-innermost rule).
+    real:
+        move actual data and interpret element loops (small sizes /
+        verification) vs. accounting only.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        layouts: Mapping[str, Layout] | None = None,
+        *,
+        params: MachineParams | None = None,
+        binding: Mapping[str, int] | None = None,
+        memory_budget: int | None = None,
+        real: bool = True,
+        tiling: Callable[[LoopNest], TilingSpec] | Mapping[str, TilingSpec] = ooc_tiling,
+        storage_spec: Mapping[str, StoreSpec] | None = None,
+        initial: Mapping[str, np.ndarray] | None = None,
+        pfs: ParallelFileSystem | None = None,
+        node_slice: tuple[int, int] | None = None,
+        vectorize: bool = True,
+    ):
+        if node_slice is not None:
+            rank, n_nodes = node_slice
+            if not (0 <= rank < n_nodes):
+                raise ValueError(f"bad node slice {node_slice}")
+        self.node_slice = node_slice
+        self.program = program
+        self.params = params or MachineParams()
+        self.binding = program.binding(binding)
+        self.real = real
+        self.shapes = {
+            a.name: a.shape(self.binding) for a in program.arrays
+        }
+        total_elements = sum(int(np.prod(s)) for s in self.shapes.values())
+        self.memory_budget = memory_budget or max(
+            64, total_elements // self.params.memory_fraction
+        )
+        if callable(tiling):
+            self._tiling_for = tiling
+        else:
+            specs = dict(tiling)
+            self._tiling_for = lambda nest: specs[nest.name]
+
+        # build storage
+        self.pfs = pfs or ParallelFileSystem(self.params)
+        spec_map: dict[str, StoreSpec] = {}
+        for a in program.arrays:
+            if storage_spec and a.name in storage_spec:
+                spec_map[a.name] = storage_spec[a.name]
+            elif layouts and a.name in layouts:
+                spec_map[a.name] = LinearStoreSpec(layouts[a.name])
+            else:
+                spec_map[a.name] = LinearStoreSpec(row_major(a.rank))
+        self._stores: dict[str, object] = {}
+        linear_arrays: dict[str, OutOfCoreArray] = {}
+        groups: dict[str, list[tuple[str, InterleavedStoreSpec]]] = {}
+        for name, spec in spec_map.items():
+            if isinstance(spec, LinearStoreSpec):
+                linear_arrays[name] = OutOfCoreArray.create(
+                    name, self.shapes[name], spec.layout, self.pfs, real=real
+                )
+            else:
+                groups.setdefault(spec.group, []).append((name, spec))
+        linear_store = _LinearStore(linear_arrays)
+        for name in linear_arrays:
+            self._stores[name] = linear_store
+        for group, members in groups.items():
+            names = [n for n, _ in members]
+            shapes = {self.shapes[n] for n in names}
+            if len(shapes) != 1:
+                raise ValueError(
+                    f"interleaved group {group} mixes shapes {shapes}"
+                )
+            block = members[0][1].block
+            store = _InterleavedStore(
+                InterleavedChunkedStore(
+                    names, next(iter(shapes)), block, self.pfs, real=real,
+                    file_name=f"group:{group}", origin=members[0][1].origin,
+                )
+            )
+            for n in names:
+                self._stores[n] = store
+
+        if real:
+            data = initial or initial_arrays(program, self.binding)
+            for name in self.shapes:
+                self._stores[name].load_ndarray(name, data[name])
+
+        self.memory = MemoryManager(self.memory_budget)
+        self._over_budget_tiles = 0
+        # real-mode fast path: vectorize the innermost loop when no
+        # dependence is carried by it (scalar fallback otherwise)
+        self._vectorizable: dict[str, bool] = {}
+        if real and vectorize:
+            for nest in program.nests:
+                self._vectorizable[nest.name] = innermost_vectorizable(nest)
+
+    # -- public API -------------------------------------------------------
+
+    def array_data(self, name: str) -> np.ndarray:
+        if not self.real:
+            raise RuntimeError("array contents unavailable in simulate mode")
+        return self._stores[name].to_ndarray(name)
+
+    def run(self) -> RunResult:
+        ctx = IOContext(self.params)
+        nest_runs: list[NestRun] = []
+        for nest in self.program.nests:
+            spec = self._tiling_for(nest)
+            plan = plan_nest(
+                nest, spec, self.memory_budget, self.binding, self.shapes
+            )
+            if self.real:
+                total = IOStats()
+                tiles = 0
+                for _ in range(nest.weight):
+                    local = IOContext(self.params)
+                    tiles = self._run_nest(nest, plan, local)
+                    total = total.merge(local.stats)
+                    ctx.stats = ctx.stats.merge(local.stats)
+                    ctx.io_node_load += local.io_node_load
+                nest_runs.append(NestRun(nest.name, plan, total, tiles))
+            else:
+                local = IOContext(self.params)
+                tiles = self._run_nest(nest, plan, local)
+                w = nest.weight
+                scaled = IOStats(
+                    local.stats.read_calls * w,
+                    local.stats.write_calls * w,
+                    local.stats.elements_read * w,
+                    local.stats.elements_written * w,
+                    local.stats.io_time_s * w,
+                    local.stats.compute_time_s * w,
+                )
+                ctx.stats = ctx.stats.merge(scaled)
+                ctx.io_node_load += local.io_node_load * w
+                nest_runs.append(NestRun(nest.name, plan, scaled, tiles))
+        return RunResult(
+            ctx.stats,
+            ctx.io_node_load,
+            nest_runs,
+            self.memory.peak,
+            self._over_budget_tiles,
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _tile_windows(
+        self, nest: LoopNest, plan: NestPlan
+    ) -> list[dict[str, tuple[int, int]]]:
+        """Enumerate tile windows (per tiled variable) in loop order."""
+        from .plan import _whole_ranges
+
+        full = _whole_ranges(nest, self.binding)
+        levels = plan.tiled_levels
+        if not levels:
+            if self.node_slice is not None and self.node_slice[0] != 0:
+                return []  # untiled nests run on node 0 only
+            return [{}]
+        windows: list[dict[str, tuple[int, int]]] = []
+
+        def rec(idx: int, acc: dict[str, tuple[int, int]]):
+            if idx == len(levels):
+                windows.append(dict(acc))
+                return
+            loop = nest.loops[levels[idx]]
+            lo, hi = full[loop.var]
+            if idx == 0 and self.node_slice is not None:
+                # SPMD block distribution of the outermost tile loop: node
+                # r owns a contiguous slab (no inter-node communication —
+                # the paper's parallelization)
+                rank, n_nodes = self.node_slice
+                extent = hi - lo + 1
+                share = -(-extent // n_nodes)
+                lo, hi = lo + rank * share, min(hi, lo + (rank + 1) * share - 1)
+                if lo > hi:
+                    return
+            b = max(1, plan.tile_size)
+            start = lo
+            while start <= hi:
+                end = min(hi, start + b - 1)
+                acc[loop.var] = (start, end)
+                rec(idx + 1, acc)
+                del acc[loop.var]
+                start = end + 1
+
+        rec(0, {})
+        return windows
+
+    def _tile_var_ranges(
+        self, nest: LoopNest, windows: Mapping[str, tuple[int, int]]
+    ) -> dict[str, tuple[int, int]] | None:
+        """Refined per-variable ranges for one tile (None if empty)."""
+        ranges: dict[str, tuple[int, int]] = {}
+        env_corners: list[dict[str, int]] = [dict(self.binding)]
+        for loop in nest.loops:
+            los, his = [], []
+            for env in env_corners:
+                los.append(max(b.eval_lower(env) for b in loop.lowers))
+                his.append(min(b.eval_upper(env) for b in loop.uppers))
+            lo, hi = min(los), max(his)
+            if loop.var in windows:
+                wlo, whi = windows[loop.var]
+                lo, hi = max(lo, wlo), min(hi, whi)
+            if lo > hi:
+                return None
+            ranges[loop.var] = (lo, hi)
+            new_corners = []
+            for env in env_corners:
+                for val in {lo, hi}:
+                    e = dict(env)
+                    e[loop.var] = val
+                    new_corners.append(e)
+            env_corners = new_corners[:16]  # bounded corner expansion
+        return ranges
+
+    def _estimate_iterations(
+        self, nest: LoopNest, windows: Mapping[str, tuple[int, int]]
+    ) -> int:
+        env = dict(self.binding)
+        total = 1
+        for loop in nest.loops:
+            lo = max(b.eval_lower(env) for b in loop.lowers)
+            hi = min(b.eval_upper(env) for b in loop.uppers)
+            if loop.var in windows:
+                wlo, whi = windows[loop.var]
+                lo, hi = max(lo, wlo), min(hi, whi)
+            trips = max(0, hi - lo + 1)
+            if trips == 0:
+                return 0
+            total *= trips
+            env[loop.var] = (lo + hi) // 2
+        return total
+
+    def _run_nest(self, nest: LoopNest, plan: NestPlan, ctx: IOContext) -> int:
+        from .footprint import nest_footprints
+
+        tiles_executed = 0
+        for windows in self._tile_windows(nest, plan):
+            var_ranges = self._tile_var_ranges(nest, windows)
+            if var_ranges is None:
+                continue
+            fps = nest_footprints(nest, var_ranges, self.binding, self.shapes)
+            fps = {
+                name: (region, r, w)
+                for name, (region, r, w) in fps.items()
+                if region_size(region) > 0
+            }
+            if not fps:
+                continue
+            total_fp = sum(region_size(region) for region, _, _ in fps.values())
+            allocated = False
+            if not plan.over_budget:
+                try:
+                    self.memory.allocate(total_fp)
+                    allocated = True
+                except MemoryBudgetExceeded:
+                    # the planner sizes tiles against sampled anchors; a
+                    # pathological boundary tile may still overshoot —
+                    # count it rather than abort (the peak is recorded)
+                    self.memory.peak = max(
+                        self.memory.peak, self.memory.in_use + total_fp
+                    )
+                    self._over_budget_tiles += 1
+
+            # group by store and read every accessed array's tile (the
+            # paper's generated code reads tiles for all arrays, including
+            # write-only ones — read-modify-write of the bounding box)
+            by_store: dict[int, list[tuple[str, Region]]] = {}
+            for name, (region, _, _) in fps.items():
+                by_store.setdefault(id(self._stores[name]), []).append(
+                    (name, region)
+                )
+            tiles_data: dict[str, np.ndarray | None] = {}
+            for sid, requests in by_store.items():
+                store = self._stores[requests[0][0]]
+                tiles_data.update(store.read_many(requests, ctx))
+
+            if self.real:
+                regions = {name: region for name, (region, _, _) in fps.items()}
+                runner = (
+                    run_element_loops_vectorized
+                    if self._vectorizable.get(nest.name)
+                    else run_element_loops
+                )
+                count = runner(
+                    nest, self.binding, windows, tiles_data, regions
+                )
+                ctx.record_compute(count, len(nest.body))
+            else:
+                count = self._estimate_iterations(nest, windows)
+                ctx.record_compute(count, len(nest.body))
+
+            # write back modified arrays
+            by_store_w: dict[int, list[tuple[str, Region, np.ndarray | None]]] = {}
+            for name, (region, _, written) in fps.items():
+                if written:
+                    by_store_w.setdefault(id(self._stores[name]), []).append(
+                        (name, region, tiles_data.get(name))
+                    )
+            for sid, requests in by_store_w.items():
+                store = self._stores[requests[0][0]]
+                store.write_many(requests, ctx)
+
+            if allocated:
+                self.memory.free(total_fp)
+            tiles_executed += 1
+        return tiles_executed

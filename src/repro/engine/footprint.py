@@ -1,0 +1,76 @@
+"""Footprint analysis: which array region does a loop sub-space touch?
+
+For an affine reference and a box of variable ranges, each subscript's
+min/max follows from interval arithmetic — exact for affine subscripts
+over a box.  The engine reads/writes the per-array *union bounding box*
+of all its references' footprints, clipped to the declared shape.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..ir.arrays import ArrayRef
+from ..ir.nest import LoopNest
+from ..runtime.ooc_array import Region
+
+VarRanges = Mapping[str, tuple[int, int]]
+
+
+def ref_footprint(
+    ref: ArrayRef, var_ranges: VarRanges, binding: Mapping[str, int]
+) -> Region:
+    """Inclusive per-dimension bounds of the reference over the variable
+    box (parameters resolved through ``binding``)."""
+    out = []
+    for sub in ref.subscripts:
+        lo = hi = sub.const
+        for name, coeff in sub.coeffs:
+            if name in var_ranges:
+                a, b = var_ranges[name]
+            else:
+                a = b = binding[name]
+            if coeff >= 0:
+                lo += coeff * a
+                hi += coeff * b
+            else:
+                lo += coeff * b
+                hi += coeff * a
+        out.append((lo, hi))
+    return tuple(out)
+
+
+def nest_footprints(
+    nest: LoopNest,
+    var_ranges: VarRanges,
+    binding: Mapping[str, int],
+    shapes: Mapping[str, tuple[int, ...]],
+) -> dict[str, tuple[Region, bool, bool]]:
+    """Per-array ``(region, is_read, is_written)`` over the variable box.
+
+    The region is the union bounding box of all the array's references,
+    clipped to the declared shape (affine bounds can push a footprint
+    past the array edge on boundary tiles).
+    """
+    boxes: dict[str, list[tuple[int, int]]] = {}
+    read: dict[str, bool] = {}
+    written: dict[str, bool] = {}
+    for _, ref, is_write in nest.refs():
+        name = ref.array.name
+        fp = ref_footprint(ref, var_ranges, binding)
+        if name in boxes:
+            boxes[name] = [
+                (min(a, c), max(b, d)) for (a, b), (c, d) in zip(boxes[name], fp)
+            ]
+        else:
+            boxes[name] = list(fp)
+        read[name] = read.get(name, False) or not is_write
+        written[name] = written.get(name, False) or is_write
+    out: dict[str, tuple[Region, bool, bool]] = {}
+    for name, box in boxes.items():
+        shape = shapes[name]
+        clipped = tuple(
+            (max(0, lo), min(s - 1, hi)) for (lo, hi), s in zip(box, shape)
+        )
+        out[name] = (clipped, read[name], written[name])
+    return out

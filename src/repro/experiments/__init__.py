@@ -1,0 +1,38 @@
+"""Reproduction harness for every table and figure of the paper.
+
+- Table 1 — program characteristics (:mod:`.table1`)
+- Table 2 — normalized execution times of the six versions on 16 nodes
+  (:mod:`.table2`)
+- Table 3 — speedups at 16/32/64/128 nodes (:mod:`.table3`)
+- Figure 1 — normalization + interference-graph components (:mod:`.figure1`)
+- Figure 2 — file layouts and their hyperplane vectors (:mod:`.figure2`)
+- Figure 3 — tile access patterns: traditional vs. out-of-core tiling
+  (:mod:`.figure3`)
+
+Run from the command line::
+
+    python -m repro.experiments table2 --n 128
+
+Array extents default to 128 (the paper used 4096 on the Paragon; the
+shapes being compared are scale-free, see EXPERIMENTS.md).
+"""
+
+from .harness import ExperimentSettings, run_table2_row, run_table3_block
+from .table1 import table1
+from .table2 import table2
+from .table3 import table3
+from .figure1 import figure1
+from .figure2 import figure2
+from .figure3 import figure3
+
+__all__ = [
+    "ExperimentSettings",
+    "run_table2_row",
+    "run_table3_block",
+    "table1",
+    "table2",
+    "table3",
+    "figure1",
+    "figure2",
+    "figure3",
+]

@@ -1,0 +1,101 @@
+"""Command-line entry: ``python -m repro.experiments <what> [--n N]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .harness import ExperimentSettings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "what",
+        choices=[
+            "table1", "table2", "table3",
+            "figure1", "figure2", "figure3",
+            "compare", "all",
+        ],
+    )
+    parser.add_argument(
+        "--n", type=int, default=128,
+        help="array extent per dimension (paper: 4096; default 128)",
+    )
+    parser.add_argument(
+        "--workloads", nargs="*", default=None,
+        help="subset of codes (default: all ten)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the raw results as JSON (table2/table3 only)",
+    )
+    parser.add_argument(
+        "--csv", metavar="PATH", default=None,
+        help="also write the raw results as CSV (table2/table3 only)",
+    )
+    args = parser.parse_args(argv)
+    settings = ExperimentSettings(n=args.n)
+
+    def export(kind: str, data) -> None:
+        from . import export as ex
+
+        if args.json:
+            fn = ex.table2_to_json if kind == "table2" else ex.table3_to_json
+            with open(args.json, "w") as f:
+                f.write(fn(data, settings))
+        if args.csv:
+            fn = ex.table2_to_csv if kind == "table2" else ex.table3_to_csv
+            with open(args.csv, "w") as f:
+                f.write(fn(data))
+
+    def emit(text: str) -> None:
+        print(text)
+        print()
+
+    targets = (
+        ["table1", "figure1", "figure2", "figure3", "table2", "table3"]
+        if args.what == "all"
+        else [args.what]
+    )
+    for what in targets:
+        if what == "table1":
+            from .table1 import table1
+
+            emit(table1())
+        elif what == "table2":
+            from .table2 import table2
+
+            text, data = table2(settings, args.workloads)
+            emit(text)
+            export("table2", data)
+        elif what == "table3":
+            from .table3 import table3
+
+            text, data = table3(settings, args.workloads)
+            emit(text)
+            export("table3", data)
+        elif what == "figure1":
+            from .figure1 import figure1
+
+            emit(figure1())
+        elif what == "figure2":
+            from .figure2 import figure2
+
+            emit(figure2())
+        elif what == "figure3":
+            from .figure3 import figure3
+
+            emit(figure3()[0])
+        elif what == "compare":
+            from .compare import table2_scorecard
+
+            emit(table2_scorecard(settings)[0])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,155 @@
+"""The reproduction scorecard: paper vs. measured, side by side.
+
+For Table 2 the comparison is per-code and per-version; since absolute
+cost-model magnitudes differ (EXPERIMENTS.md), the score focuses on the
+*qualitative agreements* the paper's conclusions rest on:
+
+- the direction of each version vs. ``col`` (improves / neutral / hurts),
+- per-code version orderings (who wins),
+- the global average ordering.
+
+``python -m repro.experiments compare`` prints the scorecard.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..optimizer import VERSION_NAMES
+from .harness import ExperimentSettings, normalize_row, run_table2_row
+from .paper_data import PAPER_TABLE2, PAPER_TABLE2_AVERAGES
+from .report import arithmetic_mean, format_table
+
+_NEUTRAL_BAND = 7.5  # percentage points around 100 treated as "neutral"
+
+
+def _classify(pct: float) -> str:
+    if pct < 100 - _NEUTRAL_BAND:
+        return "improves"
+    if pct > 100 + _NEUTRAL_BAND:
+        return "hurts"
+    return "neutral"
+
+
+def table2_scorecard(
+    settings: ExperimentSettings | None = None,
+    measured: Mapping[str, Mapping[str, float]] | None = None,
+) -> tuple[str, dict]:
+    """Returns (formatted report, summary dict)."""
+    settings = settings or ExperimentSettings()
+    if measured is None:
+        measured = {
+            w: normalize_row(run_table2_row(w, settings))
+            for w in PAPER_TABLE2
+        }
+    versions = [v for v in VERSION_NAMES if v != "col"]
+
+    rows = []
+    agree = 0
+    total = 0
+    disagreements: list[str] = []
+    for w in PAPER_TABLE2:
+        for v in versions:
+            paper = PAPER_TABLE2[w][v]
+            ours = measured[w][v]
+            pc, oc = _classify(paper), _classify(ours)
+            total += 1
+            ok = pc == oc
+            agree += ok
+            if not ok:
+                disagreements.append(f"{w}/{v}: paper {pc} ({paper}), "
+                                     f"measured {oc} ({ours:.1f})")
+            rows.append(
+                [w, v, f"{paper:.1f}", f"{ours:.1f}", pc, oc,
+                 "yes" if ok else "NO"]
+            )
+
+    paper_avg_order = sorted(
+        PAPER_TABLE2_AVERAGES, key=PAPER_TABLE2_AVERAGES.get
+    )
+    measured_averages = {
+        v: arithmetic_mean([measured[w][v] for w in PAPER_TABLE2])
+        for v in versions
+    }
+    measured_avg_order = sorted(measured_averages, key=measured_averages.get)
+
+    table = format_table(
+        ["program", "version", "paper %", "ours %", "paper says", "we say", "agree"],
+        rows,
+        title=(
+            "Reproduction scorecard: Table 2 direction-of-effect "
+            f"(neutral band ±{_NEUTRAL_BAND} points)"
+        ),
+    )
+    summary = {
+        "agreement": agree / total,
+        "agree": agree,
+        "total": total,
+        "disagreements": disagreements,
+        "paper_average_order": paper_avg_order,
+        "measured_average_order": measured_avg_order,
+        "average_order_matches": paper_avg_order == measured_avg_order,
+        "measured_averages": measured_averages,
+    }
+    footer = [
+        "",
+        f"direction-of-effect agreement: {agree}/{total} "
+        f"({100 * agree / total:.0f}%)",
+        f"paper average ordering:    {' < '.join(paper_avg_order)}",
+        f"measured average ordering: {' < '.join(measured_avg_order)}",
+    ]
+    if disagreements:
+        footer.append("disagreements:")
+        footer.extend(f"  - {d}" for d in disagreements)
+    return table + "\n" + "\n".join(footer), summary
+
+
+def table3_scorecard(
+    settings: ExperimentSettings | None = None,
+    measured: Mapping[str, Mapping[str, Mapping[int, float]]] | None = None,
+) -> tuple[str, dict]:
+    """Table 3 comparison: per code, does the *relative scalability* of
+    the versions match the paper?  The checked property per code: the
+    best-scaling optimized version (d/c/h-opt) reaches at least the
+    speedup of the best unoptimized one (col/row) at the largest node
+    count, whenever the paper says so."""
+    from .harness import run_table3_block
+    from .paper_data import PAPER_TABLE3
+
+    settings = settings or ExperimentSettings()
+    if measured is None:
+        measured = {
+            w: run_table3_block(w, settings) for w in PAPER_TABLE3
+        }
+    p_max = max(settings.table3_nodes)
+    rows = []
+    agree = 0
+    total = 0
+    for w, paper_block in PAPER_TABLE3.items():
+        paper_opt = max(paper_block[v][128] for v in ("d-opt", "c-opt", "h-opt"))
+        paper_base = max(paper_block[v][128] for v in ("col", "row"))
+        ours_opt = max(measured[w][v][p_max] for v in ("d-opt", "c-opt", "h-opt"))
+        ours_base = max(measured[w][v][p_max] for v in ("col", "row"))
+        paper_says = paper_opt >= paper_base
+        we_say = ours_opt >= ours_base
+        total += 1
+        ok = paper_says == we_say or we_say  # matching, or we scale better
+        agree += ok
+        rows.append(
+            [w, f"{paper_opt:.1f}", f"{paper_base:.1f}",
+             f"{ours_opt:.1f}", f"{ours_base:.1f}",
+             "yes" if ok else "NO"]
+        )
+    table = format_table(
+        ["program", "paper opt@128", "paper base@128",
+         f"ours opt@{p_max}", f"ours base@{p_max}", "agree"],
+        rows,
+        title="Table 3 scalability comparison (best optimized vs best "
+              "unoptimized at the largest node count)",
+    )
+    summary = {"agreement": agree / total, "agree": agree, "total": total}
+    return table + f"\n\nagreement: {agree}/{total}", summary
+
+
+if __name__ == "__main__":
+    print(table2_scorecard()[0])

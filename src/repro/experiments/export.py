@@ -1,0 +1,83 @@
+"""Export experiment results as JSON or CSV (for plotting/regression)."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import asdict
+from typing import Mapping
+
+from ..optimizer import VERSION_NAMES
+from .harness import ExperimentSettings
+
+
+def _settings_record(settings: ExperimentSettings) -> dict:
+    return {
+        "n": settings.n,
+        "table2_nodes": settings.table2_nodes,
+        "table3_nodes": list(settings.table3_nodes),
+        "machine": asdict(settings.params),
+    }
+
+
+def table2_to_json(
+    data: Mapping[str, Mapping[str, float]],
+    settings: ExperimentSettings,
+) -> str:
+    """``data`` as returned by :func:`repro.experiments.table2.table2`."""
+    return json.dumps(
+        {
+            "experiment": "table2",
+            "settings": _settings_record(settings),
+            "columns": list(VERSION_NAMES),
+            "rows": {w: dict(vals) for w, vals in data.items()},
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def table2_to_csv(data: Mapping[str, Mapping[str, float]]) -> str:
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["program"] + list(VERSION_NAMES))
+    for w, vals in data.items():
+        writer.writerow([w] + [f"{vals[v]:.3f}" for v in VERSION_NAMES])
+    return out.getvalue()
+
+
+def table3_to_json(
+    data: Mapping[str, Mapping[str, Mapping[int, float]]],
+    settings: ExperimentSettings,
+) -> str:
+    return json.dumps(
+        {
+            "experiment": "table3",
+            "settings": _settings_record(settings),
+            "speedups": {
+                w: {v: {str(p): s for p, s in curve.items()}
+                    for v, curve in block.items()}
+                for w, block in data.items()
+            },
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def table3_to_csv(
+    data: Mapping[str, Mapping[str, Mapping[int, float]]]
+) -> str:
+    out = io.StringIO()
+    writer = csv.writer(out)
+    node_counts = sorted(
+        {p for block in data.values() for curve in block.values() for p in curve}
+    )
+    writer.writerow(["program", "version"] + [str(p) for p in node_counts])
+    for w, block in data.items():
+        for v, curve in block.items():
+            writer.writerow(
+                [w, v] + [f"{curve.get(p, float('nan')):.3f}" for p in node_counts]
+            )
+    return out.getvalue()

@@ -1,0 +1,75 @@
+"""Figure 1: normalization + interference graph + connected components.
+
+Rebuilds the paper's example — two imperfectly nested loop trees over
+arrays U, V, W and X, Y — runs step (1) (fusion / distribution / code
+sinking) and step (2) (interference graph, connected components), and
+renders the outcome.
+"""
+
+from __future__ import annotations
+
+from ..ir import Program, ProgramBuilder
+from ..optimizer import connected_components
+from ..transforms import normalize_program
+
+
+def figure1_program() -> Program:
+    """The example of Figure 1: the first tree fuses (U, V, W), the
+    second distributes (X, Y)."""
+    b = ProgramBuilder("figure1", params=("N",), default_binding={"N": 8})
+    N = b.param("N")
+    U = b.array("U", (N, N))
+    V = b.array("V", (N, N))
+    W = b.array("W", (N, N))
+    X = b.array("X", (N, N))
+    Y = b.array("Y", (N, N))
+    # imperfect nest 1: two inner j-loops under one i-loop -> fusion
+    with b.tree("imperfect1") as t:
+        with t.loop("i", 1, N) as ti:
+            with t.loop("j", 1, N) as tj:
+                t.assign(U[ti, tj], V[tj, ti] + 1.0)
+            with t.loop("j2", 1, N) as tj2:
+                t.assign(W[ti, tj2], V[ti, tj2] + 2.0)
+    # nest 2: two statements in one body -> loop distribution splits them
+    with b.tree("imperfect2") as t:
+        with t.loop("i", 1, N) as ti:
+            with t.loop("j", 1, N) as tj:
+                t.assign(X[ti, tj], X[ti, tj] + Y[tj, ti])
+                t.assign(Y[ti, tj], Y[ti, tj] * 0.5)
+    return b.build()
+
+
+def figure1() -> str:
+    from ..transforms import distribute
+
+    program = figure1_program()
+    normalized = normalize_program(program)
+    distributed = normalized.with_nests(
+        [piece for nest in normalized.nests for piece in distribute(nest)]
+    )
+    comps = connected_components(distributed)
+    normalized = distributed
+    lines = [
+        "Figure 1: example application of the file locality optimization "
+        "algorithm.",
+        "",
+        "original (imperfect) loop trees:",
+    ]
+    for tree in program.trees:
+        lines.append(tree.pretty(1))
+        lines.append("")
+    lines.append(
+        f"after normalization (fusion/distribution/sinking): "
+        f"{len(normalized.nests)} perfect nests"
+    )
+    for nest in normalized.nests:
+        lines.append(f"  nest {nest.name}: arrays {sorted(nest.arrays())}")
+    lines.append("")
+    lines.append(f"interference graph: {len(comps)} connected component(s)")
+    for k, (nests, arrays) in enumerate(comps, 1):
+        lines.append(f"  component {k}: nests {nests} <-> arrays {arrays}")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(figure1())

@@ -1,0 +1,39 @@
+"""Plain-text table formatting matching the paper's presentation."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: str | None = None,
+) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for c, cell in enumerate(row):
+            widths[c] = max(widths[c], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def fmt(value: float, decimals: int = 1) -> str:
+    return f"{value:.{decimals}f}"
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    prod = 1.0
+    for v in values:
+        prod *= v
+    return prod ** (1.0 / len(values)) if values else float("nan")
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else float("nan")

@@ -1,0 +1,22 @@
+"""Table 1: the programs used in the experiments."""
+
+from __future__ import annotations
+
+from ..workloads import WORKLOADS
+from .report import format_table
+
+
+def table1() -> str:
+    rows = [
+        [meta.name, meta.source, str(meta.iters), meta.arrays]
+        for meta in WORKLOADS.values()
+    ]
+    return format_table(
+        ["program", "source", "iter", "arrays"],
+        rows,
+        title="Table 1: Programs used in our experiments.",
+    )
+
+
+if __name__ == "__main__":
+    print(table1())

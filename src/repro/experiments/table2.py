@@ -1,0 +1,57 @@
+"""Table 2: execution times of the six versions on 16 nodes.
+
+The ``col`` column is the absolute (simulated) time in seconds; every
+other column is a percentage of ``col``, exactly as the paper presents
+it, with the per-column average row at the bottom.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..optimizer import VERSION_NAMES
+from ..workloads import workload_names
+from .harness import ExperimentSettings, normalize_row, run_table2_row
+from .report import arithmetic_mean, fmt, format_table
+
+
+def table2(
+    settings: ExperimentSettings | None = None,
+    workloads: Sequence[str] | None = None,
+) -> tuple[str, dict[str, dict[str, float]]]:
+    """Returns (formatted table, raw normalized data)."""
+    settings = settings or ExperimentSettings()
+    workloads = list(workloads or workload_names())
+    data: dict[str, dict[str, float]] = {}
+    rows = []
+    for name in workloads:
+        times = run_table2_row(name, settings)
+        norm = normalize_row(times)
+        data[name] = norm
+        rows.append(
+            [name]
+            + [
+                fmt(norm[v], 2 if v == "col" else 1)
+                for v in VERSION_NAMES
+            ]
+        )
+    averages = ["average:"] + [
+        ""
+        if v == "col"
+        else fmt(arithmetic_mean([data[w][v] for w in workloads]))
+        for v in VERSION_NAMES
+    ]
+    rows.append(averages)
+    table = format_table(
+        ["program"] + list(VERSION_NAMES),
+        rows,
+        title=(
+            f"Table 2: results on {settings.table2_nodes} nodes "
+            f"(N={settings.n}; col in simulated seconds, others % of col)."
+        ),
+    )
+    return table, data
+
+
+if __name__ == "__main__":
+    print(table2()[0])

@@ -1,0 +1,44 @@
+"""Table 3: scalability of the six versions (speedups vs. one node)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..optimizer import VERSION_NAMES
+from ..workloads import WORKLOADS, workload_names
+from .harness import ExperimentSettings, run_table3_block
+from .report import fmt, format_table
+
+
+def table3(
+    settings: ExperimentSettings | None = None,
+    workloads: Sequence[str] | None = None,
+) -> tuple[str, dict[str, dict[str, dict[int, float]]]]:
+    """Returns (formatted table, raw speedups[workload][version][p])."""
+    settings = settings or ExperimentSettings()
+    workloads = list(workloads or workload_names())
+    data: dict[str, dict[str, dict[int, float]]] = {}
+    rows = []
+    for name in workloads:
+        block = run_table3_block(name, settings)
+        data[name] = block
+        label = f"{name}.{WORKLOADS[name].iters}"
+        for k, version in enumerate(VERSION_NAMES):
+            curve = block[version]
+            rows.append(
+                [label if k == 0 else "", version]
+                + [fmt(curve[p]) for p in settings.table3_nodes]
+            )
+    table = format_table(
+        ["program", "version"] + [str(p) for p in settings.table3_nodes],
+        rows,
+        title=(
+            f"Table 3: speedups vs 1 node (N={settings.n}, "
+            f"{settings.params.n_io_nodes} I/O nodes)."
+        ),
+    )
+    return table, data
+
+
+if __name__ == "__main__":
+    print(table3()[0])

@@ -1,0 +1,173 @@
+"""Affine expressions over named loop indices and symbolic parameters.
+
+``3*i - j + N - 1`` is represented exactly as integer coefficients plus an
+integer constant.  These appear in loop bounds and array subscripts; all
+compiler analyses (access matrices, dependence tests, Fourier–Motzkin)
+read their coefficients directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Union
+
+Affinable = Union["AffineExpr", "IndexVar", int, str]
+
+
+@dataclass(frozen=True)
+class AffineExpr:
+    """``sum(coeff * name) + const`` with integer coefficients."""
+
+    coeffs: tuple[tuple[str, int], ...]
+    const: int
+
+    # -- construction ------------------------------------------------------
+
+    @staticmethod
+    def make(coeffs: Mapping[str, int] | None = None, const: int = 0) -> "AffineExpr":
+        items = tuple(
+            sorted((k, int(v)) for k, v in (coeffs or {}).items() if int(v) != 0)
+        )
+        return AffineExpr(items, int(const))
+
+    @staticmethod
+    def of(value: Affinable) -> "AffineExpr":
+        if isinstance(value, AffineExpr):
+            return value
+        if isinstance(value, IndexVar):
+            return AffineExpr.make({value.name: 1})
+        if isinstance(value, int):
+            return AffineExpr.make({}, value)
+        if isinstance(value, str):
+            return AffineExpr.make({value: 1})
+        raise TypeError(f"cannot interpret {value!r} as an affine expression")
+
+    @staticmethod
+    def const_expr(value: int) -> "AffineExpr":
+        return AffineExpr.make({}, value)
+
+    @staticmethod
+    def var(name: str) -> "AffineExpr":
+        return AffineExpr.make({name: 1})
+
+    # -- queries -----------------------------------------------------------
+
+    def coeff(self, name: str) -> int:
+        for k, v in self.coeffs:
+            if k == name:
+                return v
+        return 0
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(k for k, _ in self.coeffs)
+
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def uses_only(self, allowed: set[str]) -> bool:
+        return all(k in allowed for k, _ in self.coeffs)
+
+    def evaluate(self, binding: Mapping[str, int]) -> int:
+        return sum(v * int(binding[k]) for k, v in self.coeffs) + self.const
+
+    def drop(self, names: set[str]) -> "AffineExpr":
+        """The expression with the terms of ``names`` removed."""
+        return AffineExpr.make(
+            {k: v for k, v in self.coeffs if k not in names}, self.const
+        )
+
+    def rename(self, mapping: Mapping[str, str]) -> "AffineExpr":
+        return AffineExpr.make(
+            {mapping.get(k, k): v for k, v in self.coeffs}, self.const
+        )
+
+    def substitute(self, binding: Mapping[str, "AffineExpr"]) -> "AffineExpr":
+        """Replace names with affine expressions (exact composition)."""
+        out = AffineExpr.const_expr(self.const)
+        for k, v in self.coeffs:
+            if k in binding:
+                out = out + v * binding[k]
+            else:
+                out = out + AffineExpr.make({k: v})
+        return out
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def __add__(self, other: Affinable) -> "AffineExpr":
+        o = AffineExpr.of(other)
+        merged = dict(self.coeffs)
+        for k, v in o.coeffs:
+            merged[k] = merged.get(k, 0) + v
+        return AffineExpr.make(merged, self.const + o.const)
+
+    def __radd__(self, other: Affinable) -> "AffineExpr":
+        return self.__add__(other)
+
+    def __sub__(self, other: Affinable) -> "AffineExpr":
+        return self + (-AffineExpr.of(other))
+
+    def __rsub__(self, other: Affinable) -> "AffineExpr":
+        return AffineExpr.of(other) + (-self)
+
+    def __neg__(self) -> "AffineExpr":
+        return AffineExpr.make({k: -v for k, v in self.coeffs}, -self.const)
+
+    def __mul__(self, factor: int) -> "AffineExpr":
+        if not isinstance(factor, int):
+            raise TypeError("affine expressions only scale by integers")
+        return AffineExpr.make(
+            {k: v * factor for k, v in self.coeffs}, self.const * factor
+        )
+
+    __rmul__ = __mul__
+
+    def __str__(self) -> str:
+        parts = []
+        for k, v in self.coeffs:
+            if v == 1:
+                parts.append(k)
+            elif v == -1:
+                parts.append(f"-{k}")
+            else:
+                parts.append(f"{v}*{k}")
+        if self.const or not parts:
+            parts.append(str(self.const))
+        out = parts[0]
+        for p in parts[1:]:
+            out += f" - {p[1:]}" if p.startswith("-") else f" + {p}"
+        return out
+
+
+@dataclass(frozen=True)
+class IndexVar:
+    """A loop index or symbolic parameter usable in subscript arithmetic:
+    ``U[i, j + 1]`` builds :class:`AffineExpr` values via operator overloads."""
+
+    name: str
+
+    def _e(self) -> AffineExpr:
+        return AffineExpr.var(self.name)
+
+    def __add__(self, other: Affinable) -> AffineExpr:
+        return self._e() + other
+
+    def __radd__(self, other: Affinable) -> AffineExpr:
+        return AffineExpr.of(other) + self._e()
+
+    def __sub__(self, other: Affinable) -> AffineExpr:
+        return self._e() - other
+
+    def __rsub__(self, other: Affinable) -> AffineExpr:
+        return AffineExpr.of(other) - self._e()
+
+    def __neg__(self) -> AffineExpr:
+        return -self._e()
+
+    def __mul__(self, factor: int) -> AffineExpr:
+        return self._e() * factor
+
+    __rmul__ = __mul__
+
+    def __str__(self) -> str:
+        return self.name

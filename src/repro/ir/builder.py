@@ -1,0 +1,190 @@
+"""A small DSL for writing affine programs that read like the Fortran
+sources they model.
+
+Example — the two-nest fragment of the paper's Section 3.1::
+
+    b = ProgramBuilder("motivating", params=("N",), default_binding={"N": 64})
+    N = b.param("N")
+    U, V, W = (b.array(x, (N, N)) for x in "UVW")
+    with b.nest("nest1") as n:
+        i, j = n.loop("i", 1, N), n.loop("j", 1, N)
+        n.assign(U[i, j], V[j, i] + 1.0)
+    with b.nest("nest2") as n:
+        i, j = n.loop("i", 1, N), n.loop("j", 1, N)
+        n.assign(V[i, j], W[j, i] + 2.0)
+    program = b.build()
+
+Array extents are declared as *upper index bounds are 1-based like the
+paper's Fortran* by default: an array built with extent expression ``N``
+holds indices ``1..N`` internally stored as ``0..N-1``?  No — to stay
+unambiguous the IR is entirely explicit: ``b.array("U", (N, N))`` declares
+extents ``N+1`` so subscripts ``1..N`` are valid.  (The extra row/column
+of a Fortran-style 1-based array is a storage detail that cancels out of
+every normalized comparison.)
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Mapping, Sequence
+
+from .affine import AffineExpr, Affinable, IndexVar
+from .arrays import ArrayDecl, ArrayRef
+from .expr import Ref, wrap
+from .loops import Loop
+from .nest import LoopNest
+from .program import Program
+from .statements import Condition, Statement
+from .tree import LoopNode, StmtNode, TreeNode
+
+
+class ArrayHandle:
+    """Wraps an :class:`ArrayDecl` so that ``A[i, j+1]`` builds a reference
+    expression directly.  ``shift`` rebases 1-based Fortran subscripts to
+    the 0-based storage indices (``A[i, j]`` becomes ``A(i-1, j-1)``), so
+    declared extents carry no phantom row/column."""
+
+    def __init__(self, decl: ArrayDecl, shift: int = 0):
+        self.decl = decl
+        self.shift = shift
+
+    def __getitem__(self, subscripts) -> Ref:
+        if not isinstance(subscripts, tuple):
+            subscripts = (subscripts,)
+        if self.shift:
+            subscripts = tuple(
+                AffineExpr.of(s) - self.shift for s in subscripts
+            )
+        return Ref(ArrayRef.make(self.decl, subscripts))
+
+    @property
+    def name(self) -> str:
+        return self.decl.name
+
+    def __repr__(self) -> str:
+        return f"ArrayHandle({self.decl})"
+
+
+def _as_array_ref(lhs) -> ArrayRef:
+    if isinstance(lhs, Ref):
+        return lhs.ref
+    if isinstance(lhs, ArrayRef):
+        return lhs
+    raise TypeError(f"assignment target must be an array reference, got {lhs!r}")
+
+
+class NestBuilder:
+    def __init__(self, name: str, params: tuple[str, ...], weight: int):
+        self.name = name
+        self.params = params
+        self.weight = weight
+        self._loops: list[Loop] = []
+        self._body: list[Statement] = []
+
+    def loop(self, var: str, lower: Affinable, upper: Affinable) -> IndexVar:
+        if any(l.var == var for l in self._loops):
+            raise ValueError(f"duplicate loop variable {var}")
+        self._loops.append(Loop.make(var, lower, upper))
+        return IndexVar(var)
+
+    def assign(self, lhs, rhs, guards: Sequence[Condition] = ()) -> None:
+        self._body.append(Statement.make(_as_array_ref(lhs), wrap(rhs), guards))
+
+    def finish(self) -> LoopNest:
+        if not self._loops:
+            raise ValueError(f"nest {self.name} has no loops")
+        if not self._body:
+            raise ValueError(f"nest {self.name} has no statements")
+        return LoopNest.make(
+            self.name, self._loops, self._body, self.params, self.weight
+        )
+
+
+class TreeBuilder:
+    """Builds imperfect loop trees with nested ``with`` blocks."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._stack: list[list[TreeNode]] = [[]]
+        self._loop_stack: list[Loop] = []
+
+    @contextmanager
+    def loop(self, var: str, lower: Affinable, upper: Affinable) -> Iterator[IndexVar]:
+        self._loop_stack.append(Loop.make(var, lower, upper))
+        self._stack.append([])
+        try:
+            yield IndexVar(var)
+        finally:
+            children = self._stack.pop()
+            loop = self._loop_stack.pop()
+            self._stack[-1].append(LoopNode.make(loop, children))
+
+    def assign(self, lhs, rhs, guards: Sequence[Condition] = ()) -> None:
+        self._stack[-1].append(
+            StmtNode(Statement.make(_as_array_ref(lhs), wrap(rhs), guards))
+        )
+
+    def finish(self) -> tuple[TreeNode, ...]:
+        if len(self._stack) != 1:
+            raise RuntimeError("unbalanced loop blocks in tree builder")
+        return tuple(self._stack[0])
+
+
+class ProgramBuilder:
+    def __init__(
+        self,
+        name: str,
+        params: Sequence[str] = (),
+        default_binding: Mapping[str, int] | None = None,
+    ):
+        self.name = name
+        self.params = tuple(params)
+        self.default_binding = dict(default_binding or {})
+        self._arrays: list[ArrayDecl] = []
+        self._nests: list[LoopNest] = []
+        self._trees: list[LoopNode] = []
+        self._nest_counter = 0
+
+    def param(self, name: str) -> IndexVar:
+        if name not in self.params:
+            raise KeyError(f"{name} is not a declared parameter")
+        return IndexVar(name)
+
+    def array(
+        self, name: str, extents: Sequence[Affinable], *, one_based: bool = True
+    ) -> ArrayHandle:
+        """Declare an array.  With ``one_based`` (default, matching the
+        paper's Fortran codes) an extent ``N`` admits subscripts ``1..N``;
+        the handle rebases them to the 0-based storage indices so files
+        stay fully contiguous (no phantom row/column 0)."""
+        if any(a.name == name for a in self._arrays):
+            raise ValueError(f"duplicate array {name}")
+        decl = ArrayDecl.make(name, [AffineExpr.of(e) for e in extents])
+        self._arrays.append(decl)
+        return ArrayHandle(decl, shift=1 if one_based else 0)
+
+    @contextmanager
+    def nest(self, name: str | None = None, weight: int = 1) -> Iterator[NestBuilder]:
+        self._nest_counter += 1
+        nb = NestBuilder(name or f"nest{self._nest_counter}", self.params, weight)
+        yield nb
+        self._nests.append(nb.finish())
+
+    @contextmanager
+    def tree(self, name: str | None = None) -> Iterator[TreeBuilder]:
+        tb = TreeBuilder(name or f"tree{len(self._trees) + 1}")
+        yield tb
+        for node in tb.finish():
+            if not isinstance(node, LoopNode):
+                raise ValueError("top level of a tree must be a loop")
+            self._trees.append(node)
+
+    def build(self) -> Program:
+        return Program.make(
+            self.name,
+            self._arrays,
+            self._nests,
+            self.params,
+            self.default_binding,
+            self._trees,
+        )

@@ -1,0 +1,191 @@
+"""Executable expression AST for statement right-hand sides.
+
+The optimizer only looks at the :class:`~repro.ir.arrays.ArrayRef` leaves,
+but the execution engine evaluates the full tree so that transformed
+programs can be checked *semantically* against their originals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping, Union
+
+from .arrays import ArrayRef
+
+Loader = Callable[[ArrayRef, Mapping[str, int]], float]
+
+Exprish = Union["Expr", ArrayRef, int, float]
+
+
+class Expr:
+    """Base class; subclasses are immutable dataclasses."""
+
+    def evaluate(self, env: Mapping[str, int], load: Loader) -> float:
+        raise NotImplementedError
+
+    def refs(self) -> Iterator[ArrayRef]:
+        raise NotImplementedError
+
+    def substituted(self, mapping) -> "Expr":
+        raise NotImplementedError
+
+    # arithmetic sugar so workload models read like the source codes
+    def __add__(self, other: Exprish) -> "Expr":
+        return BinOp("+", self, wrap(other))
+
+    def __radd__(self, other: Exprish) -> "Expr":
+        return BinOp("+", wrap(other), self)
+
+    def __sub__(self, other: Exprish) -> "Expr":
+        return BinOp("-", self, wrap(other))
+
+    def __rsub__(self, other: Exprish) -> "Expr":
+        return BinOp("-", wrap(other), self)
+
+    def __mul__(self, other: Exprish) -> "Expr":
+        return BinOp("*", self, wrap(other))
+
+    def __rmul__(self, other: Exprish) -> "Expr":
+        return BinOp("*", wrap(other), self)
+
+    def __truediv__(self, other: Exprish) -> "Expr":
+        return BinOp("/", self, wrap(other))
+
+    def __rtruediv__(self, other: Exprish) -> "Expr":
+        return BinOp("/", wrap(other), self)
+
+    def __neg__(self) -> "Expr":
+        return UnOp("-", self)
+
+
+def wrap(value: Exprish) -> Expr:
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, ArrayRef):
+        return Ref(value)
+    if isinstance(value, (int, float)):
+        return Const(float(value))
+    raise TypeError(f"cannot use {value!r} in an expression")
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    value: float
+
+    def evaluate(self, env, load):
+        return self.value
+
+    def refs(self):
+        return iter(())
+
+    def substituted(self, mapping):
+        return self
+
+    def __str__(self):
+        return f"{self.value:g}"
+
+
+@dataclass(frozen=True)
+class Ref(Expr):
+    ref: ArrayRef
+
+    def evaluate(self, env, load):
+        return load(self.ref, env)
+
+    def refs(self):
+        yield self.ref
+
+    def substituted(self, mapping):
+        return Ref(self.ref.substituted(mapping))
+
+    def __str__(self):
+        return str(self.ref)
+
+
+_BINOPS: dict[str, Callable[[float, float], float]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self):
+        if self.op not in _BINOPS:
+            raise ValueError(f"unknown operator {self.op!r}")
+
+    def evaluate(self, env, load):
+        return _BINOPS[self.op](
+            self.left.evaluate(env, load), self.right.evaluate(env, load)
+        )
+
+    def refs(self):
+        yield from self.left.refs()
+        yield from self.right.refs()
+
+    def substituted(self, mapping):
+        return BinOp(self.op, self.left.substituted(mapping), self.right.substituted(mapping))
+
+    def __str__(self):
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnOp(Expr):
+    op: str
+    operand: Expr
+
+    def __post_init__(self):
+        if self.op != "-":
+            raise ValueError(f"unknown unary operator {self.op!r}")
+
+    def evaluate(self, env, load):
+        return -self.operand.evaluate(env, load)
+
+    def refs(self):
+        yield from self.operand.refs()
+
+    def substituted(self, mapping):
+        return UnOp(self.op, self.operand.substituted(mapping))
+
+    def __str__(self):
+        return f"(-{self.operand})"
+
+
+_CALLS: dict[str, Callable[[float], float]] = {
+    "sqrt": lambda x: math.sqrt(abs(x)),
+    "exp": lambda x: math.exp(min(x, 50.0)),
+    "abs": abs,
+}
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """A cheap elementary function — enough to model the math-library
+    workloads (``gfunp``, ``emit``) whose statements call intrinsics."""
+
+    fn: str
+    arg: Expr
+
+    def __post_init__(self):
+        if self.fn not in _CALLS:
+            raise ValueError(f"unknown intrinsic {self.fn!r}")
+
+    def evaluate(self, env, load):
+        return _CALLS[self.fn](self.arg.evaluate(env, load))
+
+    def refs(self):
+        yield from self.arg.refs()
+
+    def substituted(self, mapping):
+        return Call(self.fn, self.arg.substituted(mapping))
+
+    def __str__(self):
+        return f"{self.fn}({self.arg})"

@@ -1,0 +1,128 @@
+"""Loop headers with affine bounds.
+
+After a linear loop transformation, a loop's bounds become the max (lower)
+or min (upper) of several affine forms, possibly with divisors — e.g.
+``do v = max(0, u - N), min(u, N)`` for a skewed nest.  ``Loop`` therefore
+stores *sets* of bound terms; the common single-bound case is built with
+:meth:`Loop.make`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from .affine import AffineExpr, Affinable
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -((-a) // b)
+
+
+@dataclass(frozen=True)
+class Bound:
+    """One affine bound ``expr / divisor`` (divisor > 0).  A lower bound is
+    the ceiling of this value, an upper bound the floor."""
+
+    expr: AffineExpr
+    divisor: int = 1
+
+    def __post_init__(self):
+        if self.divisor <= 0:
+            raise ValueError("bound divisor must be positive")
+
+    def eval_lower(self, env: Mapping[str, int]) -> int:
+        return _ceil_div(self.expr.evaluate(env), self.divisor)
+
+    def eval_upper(self, env: Mapping[str, int]) -> int:
+        return self.expr.evaluate(env) // self.divisor
+
+    def renamed(self, mapping: Mapping[str, str]) -> "Bound":
+        return Bound(self.expr.rename(mapping), self.divisor)
+
+    def __str__(self) -> str:
+        return str(self.expr) if self.divisor == 1 else f"({self.expr})/{self.divisor}"
+
+
+@dataclass(frozen=True)
+class Loop:
+    """``do var = max(lowers), min(uppers)`` with unit step."""
+
+    var: str
+    lowers: tuple[Bound, ...]
+    uppers: tuple[Bound, ...]
+
+    def __post_init__(self):
+        if not self.lowers or not self.uppers:
+            raise ValueError(f"loop {self.var} must have lower and upper bounds")
+
+    @staticmethod
+    def make(var: str, lower: Affinable, upper: Affinable) -> "Loop":
+        return Loop(
+            var,
+            (Bound(AffineExpr.of(lower)),),
+            (Bound(AffineExpr.of(upper)),),
+        )
+
+    @staticmethod
+    def from_bounds(
+        var: str,
+        lowers: Sequence[Bound],
+        uppers: Sequence[Bound],
+    ) -> "Loop":
+        return Loop(var, tuple(lowers), tuple(uppers))
+
+    @property
+    def simple(self) -> bool:
+        return (
+            len(self.lowers) == 1
+            and len(self.uppers) == 1
+            and self.lowers[0].divisor == 1
+            and self.uppers[0].divisor == 1
+        )
+
+    @property
+    def lower(self) -> AffineExpr:
+        """The single lower-bound expression (simple loops only)."""
+        if len(self.lowers) != 1 or self.lowers[0].divisor != 1:
+            raise ValueError(f"loop {self.var} has a compound lower bound")
+        return self.lowers[0].expr
+
+    @property
+    def upper(self) -> AffineExpr:
+        if len(self.uppers) != 1 or self.uppers[0].divisor != 1:
+            raise ValueError(f"loop {self.var} has a compound upper bound")
+        return self.uppers[0].expr
+
+    def eval_range(self, env: Mapping[str, int]) -> tuple[int, int]:
+        lo = max(b.eval_lower(env) for b in self.lowers)
+        hi = min(b.eval_upper(env) for b in self.uppers)
+        return lo, hi
+
+    def trip_count(self, env: Mapping[str, int]) -> int:
+        lo, hi = self.eval_range(env)
+        return max(0, hi - lo + 1)
+
+    def renamed(self, mapping: Mapping[str, str]) -> "Loop":
+        return Loop(
+            mapping.get(self.var, self.var),
+            tuple(b.renamed(mapping) for b in self.lowers),
+            tuple(b.renamed(mapping) for b in self.uppers),
+        )
+
+    def _bounds_str(self) -> tuple[str, str]:
+        lo = (
+            str(self.lowers[0])
+            if len(self.lowers) == 1
+            else "max(" + ", ".join(str(b) for b in self.lowers) + ")"
+        )
+        hi = (
+            str(self.uppers[0])
+            if len(self.uppers) == 1
+            else "min(" + ", ".join(str(b) for b in self.uppers) + ")"
+        )
+        return lo, hi
+
+    def __str__(self) -> str:
+        lo, hi = self._bounds_str()
+        return f"do {self.var} = {lo}, {hi}"

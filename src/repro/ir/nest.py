@@ -1,0 +1,129 @@
+"""Perfectly nested affine loops — the unit the optimizer works on."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator, Mapping, Sequence
+
+from ..linalg import ConstraintSystem, IMat
+from .arrays import ArrayRef
+from .loops import Loop
+from .statements import Statement
+
+
+@dataclass(frozen=True)
+class LoopNest:
+    """A perfect nest: loops (outermost first) around a straight-line body.
+
+    ``params`` are the symbolic constants usable in bounds and subscripts
+    (e.g. ``("N",)``).  ``weight`` is the number of outer timing-loop
+    iterations this nest executes per program run (paper Table 1's *iter*);
+    it scales the nest's cost but is not part of the iteration space.
+    """
+
+    name: str
+    loops: tuple[Loop, ...]
+    body: tuple[Statement, ...]
+    params: tuple[str, ...] = ()
+    weight: int = 1
+
+    @staticmethod
+    def make(
+        name: str,
+        loops: Sequence[Loop],
+        body: Sequence[Statement],
+        params: Sequence[str] = (),
+        weight: int = 1,
+    ) -> "LoopNest":
+        return LoopNest(name, tuple(loops), tuple(body), tuple(params), weight)
+
+    @property
+    def depth(self) -> int:
+        return len(self.loops)
+
+    @property
+    def loop_vars(self) -> tuple[str, ...]:
+        return tuple(l.var for l in self.loops)
+
+    def arrays(self) -> set[str]:
+        return {name for s in self.body for name in s.arrays()}
+
+    def refs(self) -> Iterator[tuple[int, ArrayRef, bool]]:
+        """Yield ``(statement_index, ref, is_write)`` for all references."""
+        for idx, stmt in enumerate(self.body):
+            for ref, is_write in stmt.all_refs():
+                yield idx, ref, is_write
+
+    def refs_to(self, array_name: str) -> list[tuple[ArrayRef, bool]]:
+        return [
+            (r, w) for _, r, w in self.refs() if r.array.name == array_name
+        ]
+
+    def access_matrix(self, ref: ArrayRef) -> IMat:
+        return ref.access_matrix(self.loop_vars)
+
+    def constraint_system(self) -> ConstraintSystem:
+        """The iteration polytope as linear inequalities (bound divisors are
+        cleared exactly by scaling)."""
+        sys = ConstraintSystem(self.loop_vars, params=self.params)
+        for loop in self.loops:
+            for b in loop.lowers:
+                # var >= expr/div  =>  div*var - expr >= 0
+                coeffs = {loop.var: b.divisor}
+                for k, v in b.expr.coeffs:
+                    coeffs[k] = coeffs.get(k, 0) - v
+                sys.add_ineq(coeffs, -b.expr.const)
+            for b in loop.uppers:
+                coeffs = {loop.var: -b.divisor}
+                for k, v in b.expr.coeffs:
+                    coeffs[k] = coeffs.get(k, 0) + v
+                sys.add_ineq(coeffs, b.expr.const)
+        return sys
+
+    def iterate(self, binding: Mapping[str, int]) -> Iterator[dict[str, int]]:
+        """Enumerate iteration points in loop order as variable bindings."""
+        env: dict[str, int] = dict(binding)
+
+        def rec(level: int) -> Iterator[dict[str, int]]:
+            if level == self.depth:
+                yield {v: env[v] for v in self.loop_vars}
+                return
+            loop = self.loops[level]
+            lo, hi = loop.eval_range(env)
+            for v in range(lo, hi + 1):
+                env[loop.var] = v
+                yield from rec(level + 1)
+                del env[loop.var]
+
+        return rec(0)
+
+    def estimated_iterations(self, binding: Mapping[str, int]) -> int:
+        """Cheap trip-count product estimate (outer vars pinned at their
+        range midpoints) — used by the cost model, never for semantics."""
+        env = dict(binding)
+        total = 1
+        for loop in self.loops:
+            lo, hi = loop.eval_range(env)
+            trips = max(0, hi - lo + 1)
+            total *= trips
+            env[loop.var] = (lo + hi) // 2 if trips else lo
+        return total
+
+    def with_body(self, body: Sequence[Statement]) -> "LoopNest":
+        return replace(self, body=tuple(body))
+
+    def with_loops(self, loops: Sequence[Loop]) -> "LoopNest":
+        return replace(self, loops=tuple(loops))
+
+    def pretty(self, indent: str = "  ") -> str:
+        lines = []
+        for d, loop in enumerate(self.loops):
+            lines.append(indent * d + str(loop))
+        for stmt in self.body:
+            lines.append(indent * self.depth + str(stmt))
+        for d in range(self.depth - 1, -1, -1):
+            lines.append(indent * d + "end do")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return f"<nest {self.name}: depth {self.depth}, {len(self.body)} stmts>"

@@ -1,0 +1,90 @@
+"""Assignment statements with optional guards.
+
+A guard arises from *code sinking* (paper Section 3, step 1): a statement
+that originally sat between two loops is pushed into the inner loop and
+predicated so it executes only on the first (or a specific) iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+from .affine import AffineExpr, Affinable
+from .arrays import ArrayRef
+from .expr import Expr, wrap
+
+
+@dataclass(frozen=True)
+class Condition:
+    """Affine predicate ``expr OP 0`` with OP in {==, >=}."""
+
+    expr: AffineExpr
+    op: str = "=="
+
+    def __post_init__(self):
+        if self.op not in ("==", ">="):
+            raise ValueError(f"unsupported condition operator {self.op!r}")
+
+    @staticmethod
+    def eq(lhs: Affinable, rhs: Affinable = 0) -> "Condition":
+        return Condition(AffineExpr.of(lhs) - AffineExpr.of(rhs), "==")
+
+    @staticmethod
+    def ge(lhs: Affinable, rhs: Affinable = 0) -> "Condition":
+        return Condition(AffineExpr.of(lhs) - AffineExpr.of(rhs), ">=")
+
+    def holds(self, env: Mapping[str, int]) -> bool:
+        v = self.expr.evaluate(env)
+        return v == 0 if self.op == "==" else v >= 0
+
+    def substituted(self, mapping: Mapping[str, AffineExpr]) -> "Condition":
+        return Condition(self.expr.substitute(mapping), self.op)
+
+    def __str__(self) -> str:
+        return f"{self.expr} {self.op} 0"
+
+
+@dataclass(frozen=True)
+class Statement:
+    """``lhs = rhs`` executed at every guarded iteration point."""
+
+    lhs: ArrayRef
+    rhs: Expr
+    guards: tuple[Condition, ...] = ()
+
+    @staticmethod
+    def make(lhs: ArrayRef, rhs, guards: Sequence[Condition] = ()) -> "Statement":
+        return Statement(lhs, wrap(rhs), tuple(guards))
+
+    def all_refs(self) -> Iterator[tuple[ArrayRef, bool]]:
+        """Yield ``(ref, is_write)`` for every reference in the statement."""
+        yield self.lhs, True
+        for r in self.rhs.refs():
+            yield r, False
+
+    def reads(self) -> list[ArrayRef]:
+        return [r for r, w in self.all_refs() if not w]
+
+    def writes(self) -> list[ArrayRef]:
+        return [self.lhs]
+
+    def arrays(self) -> set[str]:
+        return {r.array.name for r, _ in self.all_refs()}
+
+    def guarded_on(self, env: Mapping[str, int]) -> bool:
+        return all(g.holds(env) for g in self.guards)
+
+    def substituted(self, mapping: Mapping[str, AffineExpr]) -> "Statement":
+        return Statement(
+            self.lhs.substituted(mapping),
+            self.rhs.substituted(mapping),
+            tuple(g.substituted(mapping) for g in self.guards),
+        )
+
+    def __str__(self) -> str:
+        body = f"{self.lhs} = {self.rhs}"
+        if self.guards:
+            conds = " and ".join(str(g) for g in self.guards)
+            return f"if ({conds}) {body}"
+        return body

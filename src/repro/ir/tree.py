@@ -1,0 +1,79 @@
+"""Imperfect loop trees — the *input* form before normalization.
+
+The paper's step (1) converts a sequence of imperfectly nested loops into
+perfect nests using loop fusion, loop distribution and code sinking.  The
+tree form represents the pre-normalization program: a loop node holds an
+ordered mix of statements and nested loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Union
+
+from .loops import Loop
+from .statements import Statement
+
+TreeNode = Union["LoopNode", "StmtNode"]
+
+
+@dataclass(frozen=True)
+class StmtNode:
+    stmt: Statement
+
+    def arrays(self) -> set[str]:
+        return self.stmt.arrays()
+
+    def statements(self) -> Iterator[Statement]:
+        yield self.stmt
+
+    def pretty(self, depth: int = 0, indent: str = "  ") -> str:
+        return indent * depth + str(self.stmt)
+
+
+@dataclass(frozen=True)
+class LoopNode:
+    loop: Loop
+    children: tuple[TreeNode, ...]
+
+    @staticmethod
+    def make(loop: Loop, children: Sequence[TreeNode]) -> "LoopNode":
+        return LoopNode(loop, tuple(children))
+
+    def arrays(self) -> set[str]:
+        out: set[str] = set()
+        for c in self.children:
+            out |= c.arrays()
+        return out
+
+    def statements(self) -> Iterator[Statement]:
+        for c in self.children:
+            yield from c.statements()
+
+    def loop_children(self) -> list["LoopNode"]:
+        return [c for c in self.children if isinstance(c, LoopNode)]
+
+    def stmt_children(self) -> list[StmtNode]:
+        return [c for c in self.children if isinstance(c, StmtNode)]
+
+    @property
+    def is_perfect(self) -> bool:
+        """True when the subtree is a perfect nest: each loop has exactly
+        one child that is a loop, or only statement children."""
+        node: LoopNode = self
+        while True:
+            loops = node.loop_children()
+            stmts = node.stmt_children()
+            if not loops:
+                return True
+            if len(loops) == 1 and not stmts:
+                node = loops[0]
+                continue
+            return False
+
+    def pretty(self, depth: int = 0, indent: str = "  ") -> str:
+        lines = [indent * depth + str(self.loop)]
+        for c in self.children:
+            lines.append(c.pretty(depth + 1, indent))
+        lines.append(indent * depth + "end do")
+        return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""File layouts for out-of-core arrays.
+
+A file layout is the paper's data-space transformation: a non-singular
+integer matrix ``D`` mapping array indices to *storage coordinates*; the
+file stores elements in lexicographic (row-major) order of ``D·a``.  The
+first row of ``D`` is the paper's *layout hyperplane* ``g``: elements on
+the same hyperplane ``g·a = c`` are stored consecutively (Figure 2).
+
+- :class:`Hyperplane` — hyperplane families ``g`` and the standard named
+  layouts of Figure 2,
+- :class:`LinearLayout` / :class:`AddressMap` — full layouts with exact,
+  vectorized address computation,
+- :class:`BlockedLayout` — tile-chunked storage (used by ``h-opt``),
+- :mod:`repro.layout.storage` — the Section 3.4 extra-storage reduction.
+"""
+
+from .hyperplane import (
+    Hyperplane,
+    ROW_MAJOR_H,
+    COL_MAJOR_H,
+    DIAGONAL_H,
+    ANTIDIAGONAL_H,
+)
+from .layouts import (
+    Layout,
+    LinearLayout,
+    BlockedLayout,
+    AddressMap,
+    layout_from_direction,
+    row_major,
+    col_major,
+    diagonal,
+    antidiagonal,
+)
+from .data_transform import (
+    transform_ref,
+    transform_decl_dims,
+    spatial_locality_ok,
+    temporal_locality_ok,
+    innermost_cost,
+)
+from .storage import storage_box, expansion_factor, reduce_storage
+
+__all__ = [
+    "Hyperplane",
+    "ROW_MAJOR_H",
+    "COL_MAJOR_H",
+    "DIAGONAL_H",
+    "ANTIDIAGONAL_H",
+    "Layout",
+    "LinearLayout",
+    "BlockedLayout",
+    "AddressMap",
+    "layout_from_direction",
+    "row_major",
+    "col_major",
+    "diagonal",
+    "antidiagonal",
+    "transform_ref",
+    "transform_decl_dims",
+    "spatial_locality_ok",
+    "temporal_locality_ok",
+    "innermost_cost",
+    "storage_box",
+    "expansion_factor",
+    "reduce_storage",
+]

@@ -1,0 +1,72 @@
+"""Applying data transformations to references, and the Claim-1 locality
+predicates connecting layouts, access matrices and loop transformations.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..ir.affine import AffineExpr
+from ..ir.arrays import ArrayRef
+from ..linalg import IMat
+from .hyperplane import Hyperplane
+
+
+def transform_ref(ref: ArrayRef, d: IMat) -> ArrayRef:
+    """Rewrite a reference for storage coordinates ``t = D·a`` (used when a
+    layout change is realized by index remapping rather than by the
+    runtime's address map — e.g. by the code generator)."""
+    if d.nrows != ref.rank:
+        raise ValueError(f"transform rank {d.nrows} != ref rank {ref.rank}")
+    new_subs = []
+    for row in d.rows:
+        expr = AffineExpr.const_expr(0)
+        for coeff, sub in zip(row, ref.subscripts):
+            expr = expr + coeff * sub
+        new_subs.append(expr)
+    return ArrayRef(ref.array, tuple(new_subs))
+
+
+def transform_decl_dims(
+    dims: Sequence[int], d: IMat
+) -> tuple[tuple[int, int], ...]:
+    """Bounds ``(min, max)`` per storage dimension for an index box
+    ``[0, dims_d - 1]`` under ``D`` — the declared extents of the
+    transformed array (Section 3.4's rectilinear-declaration rule)."""
+    out = []
+    for row in d.rows:
+        lo = sum(min(0, c * (s - 1)) for c, s in zip(row, dims))
+        hi = sum(max(0, c * (s - 1)) for c, s in zip(row, dims))
+        out.append((lo, hi))
+    return tuple(out)
+
+
+def spatial_locality_ok(
+    g: Sequence[int] | Hyperplane, l: IMat, q_last: Sequence[int]
+) -> bool:
+    """Claim 1: the reference has spatial locality in the innermost loop
+    iff ``g · L · q_last == 0``."""
+    gv = g.g if isinstance(g, Hyperplane) else tuple(g)
+    lq = l.matvec(q_last)
+    return sum(a * b for a, b in zip(gv, lq)) == 0
+
+
+def temporal_locality_ok(l: IMat, q_last: Sequence[int]) -> bool:
+    """The reference is invariant in the innermost loop iff
+    ``L · q_last == 0`` (better than spatial locality — no constraint on
+    the layout at all)."""
+    return all(v == 0 for v in l.matvec(q_last))
+
+
+def innermost_cost(
+    g: Sequence[int] | Hyperplane | None, l: IMat, q_last: Sequence[int]
+) -> int:
+    """Relative per-iteration I/O cost of one reference in the innermost
+    loop: 0 for temporal locality, 1 for spatial locality under layout
+    ``g``, and a large constant otherwise (every innermost iteration
+    touches a different file run)."""
+    if temporal_locality_ok(l, q_last):
+        return 0
+    if g is not None and spatial_locality_ok(g, l, q_last):
+        return 1
+    return 1000

@@ -1,0 +1,59 @@
+"""Layout hyperplanes (paper Section 3.2.1, Figure 2).
+
+A hyperplane family ``g = (g_1, …, g_m)`` partitions the data space into
+parallel hyperplanes ``g·a = c``; a file layout stores each hyperplane's
+elements consecutively.  ``(0,1)`` is column-major, ``(1,0)`` row-major,
+``(1,-1)`` diagonal, ``(1,1)`` anti-diagonal — and any other primitive
+integer vector (the paper's ``(7,4)`` example) is equally valid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..linalg import primitive
+
+
+@dataclass(frozen=True)
+class Hyperplane:
+    g: tuple[int, ...]
+
+    @staticmethod
+    def make(vec: Sequence[int]) -> "Hyperplane":
+        if not any(vec):
+            raise ValueError("hyperplane vector must be non-zero")
+        return Hyperplane(primitive(vec))
+
+    @property
+    def rank(self) -> int:
+        return len(self.g)
+
+    def same_hyperplane(self, a: Sequence[int], b: Sequence[int]) -> bool:
+        """True iff the two elements have spatial locality under this
+        layout (paper: ``g·a == g·b``)."""
+        return sum(g * x for g, x in zip(self.g, a)) == sum(
+            g * x for g, x in zip(self.g, b)
+        )
+
+    def value(self, a: Sequence[int]) -> int:
+        return sum(g * x for g, x in zip(self.g, a))
+
+    @property
+    def name(self) -> str:
+        named = {
+            (1, 0): "row-major",
+            (0, 1): "column-major",
+            (1, -1): "diagonal",
+            (1, 1): "anti-diagonal",
+        }
+        return named.get(self.g, f"hyperplane{self.g}")
+
+    def __str__(self) -> str:
+        return f"{self.name} {self.g}"
+
+
+ROW_MAJOR_H = Hyperplane((1, 0))
+COL_MAJOR_H = Hyperplane((0, 1))
+DIAGONAL_H = Hyperplane((1, -1))
+ANTIDIAGONAL_H = Hyperplane((1, 1))

@@ -1,0 +1,102 @@
+"""Reducing the extra storage of general data transformations (§3.4).
+
+A non-singular data transformation can inflate the rectilinear bounding
+box that a conventional language must declare (the paper's example: the
+access matrix ``[[a, b], [c, 0]]`` over ``u ∈ [1,N'], v ∈ [1,M']`` covers
+``(a+b)(N'+M'-1) × c(N'-1)`` declared elements).  Composing a further
+unimodular transformation that (1) keeps the zero pattern of the
+locality-critical column and (2) shrinks the box can reclaim most of it —
+the paper demonstrates ``[[1,-1],[0,1]]`` for ``a >= c``.
+
+:func:`reduce_storage` searches small unimodular matrices for the best
+such composition.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+from ..linalg import IMat
+
+
+def storage_box(
+    access: IMat, loop_ranges: Sequence[tuple[int, int]]
+) -> tuple[tuple[int, int], ...]:
+    """Per-dimension ``(min, max)`` of ``L·I`` over the loop range box."""
+    out = []
+    for row in access.rows:
+        lo = hi = 0
+        for c, (rlo, rhi) in zip(row, loop_ranges):
+            if c >= 0:
+                lo += c * rlo
+                hi += c * rhi
+            else:
+                lo += c * rhi
+                hi += c * rlo
+        out.append((lo, hi))
+    return tuple(out)
+
+
+def box_volume(box: Sequence[tuple[int, int]]) -> int:
+    vol = 1
+    for lo, hi in box:
+        vol *= hi - lo + 1
+    return vol
+
+
+def expansion_factor(
+    access: IMat, loop_ranges: Sequence[tuple[int, int]]
+) -> float:
+    """Declared (bounding-box) elements per accessed iteration — 1.0 means
+    no wasted storage (assuming the access is injective on the box)."""
+    touched = 1
+    for lo, hi in loop_ranges:
+        touched *= hi - lo + 1
+    return box_volume(storage_box(access, loop_ranges)) / touched
+
+
+def _zero_pattern(access: IMat, col: int) -> tuple[bool, ...]:
+    return tuple(access[r, col] == 0 for r in range(access.nrows))
+
+
+def _preserves_zeros(
+    original: IMat, transformed: IMat, protect_col: int
+) -> bool:
+    """The paper's condition: zero entries of the locality-critical column
+    must stay zero, so the previously-derived locality is not distorted."""
+    orig = _zero_pattern(original, protect_col)
+    new = _zero_pattern(transformed, protect_col)
+    return all((not o) or n for o, n in zip(orig, new))
+
+
+def reduce_storage(
+    access: IMat,
+    loop_ranges: Sequence[tuple[int, int]],
+    protect_col: int | None = None,
+    entry_span: int = 2,
+) -> tuple[IMat, IMat, int]:
+    """Search unimodular ``E`` minimizing the declared box of ``E·L``.
+
+    ``protect_col`` defaults to the last column (the innermost loop after
+    optimization).  Returns ``(E, E·L, new_volume)``; ``E`` is the identity
+    when nothing smaller is found.
+    """
+    m = access.nrows
+    if protect_col is None:
+        protect_col = access.ncols - 1
+    best_e = IMat.identity(m)
+    best_l = access
+    best_vol = box_volume(storage_box(access, loop_ranges))
+    entries = range(-entry_span, entry_span + 1)
+    for flat in itertools.product(entries, repeat=m * m):
+        e = IMat([list(flat[r * m : (r + 1) * m]) for r in range(m)])
+        if abs(e.det()) != 1:
+            continue
+        new_l = e @ access
+        if not _preserves_zeros(access, new_l, protect_col):
+            continue
+        vol = box_volume(storage_box(new_l, loop_ranges))
+        if vol < best_vol:
+            best_e, best_l, best_vol = e, new_l, vol
+    return best_e, best_l, best_vol

@@ -1,0 +1,72 @@
+"""Exact integer / rational linear algebra for compiler transformations.
+
+Everything in this package works over the integers (or rationals where
+unavoidable) with *exact* arithmetic — loop and data transformation
+matrices must be exact, since a rounded entry silently changes program
+semantics.  Matrices are small (loop depth / array rank, i.e. 1..6), so
+clarity and exactness beat asymptotics.
+
+Public surface:
+
+- :class:`IMat` — immutable exact integer matrix with det / inverse /
+  Hermite & Smith normal forms.
+- :func:`kernel_basis` — integer basis of the null space.
+- :func:`complete_to_unimodular` — Bik–Wijshoff-style completion of a
+  partial column set to a full unimodular matrix.
+- :class:`ConstraintSystem` / :func:`fourier_motzkin` /
+  :func:`loop_bounds` — polyhedral bound generation for transformed
+  loop nests.
+"""
+
+from .exact import gcd_all, lcm_all, extended_gcd, is_primitive, primitive
+from .matrix import IMat, identity, from_rows, from_cols
+from .hnf import hermite_normal_form, column_hnf, smith_normal_form
+from .kernel import kernel_basis, min_gcd_kernel_vector, kernel_contains
+from .completion import (
+    complete_to_unimodular,
+    unimodular_with_last_column,
+    unimodular_with_first_row,
+)
+from .diophantine import (
+    DiophantineSolution,
+    has_integer_solution,
+    solve_diophantine,
+)
+from .fourier_motzkin import (
+    Constraint,
+    ConstraintSystem,
+    fourier_motzkin,
+    LoopBound,
+    loop_bounds_for_transform,
+    enumerate_lattice_points,
+)
+
+__all__ = [
+    "gcd_all",
+    "lcm_all",
+    "extended_gcd",
+    "is_primitive",
+    "primitive",
+    "IMat",
+    "identity",
+    "from_rows",
+    "from_cols",
+    "hermite_normal_form",
+    "column_hnf",
+    "smith_normal_form",
+    "kernel_basis",
+    "min_gcd_kernel_vector",
+    "kernel_contains",
+    "complete_to_unimodular",
+    "unimodular_with_last_column",
+    "unimodular_with_first_row",
+    "DiophantineSolution",
+    "has_integer_solution",
+    "solve_diophantine",
+    "Constraint",
+    "ConstraintSystem",
+    "fourier_motzkin",
+    "LoopBound",
+    "loop_bounds_for_transform",
+    "enumerate_lattice_points",
+]

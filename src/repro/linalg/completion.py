@@ -1,0 +1,155 @@
+"""Completion of partial transformation matrices to unimodular matrices.
+
+The optimizer derives only *one* column of the inverse loop transformation
+(``q_last``, relation 2 of the paper) or one row of a data transformation
+(the layout hyperplane ``g``).  These must be completed to full
+non-singular matrices; we complete to *unimodular* matrices (determinant
+±1) in the spirit of Bik & Wijshoff's completion method, which keeps the
+iteration-space volume intact and makes code generation exact.
+
+:func:`completion_candidates` enumerates a family of alternative
+completions so that a caller (the dependence-legality check) can pick the
+first legal one.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Sequence
+
+from .exact import is_primitive
+from .hnf import hermite_normal_form, smith_normal_form
+from .matrix import IMat
+
+
+def unimodular_with_column(vec: Sequence[int], position: int) -> IMat:
+    """Return a unimodular matrix whose ``position``-th column is ``vec``.
+
+    ``vec`` must be primitive (coordinate gcd 1) — a non-primitive column
+    cannot appear in any unimodular matrix.
+    """
+    v = tuple(int(x) for x in vec)
+    if not is_primitive(v):
+        raise ValueError(f"column {v} is not primitive; no unimodular completion")
+    n = len(v)
+    if not 0 <= position < n:
+        raise ValueError(f"position {position} out of range for size {n}")
+    # Elementary vectors get the canonical order-preserving permutation
+    # completion (identity when v = e_position) — keeps the optimizer from
+    # shuffling loops that carry no locality information.
+    nz = [i for i, x in enumerate(v) if x != 0]
+    if len(nz) == 1 and v[nz[0]] == 1:
+        src = nz[0]
+        cols = [
+            tuple(1 if r == c else 0 for r in range(n))
+            for c in range(n)
+            if c != src
+        ]
+        cols.insert(position, v)
+        return IMat(cols).transpose()
+    # Row HNF of the column vector: U @ v == e1 (since gcd(v) == 1).
+    h, u = hermite_normal_form(IMat.col_vector(v))
+    assert h.col(0) == tuple([1] + [0] * (n - 1))
+    base = u.inverse_unimodular()  # first column of `base` is v
+    # Move column 0 to `position` by a cyclic permutation of columns.
+    order = list(range(n))
+    order.pop(0)
+    order.insert(position, 0)
+    cols = base.cols()
+    return IMat([cols[j] for j in order]).transpose()
+
+
+def unimodular_with_last_column(vec: Sequence[int]) -> IMat:
+    """Unimodular matrix whose last column is ``vec`` (the paper's ``q_last``)."""
+    return unimodular_with_column(vec, len(tuple(vec)) - 1)
+
+
+def unimodular_with_row(vec: Sequence[int], position: int) -> IMat:
+    """Unimodular matrix whose ``position``-th row is ``vec``."""
+    return unimodular_with_column(vec, position).transpose()
+
+
+def unimodular_with_first_row(vec: Sequence[int]) -> IMat:
+    """Unimodular matrix whose first row is ``vec`` (a layout hyperplane)."""
+    return unimodular_with_row(vec, 0)
+
+
+def complete_to_unimodular(cols: Sequence[Sequence[int]]) -> IMat:
+    """Complete ``k`` integer columns to an ``n x n`` unimodular matrix whose
+    *first* ``k`` columns are exactly the given ones.
+
+    Possible iff the columns generate a direct summand of ``Z^n`` — i.e. the
+    Smith normal form of the column matrix has all invariant factors 1.
+    Raises ``ValueError`` otherwise.
+    """
+    a = IMat(cols).transpose()  # n x k
+    n, k = a.shape
+    if k > n:
+        raise ValueError("more columns than rows; cannot complete")
+    s, u, v = smith_normal_form(a)
+    diag = [s[i, i] for i in range(k)]
+    if any(d != 1 for d in diag):
+        raise ValueError(
+            f"columns do not extend to a unimodular matrix (invariant factors {diag})"
+        )
+    b = u.inverse_unimodular()  # n x n unimodular; b[:, :k] == a @ v
+    v_inv = v.inverse_unimodular()
+    # w = b @ blockdiag(v_inv, I): first k columns become a.
+    block = [[0] * n for _ in range(n)]
+    for i in range(k):
+        for j in range(k):
+            block[i][j] = v_inv[i, j]
+    for i in range(k, n):
+        block[i][i] = 1
+    w = b @ IMat(block)
+    for j in range(k):
+        assert w.col(j) == a.col(j)
+    return w
+
+
+def completion_candidates(
+    vec: Sequence[int], position: int, *, limit: int = 64
+) -> Iterator[IMat]:
+    """Yield distinct unimodular matrices having ``vec`` as the
+    ``position``-th column, in a deterministic order.
+
+    Variants are generated from the base completion by (a) permuting the
+    free columns, (b) flipping their signs, and (c) adding small integer
+    multiples of ``vec`` to them — all of which preserve unimodularity and
+    the pinned column.  The caller filters for dependence legality.
+    """
+    base = unimodular_with_column(vec, position)
+    n = base.nrows
+    free = [j for j in range(n) if j != position]
+    pinned = base.col(position)
+    seen: set[tuple] = set()
+    count = 0
+
+    def emit(mat: IMat) -> Iterator[IMat]:
+        nonlocal count
+        key = mat.rows
+        if key not in seen:
+            seen.add(key)
+            count += 1
+            yield mat
+
+    # (c) shift multiples first: identity shift (base itself) comes first.
+    shift_choices = [0]
+    for s in range(1, 11):
+        shift_choices += [s, -s]
+    for perm in itertools.permutations(range(len(free))):
+        for signs in itertools.product((1, -1), repeat=len(free)):
+            for shifts in itertools.product(shift_choices, repeat=len(free)):
+                cols: list[tuple[int, ...] | None] = [None] * n
+                cols[position] = pinned
+                for slot, (src, sign, shift) in enumerate(
+                    zip(perm, signs, shifts)
+                ):
+                    col = base.col(free[src])
+                    cols[free[slot]] = tuple(
+                        sign * c + shift * p for c, p in zip(col, pinned)
+                    )
+                mat = IMat(cols).transpose()  # type: ignore[arg-type]
+                yield from emit(mat)
+                if count >= limit:
+                    return

@@ -1,0 +1,66 @@
+"""Exact scalar integer helpers used throughout the transformation code."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def gcd_all(values: Iterable[int]) -> int:
+    """Non-negative gcd of any iterable of ints; gcd of nothing (or all
+    zeros) is 0."""
+    g = 0
+    for v in values:
+        g = math.gcd(g, int(v))
+        if g == 1:
+            return 1
+    return g
+
+
+def lcm_all(values: Iterable[int]) -> int:
+    """Positive lcm of an iterable of non-zero ints (lcm of nothing is 1)."""
+    l = 1
+    for v in values:
+        v = abs(int(v))
+        if v == 0:
+            raise ValueError("lcm of zero is undefined")
+        l = l * v // math.gcd(l, v)
+    return l
+
+
+def extended_gcd(a: int, b: int) -> tuple[int, int, int]:
+    """Return ``(g, x, y)`` with ``a*x + b*y == g == gcd(a, b)`` and
+    ``g >= 0``."""
+    a, b = int(a), int(b)
+    old_r, r = a, b
+    old_s, s = 1, 0
+    old_t, t = 0, 1
+    while r != 0:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_s, s = s, old_s - q * s
+        old_t, t = t, old_t - q * t
+    if old_r < 0:
+        old_r, old_s, old_t = -old_r, -old_s, -old_t
+    return old_r, old_s, old_t
+
+
+def is_primitive(vec: Sequence[int]) -> bool:
+    """A primitive vector has coordinate gcd 1 (so it extends to a
+    unimodular basis)."""
+    return gcd_all(vec) == 1
+
+
+def primitive(vec: Sequence[int]) -> tuple[int, ...]:
+    """Scale a non-zero integer vector down to its primitive multiple,
+    canonicalized so the first non-zero entry is positive."""
+    g = gcd_all(vec)
+    if g == 0:
+        raise ValueError("zero vector has no primitive multiple")
+    out = [int(v) // g for v in vec]
+    for v in out:
+        if v != 0:
+            if v < 0:
+                out = [-x for x in out]
+            break
+    return tuple(out)

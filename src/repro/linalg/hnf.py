@@ -1,0 +1,161 @@
+"""Hermite and Smith normal forms over the integers.
+
+These are the workhorses of non-unimodular loop transformation code
+generation (Ramanujam, Supercomputing'92) and of integer kernel
+computation: for a transformation ``T``, the image lattice ``T·Z^k`` is
+described by the column HNF, whose diagonal gives the loop step sizes.
+"""
+
+from __future__ import annotations
+
+from .matrix import IMat
+
+
+def hermite_normal_form(a: IMat) -> tuple[IMat, IMat]:
+    """Row-style HNF: return ``(H, U)`` with ``H == U @ a``, ``U`` unimodular.
+
+    ``H`` is in row echelon form: each pivot is positive, entries below a
+    pivot are zero and entries above it are reduced into ``[0, pivot)``.
+    Works for any (possibly rank-deficient, non-square) integer matrix.
+    """
+    m, n = a.shape
+    h = [list(r) for r in a.rows]
+    u = [[1 if i == j else 0 for j in range(m)] for i in range(m)]
+
+    def swap(i, j):
+        h[i], h[j] = h[j], h[i]
+        u[i], u[j] = u[j], u[i]
+
+    def addmul(dst, src, f):
+        # row[dst] += f * row[src]
+        h[dst] = [x + f * y for x, y in zip(h[dst], h[src])]
+        u[dst] = [x + f * y for x, y in zip(u[dst], u[src])]
+
+    def negate(i):
+        h[i] = [-x for x in h[i]]
+        u[i] = [-x for x in u[i]]
+
+    pivot_row = 0
+    for col in range(n):
+        # find a row at/after pivot_row with non-zero entry in this column
+        nz = [r for r in range(pivot_row, m) if h[r][col] != 0]
+        if not nz:
+            continue
+        # Euclidean elimination within the column
+        while True:
+            nz = [r for r in range(pivot_row, m) if h[r][col] != 0]
+            if len(nz) == 1:
+                break
+            nz.sort(key=lambda r: abs(h[r][col]))
+            r0 = nz[0]
+            for r in nz[1:]:
+                q = h[r][col] // h[r0][col]
+                addmul(r, r0, -q)
+        r0 = next(r for r in range(pivot_row, m) if h[r][col] != 0)
+        if r0 != pivot_row:
+            swap(r0, pivot_row)
+        if h[pivot_row][col] < 0:
+            negate(pivot_row)
+        # reduce the entries above the pivot into [0, pivot)
+        p = h[pivot_row][col]
+        for r in range(pivot_row):
+            q = h[r][col] // p  # floor division gives entries in [0, p)
+            if q != 0:
+                addmul(r, pivot_row, -q)
+        pivot_row += 1
+        if pivot_row == m:
+            break
+    return IMat(h), IMat(u)
+
+
+def column_hnf(a: IMat) -> tuple[IMat, IMat]:
+    """Column-style HNF: return ``(H, U)`` with ``H == a @ U``, ``U``
+    unimodular and ``H`` lower triangular with positive diagonal (for full
+    row rank ``a``).  For a non-singular square ``a`` this describes the
+    lattice ``a·Z^n``: column ``j`` of ``H`` is the lattice step once the
+    first ``j-1`` coordinates are fixed.
+    """
+    ht, ut = hermite_normal_form(a.transpose())
+    return ht.transpose(), ut.transpose()
+
+
+def smith_normal_form(a: IMat) -> tuple[IMat, IMat, IMat]:
+    """Smith normal form: return ``(S, U, V)`` with ``S == U @ a @ V``,
+    ``U``/``V`` unimodular and ``S`` diagonal with ``S[i,i] | S[i+1,i+1]``.
+    """
+    m, n = a.shape
+    s = [list(r) for r in a.rows]
+    u = [[1 if i == j else 0 for j in range(m)] for i in range(m)]
+    v = [[1 if i == j else 0 for j in range(n)] for i in range(n)]
+
+    def row_addmul(dst, src, f):
+        s[dst] = [x + f * y for x, y in zip(s[dst], s[src])]
+        u[dst] = [x + f * y for x, y in zip(u[dst], u[src])]
+
+    def col_addmul(dst, src, f):
+        for i in range(m):
+            s[i][dst] += f * s[i][src]
+        for i in range(n):
+            v[i][dst] += f * v[i][src]
+
+    def row_swap(i, j):
+        s[i], s[j] = s[j], s[i]
+        u[i], u[j] = u[j], u[i]
+
+    def col_swap(i, j):
+        for r in s:
+            r[i], r[j] = r[j], r[i]
+        for r in v:
+            r[i], r[j] = r[j], r[i]
+
+    def row_negate(i):
+        s[i] = [-x for x in s[i]]
+        u[i] = [-x for x in u[i]]
+
+    rank_bound = min(m, n)
+    for k in range(rank_bound):
+        # move a non-zero pivot (smallest magnitude) into (k, k)
+        while True:
+            entries = [
+                (abs(s[i][j]), i, j)
+                for i in range(k, m)
+                for j in range(k, n)
+                if s[i][j] != 0
+            ]
+            if not entries:
+                return IMat(s), IMat(u), IMat(v)
+            _, pi, pj = min(entries)
+            if pi != k:
+                row_swap(pi, k)
+            if pj != k:
+                col_swap(pj, k)
+            done = True
+            for i in range(k + 1, m):
+                if s[i][k] != 0:
+                    row_addmul(i, k, -(s[i][k] // s[k][k]))
+                    if s[i][k] != 0:
+                        done = False
+            for j in range(k + 1, n):
+                if s[k][j] != 0:
+                    col_addmul(j, k, -(s[k][j] // s[k][k]))
+                    if s[k][j] != 0:
+                        done = False
+            if done and all(s[i][k] == 0 for i in range(k + 1, m)) and all(
+                s[k][j] == 0 for j in range(k + 1, n)
+            ):
+                # enforce divisibility s[k][k] | s[i][j] for the trailing block
+                offender = None
+                for i in range(k + 1, m):
+                    for j in range(k + 1, n):
+                        if s[i][j] % s[k][k] != 0:
+                            offender = (i, j)
+                            break
+                    if offender:
+                        break
+                if offender is None:
+                    break
+                # fold the offending row into row k and re-run elimination
+                row_addmul(k, offender[0], 1)
+        if s[k][k] < 0:
+            row_negate(k)
+    return IMat(s), IMat(u), IMat(v)

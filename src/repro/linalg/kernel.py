@@ -1,0 +1,86 @@
+"""Integer null-space computation.
+
+The paper's Claim 1 reduces layout/loop selection to choosing vectors in
+``Ker{L q}`` (relation 1) or ``Ker{g L}`` (relation 2).  The kernels are
+integer lattices; the paper's rule is to pick the kernel vector "such that
+the gcd of its elements is minimum" — in practice the simplest primitive
+vector, which corresponds to dimension re-ordering layouts whenever one
+exists.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+from .exact import gcd_all, primitive
+from .hnf import column_hnf
+from .matrix import IMat
+
+
+def kernel_basis(a: IMat) -> list[tuple[int, ...]]:
+    """Return a lattice basis of ``{x : a @ x == 0}`` as a list of integer
+    column vectors (possibly empty when ``a`` has full column rank)."""
+    h, u = column_hnf(a)
+    basis = []
+    for j in range(a.ncols):
+        if all(h[i, j] == 0 for i in range(a.nrows)):
+            basis.append(primitive(u.col(j)))
+    return basis
+
+
+def kernel_contains(a: IMat, x: Sequence[int]) -> bool:
+    """True iff ``a @ x == 0``."""
+    return all(v == 0 for v in a.matvec(x))
+
+
+def _candidate_score(vec: tuple[int, ...]) -> tuple:
+    """Ordering key implementing the paper's min-gcd rule with sensible
+    tie-breaks: prefer primitive elementary-like vectors (few non-zeros,
+    small magnitude), deterministically."""
+    nonzeros = sum(1 for v in vec if v != 0)
+    return (
+        gcd_all(vec),
+        nonzeros,
+        sum(abs(v) for v in vec),
+        max(abs(v) for v in vec),
+        tuple(-v for v in vec),  # prefer lexicographically larger => (1,0) over (0,1)
+    )
+
+
+def min_gcd_kernel_vector(
+    a: IMat, *, span: int = 2, prefer: Sequence[Sequence[int]] = ()
+) -> tuple[int, ...] | None:
+    """Pick the kernel vector the paper's heuristic would pick.
+
+    Enumerates small integer combinations (coefficients in ``[-span, span]``)
+    of the kernel lattice basis, normalizes them to primitive vectors, and
+    returns the one minimizing :func:`_candidate_score`.  ``prefer`` lists
+    vectors that win outright if they lie in the kernel (used to bias
+    toward a layout that is already assigned elsewhere).
+
+    Returns ``None`` when the kernel is trivial.
+    """
+    for p in prefer:
+        pv = tuple(int(v) for v in p)
+        if any(pv) and kernel_contains(a, pv):
+            return primitive(pv)
+    basis = kernel_basis(a)
+    if not basis:
+        return None
+    best: tuple[int, ...] | None = None
+    best_score: tuple | None = None
+    for coeffs in itertools.product(range(-span, span + 1), repeat=len(basis)):
+        if not any(coeffs):
+            continue
+        vec = tuple(
+            sum(c * b[i] for c, b in zip(coeffs, basis))
+            for i in range(len(basis[0]))
+        )
+        if not any(vec):
+            continue
+        vec = primitive(vec)
+        score = _candidate_score(vec)
+        if best_score is None or score < best_score:
+            best, best_score = vec, score
+    return best

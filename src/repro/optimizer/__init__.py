@@ -1,0 +1,43 @@
+"""The paper's compiler algorithm: combined loop and file-layout
+transformations for out-of-core locality, applied globally over a
+sequence of loop nests (Section 3).
+
+Entry points:
+
+- :func:`optimize_program` — the full global algorithm (the ``c-opt``
+  version of the evaluation),
+- :func:`repro.optimizer.strategies.build_version` — any of the paper's
+  six experimental versions (``col``, ``row``, ``l-opt``, ``d-opt``,
+  ``c-opt``, ``h-opt``).
+"""
+
+from .interference import interference_graph, connected_components
+from .cost import nest_cost, estimate_nest_io
+from .locality import (
+    NestDecision,
+    optimize_nest,
+    choose_layout_for_array,
+    choose_direction_for_array,
+    hyperplane_from_direction,
+)
+from .global_opt import GlobalDecision, optimize_program
+from .ilp import optimize_program_ilp
+from .strategies import VersionConfig, build_version, VERSION_NAMES
+
+__all__ = [
+    "interference_graph",
+    "connected_components",
+    "nest_cost",
+    "estimate_nest_io",
+    "NestDecision",
+    "optimize_nest",
+    "choose_layout_for_array",
+    "choose_direction_for_array",
+    "hyperplane_from_direction",
+    "GlobalDecision",
+    "optimize_program",
+    "optimize_program_ilp",
+    "VersionConfig",
+    "build_version",
+    "VERSION_NAMES",
+]

@@ -1,0 +1,83 @@
+"""Cost model: ranking nests and scoring candidate (T, layouts) choices.
+
+The paper orders nests "according to a cost criterion using profile
+information" (step 3.a).  For these regular codes a static estimate ranks
+identically: a nest's cost is its timing-loop weight times its iteration
+count times the number of out-of-core references per iteration.
+
+For *scoring* a candidate transformation the model estimates I/O volume
+per reference from its innermost-loop behaviour (Claim 1):
+
+- temporal locality (``L q_last = 0``): one tile fetch amortized over the
+  whole innermost loop,
+- spatial locality (``L q_last`` parallel to the layout's file-fastest
+  direction ``Δa``): one file run per ``R`` elements (``R`` = innermost
+  trip, capped by the max request size),
+- neither: a separate file run for *every* innermost iteration.
+
+A layout is carried as its fast direction ``Δa`` (for a 2-D hyperplane
+``g``, ``Δa ⊥ g`` — the two forms are equivalent; directions stay exact
+for rank >= 3 where a single hyperplane under-determines the layout).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..ir.nest import LoopNest
+from ..layout import temporal_locality_ok
+from ..linalg import IMat, primitive
+
+
+def nest_cost(nest: LoopNest, binding: Mapping[str, int]) -> float:
+    """Profile-style cost used to order nests (bigger = costlier)."""
+    refs = sum(1 for _ in nest.refs())
+    return float(nest.weight) * nest.estimated_iterations(binding) * max(1, refs)
+
+
+def access_is_spatial(
+    l: IMat, q_last: Sequence[int], direction: Sequence[int] | None
+) -> bool:
+    """True iff consecutive innermost iterations touch file-consecutive
+    (or constant-stride-along-the-fast-axis) elements."""
+    v = l.matvec(q_last)
+    if not any(v):
+        return True  # temporal, strictly better
+    if direction is None:
+        return False
+    return primitive(v) == primitive(direction)
+
+
+def estimate_nest_io(
+    nest: LoopNest,
+    directions: Mapping[str, Sequence[int] | None],
+    q_last: Sequence[int],
+    binding: Mapping[str, int],
+    *,
+    run_cap: int = 4096,
+) -> float:
+    """Estimated I/O calls for one pass of the nest under a candidate
+    ``q_last`` and per-array fast directions.  Relative, not absolute."""
+    iters = max(1, nest.estimated_iterations(binding))
+    env = dict(binding)
+    inner_trip = 1
+    for loop in nest.loops:
+        lo, hi = loop.eval_range(env)
+        env[loop.var] = (lo + hi) // 2
+        inner_trip = max(1, hi - lo + 1)
+    run = min(inner_trip, run_cap)
+    total = 0.0
+    for _, ref, _ in nest.refs():
+        l = nest.access_matrix(ref)
+        if temporal_locality_ok(l, q_last):
+            total += iters / (inner_trip * run)
+            continue
+        if ref.rank == 1:
+            stride = l.matvec(q_last)[0]
+            spatial = abs(stride) == 1
+        else:
+            spatial = access_is_spatial(
+                l, q_last, directions.get(ref.array.name)
+            )
+        total += iters / run if spatial else float(iters)
+    return total * nest.weight

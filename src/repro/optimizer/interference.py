@@ -1,0 +1,42 @@
+"""The interference graph (paper Section 3, step 2).
+
+A bipartite graph ``(V_n, V_a, E)``: nest nodes, array nodes, and an edge
+wherever a nest references an array.  Its connected components are
+program fragments touching disjoint array sets — the global algorithm
+optimizes each component independently.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..ir.program import Program
+
+
+def interference_graph(program: Program) -> nx.Graph:
+    g = nx.Graph()
+    for nest in program.nests:
+        g.add_node(("nest", nest.name), kind="nest")
+        for array in sorted(nest.arrays()):
+            g.add_node(("array", array), kind="array")
+            g.add_edge(("nest", nest.name), ("array", array))
+    return g
+
+
+def connected_components(
+    program: Program,
+) -> list[tuple[list[str], list[str]]]:
+    """Connected components as ``(nest_names, array_names)`` pairs, in
+    program order of their first nest."""
+    g = interference_graph(program)
+    comps = []
+    for comp in nx.connected_components(g):
+        nests = [name for kind, name in comp if kind == "nest"]
+        arrays = sorted(name for kind, name in comp if kind == "array")
+        order = {n.name: k for k, n in enumerate(program.nests)}
+        nests.sort(key=lambda n: order[n])
+        comps.append((nests, arrays))
+    comps.sort(key=lambda c: min(
+        k for k, n in enumerate(program.nests) if n.name in c[0]
+    ) if c[0] else 10**9)
+    return comps

@@ -1,0 +1,33 @@
+"""The parallel time model.
+
+Per compute node, I/O is blocking: the node's busy time is its compute
+time plus the serial cost of its I/O calls.  The I/O nodes service all
+compute nodes concurrently; each accumulates the latency + transfer
+seconds of the requests landing on its stripes.  The run's makespan is
+the larger of the two bottlenecks:
+
+    T = max( max_r busy(r),  max_k io_node_load(k) )
+
+With one compute node this reduces (up to stripe spreading) to the
+node's serial time; with many nodes it captures the paper's observation
+that "scalability was limited only by the number of I/O nodes and the
+I/O subsystem bandwidth".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..engine.executor import RunResult
+
+
+def makespan(results: Sequence[RunResult]) -> float:
+    if not results:
+        raise ValueError("no node results")
+    node_busy = max(r.stats.total_time_s for r in results)
+    io_load = np.zeros_like(results[0].io_node_load)
+    for r in results:
+        io_load += r.io_node_load
+    return float(max(node_busy, io_load.max() if io_load.size else 0.0))

@@ -1,0 +1,98 @@
+"""Running a program version on ``p`` simulated compute nodes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..engine.executor import OOCExecutor, RunResult
+from ..optimizer.strategies import VersionConfig
+from ..runtime import IOStats, MachineParams, ParallelFileSystem
+from .model import makespan
+
+
+@dataclass
+class ParallelRun:
+    version: str
+    n_nodes: int
+    time_s: float
+    node_results: list[RunResult]
+
+    @property
+    def total_io_calls(self) -> int:
+        return sum(r.stats.calls for r in self.node_results)
+
+    @property
+    def total_stats(self) -> IOStats:
+        total = IOStats()
+        for r in self.node_results:
+            total = total.merge(r.stats)
+        return total
+
+
+def run_version_parallel(
+    cfg: VersionConfig,
+    n_nodes: int,
+    *,
+    params: MachineParams | None = None,
+    binding: Mapping[str, int] | None = None,
+    memory_per_node: int | None = None,
+) -> ParallelRun:
+    """Execute a version on ``n_nodes`` (simulate mode, no data).
+
+    Every node gets the same per-node memory budget (the paper fixes the
+    computation's memory at 1/128th of the out-of-core data *per node*),
+    its own contiguous slab of each nest's outer tile loop, and its own
+    partition of the files — staggered across the shared I/O nodes.
+    """
+    params = params or MachineParams()
+    b = cfg.program.binding(binding)
+    total_elements = sum(
+        int(np.prod(a.shape(b))) for a in cfg.program.arrays
+    )
+    budget = memory_per_node or max(
+        64, total_elements // params.memory_fraction
+    )
+    results: list[RunResult] = []
+    stagger = max(1, total_elements // max(1, n_nodes))
+    for rank in range(n_nodes):
+        pfs = ParallelFileSystem(params)
+        pfs.advance(rank * stagger)
+        ex = OOCExecutor(
+            cfg.program,
+            cfg.layouts,
+            params=params,
+            binding=b,
+            memory_budget=budget,
+            real=False,
+            tiling=cfg.tiling,
+            storage_spec=cfg.storage_spec,
+            pfs=pfs,
+            node_slice=(rank, n_nodes) if n_nodes > 1 else None,
+        )
+        results.append(ex.run())
+    return ParallelRun(cfg.name, n_nodes, makespan(results), results)
+
+
+def speedup_curve(
+    cfg: VersionConfig,
+    node_counts: Sequence[int] = (16, 32, 64, 128),
+    *,
+    params: MachineParams | None = None,
+    binding: Mapping[str, int] | None = None,
+    memory_per_node: int | None = None,
+) -> dict[int, float]:
+    """Speedups vs. the same version on one node (Table 3's metric)."""
+    base = run_version_parallel(
+        cfg, 1, params=params, binding=binding, memory_per_node=memory_per_node
+    )
+    out: dict[int, float] = {}
+    for p in node_counts:
+        run = run_version_parallel(
+            cfg, p, params=params, binding=binding,
+            memory_per_node=memory_per_node,
+        )
+        out[p] = base.time_s / run.time_s if run.time_s > 0 else float("inf")
+    return out

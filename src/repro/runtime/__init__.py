@@ -1,0 +1,41 @@
+"""PASSION-style out-of-core runtime on a simulated parallel file system.
+
+The paper ran on the Intel Paragon's PFS (64 I/O nodes, 64 KB stripe
+units) through the PASSION runtime.  This package provides the same
+services against a deterministic simulation:
+
+- :class:`MachineParams` — the cost-model constants (documented in
+  DESIGN.md §5),
+- :class:`IOStats` / :class:`IOContext` — per-compute-node accounting of
+  I/O calls, volume, serial time and per-I/O-node load,
+- :class:`OOCFile` — a striped linear file of float64 elements,
+- :class:`OutOfCoreArray` — layout-aware tile reads/writes, each
+  decomposed into the *contiguous file runs* it touches; every run is an
+  I/O call (split further by the maximum request size),
+- :class:`InterleavedChunkedStore` — the chunking + interleaving used by
+  the paper's hand-optimized ``h-opt`` versions,
+- :class:`MemoryManager` — the per-node memory budget (the paper's
+  "1/128th of the out-of-core data").
+"""
+
+from .params import MachineParams
+from .stats import IOStats, IOContext
+from .pfs import ParallelFileSystem
+from .file import OOCFile
+from .ooc_array import OutOfCoreArray, Region, region_size
+from .chunked import InterleavedChunkedStore
+from .memory import MemoryManager, MemoryBudgetExceeded
+
+__all__ = [
+    "MachineParams",
+    "IOStats",
+    "IOContext",
+    "ParallelFileSystem",
+    "OOCFile",
+    "OutOfCoreArray",
+    "Region",
+    "region_size",
+    "InterleavedChunkedStore",
+    "MemoryManager",
+    "MemoryBudgetExceeded",
+]

@@ -1,0 +1,57 @@
+"""A linear out-of-core file of float64 elements.
+
+In *real* mode the file carries an actual numpy buffer so programs can be
+executed and verified; in *simulate* mode only the cost accounting runs
+(the buffer is absent), which is what the table-scale benchmarks use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .pfs import ParallelFileSystem
+from .stats import IOContext
+
+
+class OOCFile:
+    def __init__(
+        self,
+        name: str,
+        n_elements: int,
+        pfs: ParallelFileSystem,
+        *,
+        real: bool = True,
+    ):
+        self.name = name
+        self.n_elements = int(n_elements)
+        self.base_elem = pfs.allocate(name, self.n_elements)
+        self.buffer: np.ndarray | None = (
+            np.zeros(self.n_elements, dtype=np.float64) if real else None
+        )
+
+    @property
+    def real(self) -> bool:
+        return self.buffer is not None
+
+    # -- data paths (cost accounting is separate, see OutOfCoreArray) -----
+
+    def gather(self, addresses: np.ndarray) -> np.ndarray:
+        if self.buffer is None:
+            raise RuntimeError(f"file {self.name} is simulate-only")
+        return self.buffer[addresses]
+
+    def scatter(self, addresses: np.ndarray, values: np.ndarray) -> None:
+        if self.buffer is None:
+            raise RuntimeError(f"file {self.name} is simulate-only")
+        self.buffer[addresses] = values
+
+    # -- accounting ---------------------------------------------------------
+
+    def account_runs(
+        self,
+        ctx: IOContext,
+        offsets: np.ndarray,
+        lengths: np.ndarray,
+        is_write: bool,
+    ) -> int:
+        return ctx.record_runs(self.base_elem, offsets, lengths, is_write)

@@ -1,0 +1,45 @@
+"""Per-node memory budget.
+
+Out-of-core execution exists because data exceeds memory; the engine
+sizes its data tiles so that every array's tile fits the budget at once
+(the paper allocates memory evenly across the arrays of a nest).  The
+manager enforces the budget at runtime and records the peak, so tests
+can assert that no plan silently cheats by "reading the whole array".
+"""
+
+from __future__ import annotations
+
+
+class MemoryBudgetExceeded(RuntimeError):
+    pass
+
+
+class MemoryManager:
+    def __init__(self, budget_elements: int):
+        if budget_elements <= 0:
+            raise ValueError("memory budget must be positive")
+        self.budget = int(budget_elements)
+        self.in_use = 0
+        self.peak = 0
+
+    def allocate(self, n_elements: int) -> None:
+        n_elements = int(n_elements)
+        if n_elements < 0:
+            raise ValueError("cannot allocate a negative amount")
+        if self.in_use + n_elements > self.budget:
+            raise MemoryBudgetExceeded(
+                f"allocation of {n_elements} exceeds budget "
+                f"({self.in_use}/{self.budget} in use)"
+            )
+        self.in_use += n_elements
+        self.peak = max(self.peak, self.in_use)
+
+    def free(self, n_elements: int) -> None:
+        n_elements = int(n_elements)
+        if n_elements > self.in_use:
+            raise ValueError("freeing more than allocated")
+        self.in_use -= n_elements
+
+    def reset(self) -> None:
+        self.in_use = 0
+        self.peak = 0

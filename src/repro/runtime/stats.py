@@ -1,0 +1,213 @@
+"""I/O accounting.
+
+``IOStats`` is a plain counter bundle; ``IOContext`` is the per-compute-
+node recorder the runtime writes into.  Per-I/O-node load vectors are kept
+as numpy arrays so the contention model can take elementwise maxima
+cheaply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .params import MachineParams
+
+
+def _sieve(
+    offsets: np.ndarray, lengths: np.ndarray, max_gap_elems: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Data sieving: merge runs whose gaps are at most ``max_gap`` into
+    single spanning calls (the gap bytes are transferred and discarded —
+    or rewritten unchanged for writes, which are tile-level
+    read-modify-write here).  Runs must be disjoint."""
+    order = np.argsort(offsets, kind="stable")
+    offsets, lengths = offsets[order], lengths[order]
+    ends = offsets + lengths
+    gaps = offsets[1:] - ends[:-1]
+    breaks = np.flatnonzero(gaps > max_gap_elems)
+    starts = np.concatenate(([0], breaks + 1))
+    stops = np.concatenate((breaks, [offsets.size - 1]))
+    new_offsets = offsets[starts]
+    new_lengths = ends[stops] - offsets[starts]
+    return new_offsets, new_lengths
+
+
+@dataclass
+class IOStats:
+    read_calls: int = 0
+    write_calls: int = 0
+    elements_read: int = 0
+    elements_written: int = 0
+    io_time_s: float = 0.0       # serial time the compute node spends in I/O
+    compute_time_s: float = 0.0
+
+    @property
+    def calls(self) -> int:
+        return self.read_calls + self.write_calls
+
+    @property
+    def elements_moved(self) -> int:
+        return self.elements_read + self.elements_written
+
+    @property
+    def total_time_s(self) -> float:
+        return self.io_time_s + self.compute_time_s
+
+    def merge(self, other: "IOStats") -> "IOStats":
+        return IOStats(
+            self.read_calls + other.read_calls,
+            self.write_calls + other.write_calls,
+            self.elements_read + other.elements_read,
+            self.elements_written + other.elements_written,
+            self.io_time_s + other.io_time_s,
+            self.compute_time_s + other.compute_time_s,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"calls={self.calls} (r{self.read_calls}/w{self.write_calls}) "
+            f"elements={self.elements_moved} io={self.io_time_s:.3f}s "
+            f"compute={self.compute_time_s:.3f}s"
+        )
+
+
+class IOContext:
+    """Recorder for one compute node's activity.
+
+    ``io_node_load`` accumulates the service seconds each simulated I/O
+    node spends on this compute node's requests — the contention model
+    combines these across compute nodes.
+    """
+
+    def __init__(
+        self, params: MachineParams, node_id: int = 0, trace: bool = False
+    ):
+        self.params = params
+        self.node_id = node_id
+        self.stats = IOStats()
+        self.io_node_load = np.zeros(params.n_io_nodes, dtype=np.float64)
+        #: optional call trace: (file_base, offset, length, is_write) per
+        #: I/O call, in issue order — used by the Figure-3 renderer and
+        #: by debugging tools; off by default (it is per-call overhead)
+        self.trace: list[tuple[int, int, int, bool]] | None = [] if trace else None
+
+    def record_call(self, file_base_elem: int, offset_elem: int, n_elems: int, is_write: bool) -> None:
+        """Account one I/O call for ``n_elems`` contiguous elements starting
+        at ``offset_elem`` within a file whose stripe-0 begins at
+        ``file_base_elem`` (element units)."""
+        p = self.params
+        nbytes = n_elems * p.element_size
+        if is_write:
+            self.stats.write_calls += 1
+            self.stats.elements_written += n_elems
+        else:
+            self.stats.read_calls += 1
+            self.stats.elements_read += n_elems
+        self.stats.io_time_s += p.call_time(nbytes)
+        if self.trace is not None:
+            self.trace.append((file_base_elem, offset_elem, n_elems, is_write))
+        # distribute the transfer across the stripes the call covers
+        start = file_base_elem + offset_elem
+        end = start + n_elems  # exclusive
+        se = p.stripe_elements
+        first_stripe = start // se
+        last_stripe = (end - 1) // se
+        # latency is paid at the first servicing I/O node
+        self.io_node_load[first_stripe % p.n_io_nodes] += p.io_latency_s
+        for stripe in range(first_stripe, last_stripe + 1):
+            s0 = max(start, stripe * se)
+            s1 = min(end, (stripe + 1) * se)
+            self.io_node_load[stripe % p.n_io_nodes] += p.transfer_time(
+                (s1 - s0) * p.element_size
+            )
+
+    def record_runs(
+        self,
+        file_base_elem: int,
+        offsets: np.ndarray,
+        lengths: np.ndarray,
+        is_write: bool,
+    ) -> int:
+        """Vectorized accounting for a batch of contiguous runs (element
+        units).  Runs longer than the maximum request size are split into
+        multiple calls.  Returns the number of I/O calls recorded."""
+        p = self.params
+        offsets = np.asarray(offsets, dtype=np.int64)
+        lengths = np.asarray(lengths, dtype=np.int64)
+        if offsets.size == 0:
+            return 0
+        maxe = p.max_request_elements
+        if p.sieve_gap_bytes and offsets.size > 1:
+            offsets, lengths = _sieve(
+                offsets, lengths, p.sieve_gap_bytes // p.element_size
+            )
+            if p.sieve_buffer_bytes:
+                maxe = min(maxe, p.sieve_buffer_bytes // p.element_size)
+        if (lengths > maxe).any():
+            pieces_off: list[np.ndarray] = []
+            pieces_len: list[np.ndarray] = []
+            counts = -(-lengths // maxe)
+            for off, ln, cnt in zip(offsets, lengths, counts):
+                starts = off + maxe * np.arange(cnt, dtype=np.int64)
+                plen = np.full(cnt, maxe, dtype=np.int64)
+                plen[-1] = ln - maxe * (cnt - 1)
+                pieces_off.append(starts)
+                pieces_len.append(plen)
+            offsets = np.concatenate(pieces_off)
+            lengths = np.concatenate(pieces_len)
+
+        n_calls = int(offsets.size)
+        n_elems = int(lengths.sum())
+        nbytes = lengths * p.element_size
+        if is_write:
+            self.stats.write_calls += n_calls
+            self.stats.elements_written += n_elems
+        else:
+            self.stats.read_calls += n_calls
+            self.stats.elements_read += n_elems
+        self.stats.io_time_s += n_calls * p.io_latency_s + float(
+            nbytes.sum()
+        ) / p.io_bandwidth_bps
+        if self.trace is not None:
+            self.trace.extend(
+                (file_base_elem, int(o), int(l), is_write)
+                for o, l in zip(offsets, lengths)
+            )
+
+        # distribute across stripes (vectorized over runs, looped over the
+        # bounded stripe span of a single call)
+        se = p.stripe_elements
+        start = file_base_elem + offsets
+        end = start + lengths
+        first = start // se
+        last = (end - 1) // se
+        np.add.at(
+            self.io_node_load, (first % p.n_io_nodes), p.io_latency_s
+        )
+        span = int((last - first).max()) + 1
+        for k in range(span):
+            stripe = first + k
+            mask = stripe <= last
+            if not mask.any():
+                break
+            s0 = np.maximum(start[mask], stripe[mask] * se)
+            s1 = np.minimum(end[mask], (stripe[mask] + 1) * se)
+            np.add.at(
+                self.io_node_load,
+                (stripe[mask] % p.n_io_nodes),
+                (s1 - s0) * (p.element_size / p.io_bandwidth_bps),
+            )
+        return n_calls
+
+    def record_compute(self, n_iterations: int, ops_per_iteration: int = 1) -> None:
+        self.stats.compute_time_s += (
+            n_iterations * ops_per_iteration * self.params.compute_per_element_s
+        )
+
+    def reset(self) -> None:
+        self.stats = IOStats()
+        self.io_node_load[:] = 0.0
+        if self.trace is not None:
+            self.trace.clear()

@@ -1,0 +1,40 @@
+"""Loop-level restructuring: linear transformations, fusion, distribution,
+code sinking, normalization of imperfect nests, and tiling policy.
+"""
+
+from .elementary import (
+    permutation_matrix,
+    interchange_matrix,
+    reversal_matrix,
+    skew_matrix,
+)
+from .loop_transform import apply_loop_transform, transformed_loop_vars
+from .fusion import can_fuse, fuse
+from .distribution import distribute
+from .normalize import normalize_program, normalize_tree
+from .tiling import (
+    TilingSpec,
+    traditional_tiling,
+    ooc_tiling,
+    no_tiling,
+    levels_carrying_reuse,
+)
+
+__all__ = [
+    "permutation_matrix",
+    "interchange_matrix",
+    "reversal_matrix",
+    "skew_matrix",
+    "apply_loop_transform",
+    "transformed_loop_vars",
+    "can_fuse",
+    "fuse",
+    "distribute",
+    "normalize_program",
+    "normalize_tree",
+    "TilingSpec",
+    "traditional_tiling",
+    "ooc_tiling",
+    "no_tiling",
+    "levels_carrying_reuse",
+]

@@ -1,0 +1,74 @@
+"""Loop distribution: splitting a nest's body into separate nests.
+
+Distribution is legal when statements are regrouped by the strongly
+connected components of the statement dependence graph, emitted in
+topological order — statements in a dependence cycle must stay together
+(Wolfe).  Dependences come from the exact analyzer.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..dependence import analyze_nest
+from ..ir.nest import LoopNest
+
+
+def distribute(nest: LoopNest) -> list[LoopNest]:
+    """Split the nest into a maximal legal sequence of smaller nests.
+
+    Returns ``[nest]`` unchanged when the body is a single statement or a
+    single dependence cycle.
+    """
+    if len(nest.body) <= 1:
+        return [nest]
+    g = nx.DiGraph()
+    g.add_nodes_from(range(len(nest.body)))
+    for edge in analyze_nest(nest):
+        if edge.src_stmt != edge.dst_stmt:
+            g.add_edge(edge.src_stmt, edge.dst_stmt)
+    components = list(nx.strongly_connected_components(g))
+    cond = nx.condensation(g, components)
+    order = list(nx.topological_sort(cond))
+    # stable order: among independent components keep original textual order
+    groups = sorted(
+        (sorted(cond.nodes[c]["members"]) for c in order),
+        key=lambda member_list: min(member_list),
+    )
+    # re-apply a valid topological order after the stable sort
+    groups = _stable_topological(groups, g)
+    if len(groups) == 1:
+        return [nest]
+    out = []
+    for gi, members in enumerate(groups):
+        body = [nest.body[m] for m in members]
+        out.append(
+            LoopNest.make(
+                f"{nest.name}.d{gi}", nest.loops, body, nest.params, nest.weight
+            )
+        )
+    return out
+
+
+def _stable_topological(
+    groups: list[list[int]], g: nx.DiGraph
+) -> list[list[int]]:
+    """Topologically order statement groups, breaking ties by original
+    statement position (keeps output deterministic and readable)."""
+    remaining = [set(grp) for grp in groups]
+    placed: list[list[int]] = []
+    used: set[int] = set()
+    while remaining:
+        for idx, grp in enumerate(remaining):
+            preds = {
+                p for m in grp for p in g.predecessors(m) if p not in grp
+            }
+            if preds <= used:
+                placed.append(sorted(grp))
+                used |= grp
+                remaining.pop(idx)
+                break
+        else:
+            # dependence cycle across groups cannot happen (SCC condensation)
+            raise AssertionError("no schedulable group found")
+    return placed

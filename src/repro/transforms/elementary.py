@@ -1,0 +1,38 @@
+"""Elementary loop transformation matrices."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..linalg import IMat
+
+
+def permutation_matrix(order: Sequence[int]) -> IMat:
+    """``T`` such that new loop ``r`` is old loop ``order[r]``: the new
+    iteration vector is ``(i_order[0], …)``."""
+    k = len(order)
+    if sorted(order) != list(range(k)):
+        raise ValueError(f"{order} is not a permutation of 0..{k - 1}")
+    return IMat([[1 if c == order[r] else 0 for c in range(k)] for r in range(k)])
+
+
+def interchange_matrix(depth: int, a: int, b: int) -> IMat:
+    """Swap loops ``a`` and ``b`` in a nest of the given depth."""
+    order = list(range(depth))
+    order[a], order[b] = order[b], order[a]
+    return permutation_matrix(order)
+
+
+def reversal_matrix(depth: int, level: int) -> IMat:
+    rows = [[1 if c == r else 0 for c in range(depth)] for r in range(depth)]
+    rows[level][level] = -1
+    return IMat(rows)
+
+
+def skew_matrix(depth: int, src: int, dst: int, factor: int = 1) -> IMat:
+    """New ``i_dst`` = old ``i_dst + factor * i_src``."""
+    if src == dst:
+        raise ValueError("skew source and destination must differ")
+    rows = [[1 if c == r else 0 for c in range(depth)] for r in range(depth)]
+    rows[dst][src] = factor
+    return IMat(rows)

@@ -1,0 +1,83 @@
+"""Loop fusion (paper step 1, used to form perfect nests and merge
+compatible neighbors).
+
+Fusion of two adjacent nests is legal iff no element touched by the first
+nest at iteration ``p1`` and by the second at ``p2`` (one access a write)
+has ``p2 ≺ p1`` — in the fused nest that pair would execute in the wrong
+order.  We verify this exactly on a small parameter instantiation (the
+same small-model regime as the dependence analyzer).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..ir.nest import LoopNest
+
+
+def _bounds_match(a: LoopNest, b: LoopNest) -> bool:
+    if a.depth != b.depth:
+        return False
+    rename = dict(zip(b.loop_vars, a.loop_vars))
+    for la, lb in zip(a.loops, b.loops):
+        if la != lb.renamed(rename):
+            return False
+    return True
+
+
+def can_fuse(
+    a: LoopNest, b: LoopNest, binding: Mapping[str, int] | None = None
+) -> bool:
+    """True when the two adjacent nests may be fused."""
+    if not _bounds_match(a, b) or a.weight != b.weight:
+        return False
+    binding = dict(binding) if binding is not None else {
+        p: a.depth + 3 for p in set(a.params) | set(b.params)
+    }
+    shared = a.arrays() & b.arrays()
+    if not shared:
+        return True
+    def touches(nest: LoopNest):
+        out: dict[tuple, list[tuple[tuple[int, ...], bool]]] = {}
+        for env in nest.iterate(binding):
+            full = {**binding, **env}
+            vec = tuple(env[v] for v in nest.loop_vars)
+            for stmt in nest.body:
+                if not stmt.guarded_on(full):
+                    continue
+                for ref, is_write in stmt.all_refs():
+                    if ref.array.name not in shared:
+                        continue
+                    key = (ref.array.name,) + ref.index(env, binding)
+                    out.setdefault(key, []).append((vec, is_write))
+        return out
+
+    ta = touches(a)
+    tb = touches(b)  # position-wise comparable: loops are pairwise matched
+
+    for key, accesses_a in ta.items():
+        for vec_b, write_b in tb.get(key, ()):
+            for vec_a, write_a in accesses_a:
+                if (write_a or write_b) and vec_b < vec_a:
+                    return False
+    return True
+
+
+def fuse(a: LoopNest, b: LoopNest, name: str | None = None) -> LoopNest:
+    """Fuse two compatible nests (caller must have checked :func:`can_fuse`)."""
+    if not _bounds_match(a, b):
+        raise ValueError(f"cannot fuse {a.name} and {b.name}: bounds differ")
+    rename = dict(zip(b.loop_vars, a.loop_vars))
+    from ..ir.affine import AffineExpr
+
+    substitution = {
+        old: AffineExpr.var(new) for old, new in rename.items() if old != new
+    }
+    body = list(a.body) + [s.substituted(substitution) for s in b.body]
+    return LoopNest.make(
+        name or f"{a.name}+{b.name}",
+        a.loops,
+        body,
+        tuple(dict.fromkeys(a.params + b.params)),
+        a.weight,
+    )

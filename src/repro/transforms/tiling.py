@@ -1,0 +1,83 @@
+"""Tiling policy for out-of-core execution (paper Section 3.3).
+
+Tiling is *mandatory* out of core: the engine executes a nest one data
+tile at a time.  What the policy decides is **which loops get tiled**:
+
+- traditional (cache-style) tiling tiles every loop carrying reuse —
+  including the innermost one, which shatters file-contiguous runs into
+  ``B``-element reads (Figure 3(a), 4 I/O calls per 4x4 tile);
+- the paper's out-of-core tiling tiles *all but the innermost* loop, so
+  each read covers entire file rows of the tile (Figure 3(b), 2 calls).
+
+The spec is consumed by :mod:`repro.engine.plan`, which strip-mines the
+chosen levels to fit the memory budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..ir.nest import LoopNest
+from ..layout import Layout, LinearLayout
+
+
+@dataclass(frozen=True)
+class TilingSpec:
+    """Which loop levels of a nest are tiled (strip-mined)."""
+
+    tiled: tuple[bool, ...]
+
+    def __post_init__(self):
+        if not self.tiled:
+            raise ValueError("tiling spec needs at least one level")
+
+    @property
+    def depth(self) -> int:
+        return len(self.tiled)
+
+    @property
+    def any_tiled(self) -> bool:
+        return any(self.tiled)
+
+    def describe(self) -> str:
+        return "".join("T" if t else "." for t in self.tiled)
+
+
+def traditional_tiling(nest: LoopNest) -> TilingSpec:
+    """Tile every loop (the in-core strategy the paper contrasts with)."""
+    return TilingSpec((True,) * nest.depth)
+
+
+def ooc_tiling(nest: LoopNest) -> TilingSpec:
+    """Tile all but the innermost loop (the paper's rule)."""
+    if nest.depth == 1:
+        return TilingSpec((True,))  # a single loop must still be chunked
+    return TilingSpec((True,) * (nest.depth - 1) + (False,))
+
+
+def no_tiling(nest: LoopNest) -> TilingSpec:
+    return TilingSpec((False,) * nest.depth)
+
+
+def levels_carrying_reuse(
+    nest: LoopNest, layouts: Mapping[str, Layout] | None = None
+) -> tuple[bool, ...]:
+    """Which loop levels carry some form of reuse for some reference:
+    temporal (zero column in the access matrix) or spatial (the level
+    strides along the layout's fastest-varying direction)."""
+    layouts = layouts or {}
+    out = [False] * nest.depth
+    for _, ref, _ in nest.refs():
+        l = nest.access_matrix(ref)
+        for level in range(nest.depth):
+            col = l.col(level)
+            if all(v == 0 for v in col):
+                out[level] = True  # temporal reuse
+                continue
+            lay = layouts.get(ref.array.name)
+            if isinstance(lay, LinearLayout) and lay.rank == ref.rank:
+                g = lay.hyperplane.g
+                if sum(a * b for a, b in zip(g, col)) == 0:
+                    out[level] = True  # spatial reuse along the layout
+    return tuple(out)

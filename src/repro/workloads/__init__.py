@@ -1,0 +1,15 @@
+"""The ten benchmark codes of the paper's evaluation (Table 1).
+
+Each module models its namesake's *access-pattern structure* — the array
+counts and dimensionalities of Table 1 and the locality character that
+drives its Table 2 behaviour — as an affine program the optimizer can
+analyze.  The sources are re-derived, not transcribed: the optimizer
+consumes only access matrices and loop bounds, so what must match is the
+optimization problem, not the numerics (see DESIGN.md §2).
+
+Every module exposes ``build(n=...) -> Program`` and ``META``.
+"""
+
+from .registry import WORKLOADS, WorkloadMeta, build_workload, workload_names
+
+__all__ = ["WORKLOADS", "WorkloadMeta", "build_workload", "workload_names"]

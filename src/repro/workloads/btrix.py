@@ -1,0 +1,62 @@
+"""``btrix`` — Spec92 block tridiagonal solver (twenty-five 1-D, four
+4-D arrays, iter 2).
+
+Three of the 4-D arrays are row-walked behind a skewed dependence (no
+legal loop fix, like ``vpenta``), but the fourth is accessed transposed
+— so a *single* fixed layout cannot win: ``row`` fixes three arrays and
+breaks the fourth, and only per-array layout selection (``d-opt`` /
+``c-opt``) fixes all four.  The twenty-five 1-D coefficient vectors ride
+along with temporal or stride-1 locality.
+"""
+
+from __future__ import annotations
+
+from ..ir import Program, ProgramBuilder
+
+META = dict(
+    source="Spec92",
+    iters=2,
+    arrays="twenty-five 1-D, four 4-D",
+)
+
+S = 2  # small hard-coded block dimensions
+
+
+def build(n: int = 64) -> Program:
+    b = ProgramBuilder("btrix", params=("N",), default_binding={"N": n})
+    N = b.param("N")
+    coeffs = [b.array(f"S{k:02d}", (N,)) for k in range(1, 26)]
+    ea = b.array("EA", (N, N, S, S))
+    eb = b.array("EB", (N, N, S, S))
+    ec = b.array("EC", (N, N, S, S))
+    ed = b.array("ED", (N, N, S, S))
+    w = META["iters"]
+
+    # coefficient setup touches all twenty-five 1-D arrays
+    with b.nest("btrix.coef", weight=w) as nb:
+        i = nb.loop("i", 2, N)
+        for k, cf in enumerate(coeffs):
+            prev = coeffs[k - 1] if k else coeffs[-1]
+            nb.assign(cf[i], prev[i - 1] * 0.5 + float(k))
+
+    # forward block elimination: skewed dependence, row walks
+    with b.nest("btrix.fwd", weight=w) as nb:
+        i = nb.loop("i", 2, N)
+        j = nb.loop("j", 1, N - 1)
+        nb.assign(
+            ea[i, j, 1, 1],
+            ea[i - 1, j + 1, 1, 1] + eb[i, j, 1, 2] * coeffs[0][i],
+        )
+        nb.assign(
+            ec[i, j, 2, 1],
+            ec[i - 1, j + 1, 2, 1] + eb[i, j, 2, 2] * coeffs[1][i],
+        )
+    # back substitution reads ED transposed: wants the opposite layout
+    with b.nest("btrix.bwd", weight=w) as nb:
+        i = nb.loop("i", 1, N)
+        j = nb.loop("j", 2, N)
+        nb.assign(
+            ed[j, i, 1, 1],
+            ed[j - 1, i, 1, 1] + ea[i, j, 1, 1] * coeffs[2][j],
+        )
+    return b.build()

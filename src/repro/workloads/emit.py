@@ -1,0 +1,49 @@
+"""``emit`` — Spec92 particle emission kernel (ten 1-D, three 3-D
+arrays, iter 2).
+
+The code already walks every 3-D array first-index-fastest: the default
+column-major files are optimal, so *no* version can improve on ``col``
+(the whole ``l/d/c-opt`` row of Table 2 is 100.0) and ``row`` is the
+only way to lose.
+"""
+
+from __future__ import annotations
+
+from ..ir import Program, ProgramBuilder
+
+META = dict(
+    source="Spec92",
+    iters=2,
+    arrays="ten 1-D, three 3-D",
+)
+
+PLANES = 2
+
+
+def build(n: int = 64) -> Program:
+    b = ProgramBuilder("emit", params=("N",), default_binding={"N": n})
+    N = b.param("N")
+    vecs = [b.array(f"V{k}", (N,)) for k in range(1, 11)]
+    e1 = b.array("E1", (N, N, PLANES))
+    e2 = b.array("E2", (N, N, PLANES))
+    e3 = b.array("E3", (N, N, PLANES))
+    w = META["iters"]
+    with b.nest("emit.field", weight=w) as nb:
+        j = nb.loop("j", 1, N)
+        i = nb.loop("i", 1, N)
+        nb.assign(
+            e1[i, j, 1],
+            e1[i, j, 1] + e2[i, j, 1] * vecs[0][i] + e3[i, j, 2] * vecs[1][i],
+        )
+    with b.nest("emit.charge", weight=w) as nb:
+        j = nb.loop("j", 1, N)
+        i = nb.loop("i", 1, N)
+        nb.assign(
+            e2[i, j, 2],
+            e1[i, j, 1] * vecs[2][i] + e3[i, j, 1] * vecs[3][i],
+        )
+    with b.nest("emit.tail", weight=w) as nb:
+        i = nb.loop("i", 2, N)
+        for k in range(4, 10):
+            nb.assign(vecs[k][i], vecs[k - 1][i - 1] + vecs[k][i] * 0.5)
+    return b.build()

@@ -1,0 +1,45 @@
+"""``gfunp`` — Hompack polynomial-system Green's function setup (one
+1-D, five 2-D arrays, iter 3).
+
+A chain of nests, each writing one array row-wise while reading the
+previous one transposed — the paper's motivating pattern iterated: loop
+transformations alone or layouts alone each leave a reference per nest
+unoptimized; only the combined propagation (``c-opt``) cleans up every
+reference, which is why gfunp shows the biggest ``c-opt`` gap in
+Table 2.
+"""
+
+from __future__ import annotations
+
+from ..ir import Program, ProgramBuilder
+
+META = dict(
+    source="Hompack",
+    iters=3,
+    arrays="one 1-D, five 2-D",
+)
+
+
+def build(n: int = 64) -> Program:
+    b = ProgramBuilder("gfunp", params=("N",), default_binding={"N": n})
+    N = b.param("N")
+    wv = b.array("WV", (N,))
+    q1 = b.array("Q1", (N, N))
+    q2 = b.array("Q2", (N, N))
+    q3 = b.array("Q3", (N, N))
+    q4 = b.array("Q4", (N, N))
+    q5 = b.array("Q5", (N, N))
+    w = META["iters"]
+    with b.nest("gfunp.g1", weight=w) as nb:
+        i = nb.loop("i", 1, N)
+        j = nb.loop("j", 1, N)
+        nb.assign(q1[i, j], q2[j, i] + wv[j])
+    with b.nest("gfunp.g2", weight=w) as nb:
+        i = nb.loop("i", 1, N)
+        j = nb.loop("j", 1, N)
+        nb.assign(q2[i, j], q3[j, i] * 0.5)
+    with b.nest("gfunp.g3", weight=w) as nb:
+        i = nb.loop("i", 1, N)
+        j = nb.loop("j", 1, N)
+        nb.assign(q3[i, j], q4[j, i] + q5[i, j])
+    return b.build()

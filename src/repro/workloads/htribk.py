@@ -1,0 +1,43 @@
+"""``htribk`` — Eispack back-transformation of a complex Hermitian
+matrix (five 2-D arrays, iter 3).
+
+Form the eigenvectors of the original matrix from those of the reduced
+one: a transposed copy-in, a triple-nest accumulation, and a tau-scaled
+correction.  Per-array layouts (``d-opt``) fix the conflicting accesses;
+fixed-layout loop optimization helps less.
+"""
+
+from __future__ import annotations
+
+from ..ir import Program, ProgramBuilder
+
+META = dict(
+    source="Eispack",
+    iters=3,
+    arrays="five 2-D",
+)
+
+
+def build(n: int = 64) -> Program:
+    b = ProgramBuilder("htribk", params=("N",), default_binding={"N": n})
+    N = b.param("N")
+    ar = b.array("AR", (N, N))
+    ai = b.array("AI", (N, N))
+    zr = b.array("ZR", (N, N))
+    zi = b.array("ZI", (N, N))
+    tau = b.array("TAU", (2, N))
+    w = META["iters"]
+    with b.nest("htribk.copy", weight=w) as nb:
+        i = nb.loop("i", 1, N)
+        j = nb.loop("j", 1, N)
+        nb.assign(zi[i, j], 0.0 - ai[j, i] * tau[2, j])
+    with b.nest("htribk.accum", weight=w) as nb:
+        i = nb.loop("i", 1, N)
+        j = nb.loop("j", 1, N)
+        k = nb.loop("k", 1, N)
+        nb.assign(zr[i, j], zr[i, j] + ar[i, k] * zi[k, j])
+    with b.nest("htribk.fix", weight=w) as nb:
+        i = nb.loop("i", 1, N)
+        j = nb.loop("j", 1, N)
+        nb.assign(zr[i, j], zr[i, j] - tau[1, i] * zi[i, j])
+    return b.build()

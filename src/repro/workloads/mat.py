@@ -1,0 +1,35 @@
+"""``mat`` — dense matrix multiply, C = C + A·B (three 2-D arrays, iter 2).
+
+The classic ijk nest with k innermost: under the default column-major
+layouts the ``A(i,k)`` row walk is the pathology; loop transformations
+(make i innermost) or layout transformations (A row-major) both help,
+and the combined approach picks whichever is cheaper globally.
+"""
+
+from __future__ import annotations
+
+from ..ir import Program, ProgramBuilder
+
+META = dict(
+    source="-",
+    iters=2,
+    arrays="three 2-D",
+)
+
+
+def build(n: int = 64) -> Program:
+    b = ProgramBuilder("mat", params=("N",), default_binding={"N": n})
+    N = b.param("N")
+    A = b.array("A", (N, N))
+    B = b.array("B", (N, N))
+    C = b.array("C", (N, N))
+    with b.nest("mat.init", weight=META["iters"]) as nb:
+        i = nb.loop("i", 1, N)
+        j = nb.loop("j", 1, N)
+        nb.assign(C[i, j], 0.0)
+    with b.nest("mat.mm", weight=META["iters"]) as nb:
+        i = nb.loop("i", 1, N)
+        j = nb.loop("j", 1, N)
+        k = nb.loop("k", 1, N)
+        nb.assign(C[i, j], C[i, j] + A[i, k] * B[k, j])
+    return b.build()

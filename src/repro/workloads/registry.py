@@ -1,0 +1,54 @@
+"""Registry of the ten evaluation codes (paper Table 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..ir import Program
+from . import adi, btrix, emit, gfunp, htribk, mat, mxm, syr2k, trans, vpenta
+
+_MODULES = {
+    "mat": mat,
+    "mxm": mxm,
+    "adi": adi,
+    "vpenta": vpenta,
+    "btrix": btrix,
+    "emit": emit,
+    "syr2k": syr2k,
+    "htribk": htribk,
+    "gfunp": gfunp,
+    "trans": trans,
+}
+
+
+@dataclass(frozen=True)
+class WorkloadMeta:
+    name: str
+    source: str
+    iters: int
+    arrays: str
+    build: Callable[..., Program]
+
+
+WORKLOADS: dict[str, WorkloadMeta] = {
+    name: WorkloadMeta(
+        name=name,
+        source=mod.META["source"],
+        iters=mod.META["iters"],
+        arrays=mod.META["arrays"],
+        build=mod.build,
+    )
+    for name, mod in _MODULES.items()
+}
+
+
+def workload_names() -> list[str]:
+    return list(WORKLOADS)
+
+
+def build_workload(name: str, n: int | None = None) -> Program:
+    if name not in WORKLOADS:
+        raise KeyError(f"unknown workload {name!r}; known: {workload_names()}")
+    meta = WORKLOADS[name]
+    return meta.build(n) if n is not None else meta.build()

@@ -1,0 +1,40 @@
+"""``syr2k`` — BLAS symmetric rank-2k update (three 2-D arrays, iter 2).
+
+``C := C + A·Bᵀ + B·Aᵀ`` over the upper triangle.  With k innermost the
+four reads walk rows (column-major files lose); putting i innermost
+gives two reads column locality and the other two *temporal* locality —
+a loop transformation captures reuse no layout can, so ``l-opt``/
+``c-opt`` beat ``d-opt``.
+"""
+
+from __future__ import annotations
+
+from ..ir import Program, ProgramBuilder
+
+META = dict(
+    source="BLAS",
+    iters=2,
+    arrays="three 2-D",
+)
+
+
+def build(n: int = 64) -> Program:
+    b = ProgramBuilder("syr2k", params=("N",), default_binding={"N": n})
+    N = b.param("N")
+    A = b.array("A", (N, N))
+    B = b.array("B", (N, N))
+    C = b.array("C", (N, N))
+    # BLAS prologue: C := beta * C over the same triangle
+    with b.nest("syr2k.scale", weight=META["iters"]) as nb:
+        i = nb.loop("i", 1, N)
+        j = nb.loop("j", i, N)
+        nb.assign(C[i, j], C[i, j] * 0.5)
+    with b.nest("syr2k.upd", weight=META["iters"]) as nb:
+        i = nb.loop("i", 1, N)
+        j = nb.loop("j", i, N)
+        k = nb.loop("k", 1, N)
+        nb.assign(
+            C[i, j],
+            C[i, j] + A[i, k] * B[j, k] + B[i, k] * A[j, k],
+        )
+    return b.build()

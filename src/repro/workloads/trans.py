@@ -1,0 +1,30 @@
+"""``trans`` — out-of-core matrix transpose from Nwchem (two 2-D arrays,
+iter 3).
+
+``B(i,j) = A(j,i)``: spatial reuses lie in orthogonal directions, so no
+loop transformation can help both references (``l-opt`` = ``col`` =
+``row``), while a layout transformation fixes everything — the cleanest
+data-transformation showcase in the suite.
+"""
+
+from __future__ import annotations
+
+from ..ir import Program, ProgramBuilder
+
+META = dict(
+    source="Nwchem",
+    iters=3,
+    arrays="two 2-D",
+)
+
+
+def build(n: int = 64) -> Program:
+    b = ProgramBuilder("trans", params=("N",), default_binding={"N": n})
+    N = b.param("N")
+    A = b.array("A", (N, N))
+    B = b.array("B", (N, N))
+    with b.nest("trans.t", weight=META["iters"]) as nb:
+        i = nb.loop("i", 1, N)
+        j = nb.loop("j", 1, N)
+        nb.assign(B[i, j], A[j, i] + 0.0)
+    return b.build()

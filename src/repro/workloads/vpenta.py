@@ -1,0 +1,61 @@
+"""``vpenta`` — Spec92/NAS pentadiagonal inversion (seven 2-D, two 3-D
+arrays, iter 3).
+
+Each elimination nest walks most arrays along rows behind a skewed
+``(1,-1)`` recurrence while reading one coefficient array transposed:
+no single loop order serves every reference against fixed layouts
+(``l-opt`` stays near ``col``), while per-array layout selection fixes
+all of them (``row`` fixes most, ``d-opt`` = ``c-opt`` fix everything).
+"""
+
+from __future__ import annotations
+
+from ..ir import Program, ProgramBuilder
+
+META = dict(
+    source="Spec92",
+    iters=3,
+    arrays="seven 2-D, two 3-D",
+)
+
+PLANES = 2
+
+
+def build(n: int = 64) -> Program:
+    b = ProgramBuilder("vpenta", params=("N",), default_binding={"N": n})
+    N = b.param("N")
+    a = b.array("A", (N, N))
+    bb = b.array("B", (N, N))
+    c = b.array("C", (N, N))
+    d = b.array("D", (N, N))
+    e = b.array("E", (N, N))
+    f = b.array("F", (N, N))
+    x = b.array("X", (N, N))
+    fx = b.array("FX", (N, N, PLANES))
+    fy = b.array("FY", (N, N, PLANES))
+    w = META["iters"]
+    # forward elimination: skewed recurrence on X, transposed read of B
+    with b.nest("vpenta.fwd", weight=w) as nb:
+        i = nb.loop("i", 2, N)
+        j = nb.loop("j", 1, N - 1)
+        nb.assign(
+            x[i, j],
+            x[i - 1, j + 1] + a[i, j] * bb[j, i] + c[i, j],
+        )
+    # back substitution: same shape over the next array group
+    with b.nest("vpenta.bwd", weight=w) as nb:
+        i = nb.loop("i", 2, N)
+        j = nb.loop("j", 1, N - 1)
+        nb.assign(
+            e[i, j],
+            e[i - 1, j + 1] + d[i, j] * f[j, i] + x[i, j],
+        )
+    # plane update on the 3-D scratch arrays (FY read transposed)
+    with b.nest("vpenta.pln", weight=w) as nb:
+        i = nb.loop("i", 2, N)
+        j = nb.loop("j", 1, N - 1)
+        nb.assign(
+            fx[i, j, 1],
+            fx[i - 1, j + 1, 1] + fy[j, i, 1] * e[i, j],
+        )
+    return b.build()

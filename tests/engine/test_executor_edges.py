@@ -1,0 +1,139 @@
+"""Edge behaviors of the executor and planner."""
+
+import numpy as np
+import pytest
+
+from repro.engine import OOCExecutor
+from repro.engine.executor import LinearStoreSpec
+from repro.ir import ProgramBuilder
+from repro.layout import diagonal, row_major
+from repro.runtime import MachineParams
+
+SMALL = MachineParams(n_io_nodes=2, stripe_bytes=128, io_latency_s=0.001)
+
+
+def big_inner_program(n=12):
+    """Untiled inner level spans too much data for the budget."""
+    b = ProgramBuilder("big", params=("N",), default_binding={"N": n})
+    N = b.param("N")
+    A = b.array("A", (N, N))
+    B2 = b.array("B", (N, N))
+    with b.nest("n") as nb:
+        i = nb.loop("i", 1, N)
+        j = nb.loop("j", 1, N)
+        nb.assign(A[i, j], B2[j, i] + 1.0)
+    return b.build()
+
+
+class TestBudgetEdges:
+    def test_over_budget_plan_still_runs(self):
+        # budget below one row of footprint: plan falls back, marks over
+        p = big_inner_program()
+        ex = OOCExecutor(p, params=SMALL, real=False, memory_budget=70)
+        res = ex.run()
+        assert res.stats.calls > 0
+        # peak above budget is recorded, not hidden
+        assert res.peak_memory >= 0
+
+    def test_over_budget_real_execution_correct(self):
+        from repro.engine import interpret_program
+        from repro.engine.interpreter import initial_arrays
+
+        p = big_inner_program(8)
+        init = initial_arrays(p, p.binding())
+        expected = interpret_program(p, initial=init)
+        ex = OOCExecutor(
+            p, params=SMALL, real=True, memory_budget=70, initial=init
+        )
+        ex.run()
+        np.testing.assert_allclose(ex.array_data("A"), expected["A"])
+
+    def test_generous_budget_zero_overruns(self):
+        p = big_inner_program(8)
+        ex = OOCExecutor(p, params=SMALL, real=False, memory_budget=10**6)
+        res = ex.run()
+        assert res.over_budget_tiles == 0
+        assert res.peak_memory <= 10**6
+
+
+class TestStorageSpecEdges:
+    def test_explicit_linear_spec_overrides_layout(self):
+        p = big_inner_program(8)
+        ex = OOCExecutor(
+            p,
+            layouts={"A": row_major(2), "B": row_major(2)},
+            storage_spec={"A": LinearStoreSpec(diagonal())},
+            params=SMALL,
+            real=False,
+            memory_budget=200,
+        )
+        # A uses the diagonal layout from the spec, B the layouts dict
+        assert ex._stores["A"].arrays["A"].layout.hyperplane.g == (1, -1)
+        assert ex._stores["B"].arrays["B"].layout.hyperplane.g == (1, 0)
+
+    def test_default_layout_is_row_major(self):
+        p = big_inner_program(8)
+        ex = OOCExecutor(p, params=SMALL, real=False, memory_budget=200)
+        assert ex._stores["A"].arrays["A"].layout.hyperplane.g == (1, 0)
+
+
+class TestTilingCallableOrMapping:
+    def test_mapping_of_specs(self):
+        from repro.transforms.tiling import TilingSpec
+
+        p = big_inner_program(8)
+        ex = OOCExecutor(
+            p, params=SMALL, real=False, memory_budget=10**6,
+            tiling={"n": TilingSpec((True, True))},
+        )
+        res = ex.run()
+        assert res.nest_runs[0].plan.spec.tiled == (True, True)
+
+    def test_unknown_nest_in_mapping_raises(self):
+        from repro.transforms.tiling import TilingSpec
+
+        p = big_inner_program(8)
+        ex = OOCExecutor(
+            p, params=SMALL, real=False, memory_budget=10**6,
+            tiling={"other": TilingSpec((True, True))},
+        )
+        with pytest.raises(KeyError):
+            ex.run()
+
+
+class TestGlobalOptOrder:
+    def test_program_order_supported(self):
+        from repro.optimizer import optimize_program
+        from repro.workloads import build_workload
+
+        p = build_workload("gfunp", 10)
+        d = optimize_program(p, nest_order="program")
+        assert d.layouts  # still optimizes, just in textual order
+
+    def test_bad_order_rejected(self):
+        from repro.optimizer import optimize_program
+
+        with pytest.raises(ValueError):
+            optimize_program(big_inner_program(8), nest_order="random")
+
+
+class TestDistanceCapping:
+    def test_directions_survive_capping(self):
+        from repro.dependence import analyze_nest
+        from repro.dependence.analyzer import _DISTANCES_PER_EDGE_CAP
+
+        b = ProgramBuilder("t", params=("N",), default_binding={"N": 20})
+        N = b.param("N")
+        A = b.array("A", (N, N))
+        with b.nest() as nb:
+            i = nb.loop("i", 1, N)
+            j = nb.loop("j", 1, N)
+            nb.assign(A[i, j], A[j, i] + 1.0)
+        # large binding: the transpose dependence has ~N^2 distances
+        edges = analyze_nest(b.build().nests[0], binding={"N": 20})
+        for e in edges:
+            assert len(e.distances) <= _DISTANCES_PER_EDGE_CAP
+            # both orientations of the antisymmetric pattern kept
+            kinds = {tuple(1 if v > 0 else (-1 if v < 0 else 0) for v in d)
+                     for d in e.distances}
+            assert kinds  # non-empty after capping

@@ -1,0 +1,166 @@
+import pytest
+
+from repro.engine import nest_footprints, plan_nest, ref_footprint, tiling_band_legal
+from repro.dependence import analyze_nest
+from repro.ir import ProgramBuilder
+from repro.transforms import TilingSpec, no_tiling, ooc_tiling, traditional_tiling
+
+
+def matmul_program(n=8):
+    b = ProgramBuilder("mat", params=("N",), default_binding={"N": n})
+    N = b.param("N")
+    A = b.array("A", (N, N))
+    B = b.array("B", (N, N))
+    C = b.array("C", (N, N))
+    with b.nest("mm") as nb:
+        i = nb.loop("i", 1, N)
+        j = nb.loop("j", 1, N)
+        k = nb.loop("k", 1, N)
+        nb.assign(C[i, j], C[i, j] + A[i, k] * B[k, j])
+    return b.build()
+
+
+def stencil_program(n=8):
+    b = ProgramBuilder("st", params=("N",), default_binding={"N": n})
+    N = b.param("N")
+    A = b.array("A", (N, N))
+    with b.nest("s") as nb:
+        i = nb.loop("i", 2, N)
+        j = nb.loop("j", 2, N)
+        nb.assign(A[i, j], A[i - 1, j - 1] + 1.0)
+    return b.build()
+
+
+class TestRefFootprint:
+    def test_simple_box(self):
+        p = matmul_program()
+        nest = p.nests[0]
+        aref = [r for _, r, _ in nest.refs() if r.array.name == "A"][0]
+        # A[i, k] is stored as A(i-1, k-1): the footprint is 0-based
+        fp = ref_footprint(aref, {"i": (2, 4), "k": (1, 8)}, {"N": 8})
+        assert fp == ((1, 3), (0, 7))
+
+    def test_negative_coefficient(self):
+        b = ProgramBuilder("t", params=("N",), default_binding={"N": 8})
+        N = b.param("N")
+        A = b.array("A", (N, N))
+        with b.nest() as nb:
+            i = nb.loop("i", 1, N)
+            j = nb.loop("j", 1, N)
+            nb.assign(A[N - i, j], 0.0)
+        nest = b.build().nests[0]
+        ref = nest.body[0].lhs
+        fp = ref_footprint(ref, {"i": (2, 3), "j": (1, 1)}, {"N": 8})
+        assert fp == ((4, 5), (0, 0))
+
+    def test_param_only_subscript(self):
+        b = ProgramBuilder("t", params=("N",), default_binding={"N": 8})
+        N = b.param("N")
+        A = b.array("A", (N, N))
+        with b.nest() as nb:
+            i = nb.loop("i", 1, N)
+            j = nb.loop("j", 1, N)
+            nb.assign(A[N, j], A[i, j] + 1.0)
+        nest = b.build().nests[0]
+        fp = ref_footprint(nest.body[0].lhs, {"j": (1, 4)}, {"N": 8})
+        assert fp == ((7, 7), (0, 3))
+
+
+class TestNestFootprints:
+    def test_union_and_flags(self):
+        p = matmul_program()
+        nest = p.nests[0]
+        shapes = {a.name: a.shape({"N": 8}) for a in p.arrays}
+        fps = nest_footprints(
+            nest, {"i": (1, 2), "j": (3, 4), "k": (1, 8)}, {"N": 8}, shapes
+        )
+        region_c, read_c, written_c = fps["C"]
+        assert region_c == ((0, 1), (2, 3))
+        assert read_c and written_c
+        region_a, read_a, written_a = fps["A"]
+        assert region_a == ((0, 1), (0, 7))
+        assert read_a and not written_a
+
+    def test_clipped_to_shape(self):
+        p = stencil_program()
+        nest = p.nests[0]
+        shapes = {"A": (8, 8)}
+        fps = nest_footprints(nest, {"i": (2, 20), "j": (2, 3)}, {"N": 8}, shapes)
+        region, _, _ = fps["A"]
+        # A[i-1,...] stored at i-2; clipped to the 8-row array
+        assert region[0] == (0, 7)
+
+
+class TestTilingLegality:
+    def test_matmul_fully_permutable(self):
+        nest = matmul_program().nests[0]
+        edges = analyze_nest(nest)
+        assert tiling_band_legal(edges, TilingSpec((True, True, True)))
+
+    def test_antidiagonal_stencil_not_permutable(self):
+        b = ProgramBuilder("t", params=("N",), default_binding={"N": 6})
+        N = b.param("N")
+        A = b.array("A", (N, N))
+        with b.nest() as nb:
+            i = nb.loop("i", 2, N)
+            j = nb.loop("j", 1, N - 1)
+            nb.assign(A[i, j], A[i - 1, j + 1] + 1.0)
+        nest = b.build().nests[0]
+        edges = analyze_nest(nest)
+        assert not tiling_band_legal(edges, TilingSpec((True, True)))
+        assert tiling_band_legal(edges, TilingSpec((True, False)))
+
+
+class TestPlanNest:
+    def shapes(self, p, n=8):
+        return {a.name: a.shape({"N": n}) for a in p.arrays}
+
+    def test_block_fits_budget(self):
+        p = matmul_program()
+        nest = p.nests[0]
+        plan = plan_nest(nest, ooc_tiling(nest), 60, {"N": 8}, self.shapes(p))
+        assert plan.footprint_elements <= 60
+        assert plan.tile_size >= 1
+        assert not plan.over_budget
+
+    def test_large_budget_single_tile(self):
+        p = matmul_program()
+        nest = p.nests[0]
+        plan = plan_nest(nest, ooc_tiling(nest), 10**6, {"N": 8}, self.shapes(p))
+        assert plan.tile_size >= 8
+
+    def test_no_tiling_plan(self):
+        p = matmul_program()
+        nest = p.nests[0]
+        plan = plan_nest(nest, no_tiling(nest), 10**6, {"N": 8}, self.shapes(p))
+        assert plan.tile_size == 0
+        assert plan.tiled_levels == ()
+
+    def test_illegal_spec_degrades(self):
+        b = ProgramBuilder("t", params=("N",), default_binding={"N": 6})
+        N = b.param("N")
+        A = b.array("A", (N, N))
+        with b.nest() as nb:
+            i = nb.loop("i", 2, N)
+            j = nb.loop("j", 1, N - 1)
+            nb.assign(A[i, j], A[i - 1, j + 1] + 1.0)
+        p = b.build()
+        nest = p.nests[0]
+        plan = plan_nest(
+            nest, traditional_tiling(nest), 10**6, {"N": 6}, self.shapes(p, 6)
+        )
+        assert plan.degraded
+        assert plan.spec.tiled == (True, False)
+
+    def test_over_budget_marked(self):
+        p = matmul_program()
+        nest = p.nests[0]
+        plan = plan_nest(nest, ooc_tiling(nest), 8, {"N": 8}, self.shapes(p))
+        # footprint includes full k rows/cols: can't fit 8 elements
+        assert plan.over_budget or plan.footprint_elements <= 8
+
+    def test_describe(self):
+        p = matmul_program()
+        nest = p.nests[0]
+        plan = plan_nest(nest, ooc_tiling(nest), 60, {"N": 8}, self.shapes(p))
+        assert "B=" in plan.describe()

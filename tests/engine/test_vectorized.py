@@ -1,0 +1,126 @@
+"""The vectorized innermost-strip execution path must agree exactly with
+the scalar interpreter — and must refuse nests it cannot handle."""
+
+import numpy as np
+import pytest
+
+from repro.engine import OOCExecutor, interpret_program
+from repro.engine.interpreter import initial_arrays, innermost_vectorizable
+from repro.ir import Condition, IndexVar, ProgramBuilder
+from repro.runtime import MachineParams
+from repro.workloads import build_workload, workload_names
+
+SMALL = MachineParams(n_io_nodes=2, stripe_bytes=128, io_latency_s=0.001)
+
+
+def program_of(body_fn, n=6, lo=2):
+    b = ProgramBuilder("v", params=("N",), default_binding={"N": n})
+    N = b.param("N")
+    arrays = {}
+
+    def arr(name, rank=2):
+        if name not in arrays:
+            arrays[name] = b.array(name, (N + 2,) * rank)
+        return arrays[name]
+
+    with b.nest("n") as nest:
+        i = nest.loop("i", lo, N)
+        j = nest.loop("j", lo, N)
+        body_fn(nest, arr, i, j)
+    return b.build()
+
+
+class TestVectorizability:
+    def test_copy_is_vectorizable(self):
+        p = program_of(lambda n, a, i, j: n.assign(a("X")[i, j], a("Y")[j, i] + 1.0))
+        assert innermost_vectorizable(p.nests[0])
+
+    def test_innermost_recurrence_is_not(self):
+        p = program_of(
+            lambda n, a, i, j: n.assign(a("X")[i, j], a("X")[i, j - 1] + 1.0)
+        )
+        assert not innermost_vectorizable(p.nests[0])
+
+    def test_outer_recurrence_is_vectorizable(self):
+        p = program_of(
+            lambda n, a, i, j: n.assign(a("X")[i, j], a("X")[i - 1, j] + 1.0)
+        )
+        assert innermost_vectorizable(p.nests[0])
+
+    def test_temporal_lhs_is_not(self):
+        # X(i, 1) written by every j: output dependence carried by j
+        p = program_of(
+            lambda n, a, i, j: n.assign(a("X")[i, 1], a("Y")[i, j] + 1.0)
+        )
+        assert not innermost_vectorizable(p.nests[0])
+
+    def test_guards_disable(self):
+        p = program_of(
+            lambda n, a, i, j: n.assign(
+                a("X")[i, j], 1.0, guards=[Condition.eq(IndexVar("j"), 2)]
+            )
+        )
+        assert not innermost_vectorizable(p.nests[0])
+
+    def test_matmul_reduction_not_vectorizable(self):
+        p = build_workload("mat", 6)
+        mm = p.nest("mat.mm")
+        # C(i,j) += ... carried by innermost k
+        assert not innermost_vectorizable(mm)
+
+
+def _compare_paths(program, budget=3000):
+    binding = program.binding()
+    init = initial_arrays(program, binding)
+    expected = interpret_program(program, initial=init)
+    results = {}
+    for vectorize in (False, True):
+        ex = OOCExecutor(
+            program, params=SMALL, real=True,
+            memory_budget=budget, initial=init, vectorize=vectorize,
+        )
+        ex.run()
+        results[vectorize] = {
+            a.name: ex.array_data(a.name) for a in program.arrays
+        }
+    for a in program.arrays:
+        np.testing.assert_allclose(results[True][a.name], expected[a.name])
+        np.testing.assert_array_equal(
+            results[True][a.name], results[False][a.name]
+        )
+
+
+class TestVectorizedEquivalence:
+    def test_transpose_copy(self):
+        _compare_paths(
+            program_of(lambda n, a, i, j: n.assign(a("X")[i, j], a("Y")[j, i] * 2.0))
+        )
+
+    def test_outer_recurrence(self):
+        _compare_paths(
+            program_of(
+                lambda n, a, i, j: n.assign(
+                    a("X")[i, j], a("X")[i - 1, j + 1] + a("Y")[i, j]
+                )
+            )
+        )
+
+    def test_multi_statement(self):
+        def body(n, a, i, j):
+            n.assign(a("X")[i, j], a("Y")[j, i] + 1.0)
+            n.assign(a("Z")[i, j], a("X")[i, j] * 0.5)
+
+        _compare_paths(program_of(body))
+
+    def test_intrinsics(self):
+        from repro.ir.expr import Call
+
+        def body(n, a, i, j):
+            n.assign(a("X")[i, j], Call("sqrt", a("Y")[i, j] * 1.0))
+
+        _compare_paths(program_of(body))
+
+    @pytest.mark.parametrize("workload", workload_names())
+    def test_workloads_both_paths_agree(self, workload):
+        program = build_workload(workload, 5)
+        _compare_paths(program, budget=4000)

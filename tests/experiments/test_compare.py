@@ -1,0 +1,64 @@
+import pytest
+
+from repro.experiments.compare import _classify, table2_scorecard
+from repro.experiments.paper_data import (
+    PAPER_TABLE2,
+    PAPER_TABLE2_AVERAGES,
+    PAPER_TABLE3,
+)
+from repro.optimizer import VERSION_NAMES
+
+
+class TestPaperData:
+    def test_all_ten_codes_present(self):
+        assert set(PAPER_TABLE2) == {
+            "mat", "mxm", "adi", "vpenta", "btrix",
+            "emit", "syr2k", "htribk", "gfunp", "trans",
+        }
+        assert set(PAPER_TABLE3) == set(PAPER_TABLE2)
+
+    def test_all_versions_per_code(self):
+        for w, row in PAPER_TABLE2.items():
+            assert set(row) == set(VERSION_NAMES), w
+        for w, block in PAPER_TABLE3.items():
+            assert set(block) == set(VERSION_NAMES), w
+            for curve in block.values():
+                assert set(curve) == {16, 32, 64, 128}
+
+    def test_published_averages_match_transcription(self):
+        for v, avg in PAPER_TABLE2_AVERAGES.items():
+            computed = sum(PAPER_TABLE2[w][v] for w in PAPER_TABLE2) / 10
+            assert computed == pytest.approx(avg, abs=0.1), v
+
+    def test_headline_numbers(self):
+        # spot checks against the paper's text
+        assert PAPER_TABLE2["adi"]["l-opt"] == 22.8
+        assert PAPER_TABLE2["trans"]["d-opt"] == 48.2
+        assert PAPER_TABLE2["gfunp"]["c-opt"] == 46.9
+        assert PAPER_TABLE3["trans"]["d-opt"][128] == 113.0
+
+
+class TestClassify:
+    def test_bands(self):
+        assert _classify(50) == "improves"
+        assert _classify(100) == "neutral"
+        assert _classify(99) == "neutral"
+        assert _classify(130) == "hurts"
+
+
+class TestScorecard:
+    def test_with_synthetic_perfect_measurement(self):
+        text, summary = table2_scorecard(measured=PAPER_TABLE2)
+        assert summary["agreement"] == 1.0
+        assert summary["average_order_matches"]
+        assert "100%" in text
+
+    def test_with_synthetic_inverted_measurement(self):
+        inverted = {
+            w: {v: (200.0 - pct if v != "col" else pct)
+                for v, pct in row.items()}
+            for w, row in PAPER_TABLE2.items()
+        }
+        _, summary = table2_scorecard(measured=inverted)
+        assert summary["agreement"] < 1.0
+        assert summary["disagreements"]

@@ -1,0 +1,159 @@
+import pytest
+
+from repro.experiments import (
+    ExperimentSettings,
+    figure1,
+    figure2,
+    figure3,
+    run_table2_row,
+    run_table3_block,
+    table1,
+)
+from repro.experiments.harness import PAPER_N, _scaled_params, normalize_row
+from repro.experiments.report import (
+    arithmetic_mean,
+    fmt,
+    format_table,
+    geometric_mean,
+)
+from repro.runtime import MachineParams
+
+FAST = ExperimentSettings(n=32, table3_nodes=(2, 4))
+
+
+class TestScaledParams:
+    def test_identity_at_paper_scale(self):
+        p = _scaled_params(PAPER_N)
+        base = MachineParams()
+        assert p.memory_fraction == base.memory_fraction
+        assert p.stripe_bytes == base.stripe_bytes
+        assert p.max_request_bytes == base.max_request_bytes
+        assert p.io_latency_s == pytest.approx(base.io_latency_s)
+
+    def test_row_proportional_scaling(self):
+        p = _scaled_params(PAPER_N // 2)
+        base = MachineParams()
+        assert p.stripe_bytes == base.stripe_bytes // 2
+        assert p.max_request_bytes == base.max_request_bytes // 2
+        assert p.io_latency_s == pytest.approx(base.io_latency_s / 2)
+        assert p.memory_fraction == base.memory_fraction // 2
+
+    def test_fraction_floor(self):
+        assert _scaled_params(32).memory_fraction == 4
+
+    def test_sieve_window_is_break_even(self):
+        p = _scaled_params(256)
+        assert p.sieve_gap_bytes == int(p.io_latency_s * p.io_bandwidth_bps)
+
+
+class TestSettings:
+    def test_defaults(self):
+        s = ExperimentSettings()
+        assert s.n == 128
+        assert s.table2_nodes == 16
+        assert s.params is not None
+
+    def test_with_n_rescales(self):
+        s = ExperimentSettings(n=128).with_n(256)
+        assert s.n == 256
+        assert s.params.stripe_bytes == _scaled_params(256).stripe_bytes
+
+
+class TestReport:
+    def test_format_table_aligns(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]], "T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("a")
+        assert all(len(l) >= 5 for l in lines[1:])
+
+    def test_fmt(self):
+        assert fmt(1.234) == "1.2"
+        assert fmt(1.234, 2) == "1.23"
+
+    def test_means(self):
+        assert arithmetic_mean([1, 3]) == 2
+        assert geometric_mean([1, 4]) == 2
+        assert str(arithmetic_mean([])) == "nan"
+
+
+class TestTable1:
+    def test_contains_all_rows(self):
+        text = table1()
+        for name in ("mat", "mxm", "adi", "vpenta", "btrix",
+                     "emit", "syr2k", "htribk", "gfunp", "trans"):
+            assert name in text
+        assert "Livermore" in text and "Eispack" in text
+
+
+class TestHarness:
+    def test_run_table2_row_returns_all_versions(self):
+        times = run_table2_row("trans", FAST)
+        assert set(times) == {"col", "row", "l-opt", "d-opt", "c-opt", "h-opt"}
+        assert all(t > 0 for t in times.values())
+
+    def test_normalize_row(self):
+        norm = normalize_row({"col": 2.0, "c-opt": 1.0})
+        assert norm["col"] == 2.0
+        assert norm["c-opt"] == 50.0
+
+    def test_table3_block_structure(self):
+        block = run_table3_block("trans", FAST, versions=("col", "d-opt"))
+        assert set(block) == {"col", "d-opt"}
+        assert set(block["col"]) == {2, 4}
+        assert all(s > 0 for s in block["col"].values())
+
+    def test_trans_shape_at_small_scale(self):
+        times = run_table2_row("trans", FAST)
+        norm = normalize_row(times)
+        assert norm["d-opt"] < 100.0
+        assert norm["l-opt"] == pytest.approx(100.0, abs=2)
+
+
+class TestFigures:
+    def test_figure1_components(self):
+        text = figure1()
+        assert "2 connected component(s)" in text
+        assert "['U', 'V', 'W']" in text
+
+    def test_figure2_grids(self):
+        text = figure2()
+        assert "row-major" in text and "blocked" in text
+        # row-major 4x4 file order starts 0 1 2 3
+        assert " 0  1  2  3" in text
+
+    def test_figure2_grid_is_permutation(self):
+        from repro.experiments.figure2 import FIGURE2_LAYOUTS, render_layout
+
+        for name, _, layout in FIGURE2_LAYOUTS:
+            grid = render_layout(layout, 4)
+            numbers = sorted(int(x) for x in grid.split())
+            assert numbers == list(range(16)), name
+
+    def test_figure3_counts_match_paper(self):
+        text, result = figure3()
+        assert result.calls_per_tile_traditional == 4
+        assert result.calls_per_tile_ooc == 2
+        assert result.total_calls_ooc < result.total_calls_traditional
+        assert "(paper: 4)" in text
+
+
+class TestCLI:
+    def test_main_table1(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+
+    def test_main_figure3(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["figure3"]) == 0
+        assert "tile access patterns" in capsys.readouterr().out
+
+    def test_main_rejects_unknown(self):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["table9"])

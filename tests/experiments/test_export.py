@@ -1,0 +1,68 @@
+import csv
+import io
+import json
+
+import pytest
+
+from repro.experiments.export import (
+    table2_to_csv,
+    table2_to_json,
+    table3_to_csv,
+    table3_to_json,
+)
+from repro.experiments.harness import ExperimentSettings
+
+SETTINGS = ExperimentSettings(n=32)
+
+T2_DATA = {
+    "trans": {"col": 1.0, "row": 90.0, "l-opt": 100.0,
+              "d-opt": 50.0, "c-opt": 50.0, "h-opt": 48.0},
+}
+T3_DATA = {
+    "trans": {
+        "col": {16: 4.0, 32: 4.1},
+        "c-opt": {16: 14.0, 32: 25.0},
+    }
+}
+
+
+class TestTable2Export:
+    def test_json_roundtrip(self):
+        doc = json.loads(table2_to_json(T2_DATA, SETTINGS))
+        assert doc["experiment"] == "table2"
+        assert doc["rows"]["trans"]["d-opt"] == 50.0
+        assert doc["settings"]["n"] == 32
+        assert doc["settings"]["machine"]["n_io_nodes"] == 64
+
+    def test_csv_structure(self):
+        text = table2_to_csv(T2_DATA)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0][0] == "program"
+        assert rows[1][0] == "trans"
+        assert float(rows[1][rows[0].index("h-opt")]) == 48.0
+
+
+class TestTable3Export:
+    def test_json_structure(self):
+        doc = json.loads(table3_to_json(T3_DATA, SETTINGS))
+        assert doc["speedups"]["trans"]["c-opt"]["16"] == 14.0
+
+    def test_csv_structure(self):
+        rows = list(csv.reader(io.StringIO(table3_to_csv(T3_DATA))))
+        assert rows[0] == ["program", "version", "16", "32"]
+        assert rows[1][:2] == ["trans", "col"]
+
+
+class TestCLIExport:
+    def test_json_and_csv_written(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        jpath = tmp_path / "t2.json"
+        cpath = tmp_path / "t2.csv"
+        assert main([
+            "table2", "--n", "32", "--workloads", "trans",
+            "--json", str(jpath), "--csv", str(cpath),
+        ]) == 0
+        doc = json.loads(jpath.read_text())
+        assert "trans" in doc["rows"]
+        assert "program" in cpath.read_text().splitlines()[0]

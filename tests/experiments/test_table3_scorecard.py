@@ -1,0 +1,37 @@
+import pytest
+
+from repro.experiments.compare import table3_scorecard
+from repro.experiments.harness import ExperimentSettings
+from repro.experiments.paper_data import PAPER_TABLE3
+
+
+def _synthetic(optimized_wins: bool):
+    """Measured blocks where optimized versions do/don't out-scale."""
+    hi, lo = (20.0, 5.0) if optimized_wins else (5.0, 20.0)
+    return {
+        w: {
+            v: {4: (hi if v in ("d-opt", "c-opt", "h-opt") else lo)}
+            for v in ("col", "row", "l-opt", "d-opt", "c-opt", "h-opt")
+        }
+        for w in PAPER_TABLE3
+    }
+
+
+SETTINGS = ExperimentSettings(n=32, table3_nodes=(4,))
+
+
+class TestTable3Scorecard:
+    def test_optimized_winning_agrees(self):
+        text, summary = table3_scorecard(SETTINGS, measured=_synthetic(True))
+        assert summary["agreement"] == 1.0
+        assert "agreement: 10/10" in text
+
+    def test_optimized_losing_flags_disagreements(self):
+        _, summary = table3_scorecard(SETTINGS, measured=_synthetic(False))
+        # the paper has optimized >= unoptimized on every code at 128
+        assert summary["agreement"] < 1.0
+
+    def test_uses_largest_node_count(self):
+        measured = _synthetic(True)
+        text, _ = table3_scorecard(SETTINGS, measured=measured)
+        assert "ours opt@4" in text

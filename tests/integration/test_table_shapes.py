@@ -1,0 +1,62 @@
+"""Fast regression pins for the headline results (small N so the plain
+test suite guards them; the benchmark suite re-checks at full scale)."""
+
+import pytest
+
+from repro.experiments.harness import (
+    ExperimentSettings,
+    normalize_row,
+    run_table2_row,
+    run_table3_block,
+)
+
+SETTINGS = ExperimentSettings(n=48, table3_nodes=(4, 8))
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return {
+        w: normalize_row(run_table2_row(w, SETTINGS))
+        for w in ("trans", "adi", "gfunp", "emit")
+    }
+
+
+class TestTable2Shapes:
+    def test_trans_layouts_win_loops_dont(self, rows):
+        r = rows["trans"]
+        assert r["l-opt"] == pytest.approx(100.0, abs=2)
+        assert r["d-opt"] < 65
+        assert r["c-opt"] == pytest.approx(r["d-opt"], rel=0.05)
+
+    def test_adi_loops_win(self, rows):
+        r = rows["adi"]
+        assert r["l-opt"] < r["d-opt"]
+        assert r["c-opt"] <= r["d-opt"]
+
+    def test_gfunp_combined_wins(self, rows):
+        r = rows["gfunp"]
+        assert r["c-opt"] < r["l-opt"]
+        assert r["c-opt"] < r["d-opt"]
+
+    def test_emit_col_optimal(self, rows):
+        r = rows["emit"]
+        assert r["l-opt"] == pytest.approx(100.0, abs=2)
+        assert r["d-opt"] == pytest.approx(100.0, abs=2)
+        assert r["row"] > 100
+
+    def test_combined_never_loses(self, rows):
+        for name, r in rows.items():
+            assert r["c-opt"] <= 102, (name, r)
+
+
+class TestTable3Shapes:
+    def test_optimized_scales_at_least_as_well(self):
+        block = run_table3_block(
+            "trans", SETTINGS, versions=("col", "c-opt")
+        )
+        for p in SETTINGS.table3_nodes:
+            assert block["c-opt"][p] >= block["col"][p] * 0.9
+
+    def test_speedup_positive(self):
+        block = run_table3_block("gfunp", SETTINGS, versions=("c-opt",))
+        assert all(s > 1.0 for s in block["c-opt"].values())

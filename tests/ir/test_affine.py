@@ -1,0 +1,101 @@
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir import AffineExpr, IndexVar
+
+
+def affine_exprs():
+    return st.builds(
+        lambda c, ci, cj: AffineExpr.make({"i": ci, "j": cj}, c),
+        st.integers(-10, 10),
+        st.integers(-5, 5),
+        st.integers(-5, 5),
+    )
+
+
+class TestConstruction:
+    def test_of_int(self):
+        e = AffineExpr.of(5)
+        assert e.is_constant() and e.const == 5
+
+    def test_of_str(self):
+        assert AffineExpr.of("N").coeff("N") == 1
+
+    def test_of_indexvar(self):
+        assert AffineExpr.of(IndexVar("i")).coeff("i") == 1
+
+    def test_of_bad_type(self):
+        with pytest.raises(TypeError):
+            AffineExpr.of(3.5)
+
+    def test_zero_coeffs_dropped(self):
+        e = AffineExpr.make({"i": 0, "j": 2})
+        assert e.names == ("j",)
+
+
+class TestArithmetic:
+    def test_add(self):
+        i, j = IndexVar("i"), IndexVar("j")
+        e = i + j + 3
+        assert e.coeff("i") == 1 and e.coeff("j") == 1 and e.const == 3
+
+    def test_sub_cancels(self):
+        i = IndexVar("i")
+        e = (i + 3) - i
+        assert e.is_constant() and e.const == 3
+
+    def test_scalar_mul(self):
+        i = IndexVar("i")
+        e = 3 * i - 2
+        assert e.coeff("i") == 3 and e.const == -2
+
+    def test_rsub(self):
+        i = IndexVar("i")
+        e = 10 - i
+        assert e.coeff("i") == -1 and e.const == 10
+
+    def test_non_integer_scale_rejected(self):
+        with pytest.raises(TypeError):
+            AffineExpr.var("i") * 2.5  # type: ignore[operator]
+
+    @given(affine_exprs(), affine_exprs())
+    def test_add_evaluates_pointwise(self, a, b):
+        env = {"i": 3, "j": -2}
+        assert (a + b).evaluate(env) == a.evaluate(env) + b.evaluate(env)
+
+    @given(affine_exprs(), st.integers(-5, 5))
+    def test_mul_evaluates_pointwise(self, a, k):
+        env = {"i": 4, "j": 7}
+        assert (a * k).evaluate(env) == a.evaluate(env) * k
+
+
+class TestSubstitution:
+    def test_rename(self):
+        e = AffineExpr.make({"i": 2}, 1).rename({"i": "u"})
+        assert e.coeff("u") == 2 and e.coeff("i") == 0
+
+    def test_substitute_composes(self):
+        e = AffineExpr.make({"i": 2, "j": 1})
+        sub = {"i": AffineExpr.make({"u": 1, "v": 1})}  # i -> u + v
+        out = e.substitute(sub)
+        assert out.coeff("u") == 2 and out.coeff("v") == 2 and out.coeff("j") == 1
+
+    def test_drop(self):
+        e = AffineExpr.make({"i": 1, "N": 1}, 2)
+        assert e.drop({"i"}).names == ("N",)
+
+    def test_uses_only(self):
+        e = AffineExpr.make({"i": 1, "N": 1})
+        assert e.uses_only({"i", "N"})
+        assert not e.uses_only({"i"})
+
+
+class TestStr:
+    def test_readable(self):
+        e = AffineExpr.make({"i": 1, "j": -2}, 3)
+        s = str(e)
+        assert "i" in s and "j" in s and "3" in s
+
+    def test_constant_only(self):
+        assert str(AffineExpr.const_expr(0)) == "0"

@@ -1,0 +1,125 @@
+import pytest
+
+from repro.ir import (
+    AffineExpr,
+    ArrayDecl,
+    ArrayRef,
+    BinOp,
+    Call,
+    Const,
+    IndexVar,
+    Ref,
+    UnOp,
+)
+from repro.ir.expr import wrap
+from repro.linalg import IMat
+
+i, j, k = IndexVar("i"), IndexVar("j"), IndexVar("k")
+
+
+def decl2(name="A"):
+    return ArrayDecl.make(name, ["N", "N"])
+
+
+class TestArrayDecl:
+    def test_shape(self):
+        a = decl2()
+        assert a.shape({"N": 8}) == (8, 8)
+        assert a.size({"N": 8}) == 64
+        assert a.bytes({"N": 8}) == 512
+
+    def test_rank(self):
+        assert ArrayDecl.make("x", [4]).rank == 1
+
+    def test_nonpositive_extent(self):
+        with pytest.raises(ValueError):
+            decl2().shape({"N": 0})
+
+    def test_str(self):
+        assert str(decl2()) == "A(N, N)"
+
+
+class TestArrayRef:
+    def test_subscript_count_checked(self):
+        with pytest.raises(ValueError):
+            ArrayRef.make(decl2(), [i])
+
+    def test_access_matrix_paper_example(self):
+        # V(j, i) in a nest (i, j): L = [[0,1],[1,0]]
+        r = ArrayRef.make(decl2("V"), [j, i])
+        assert r.access_matrix(["i", "j"]) == IMat([[0, 1], [1, 0]])
+
+    def test_access_matrix_with_coefficients(self):
+        r = ArrayRef.make(decl2(), [2 * i + j, k + 1])
+        assert r.access_matrix(["i", "j", "k"]) == IMat([[2, 1, 0], [0, 0, 1]])
+
+    def test_offset_exprs(self):
+        r = ArrayRef.make(decl2(), [i + 1, j + IndexVar("N")])
+        offs = r.offset_exprs(["i", "j"])
+        assert offs[0].const == 1 and offs[0].is_constant()
+        assert offs[1].coeff("N") == 1
+
+    def test_index_concrete(self):
+        r = ArrayRef.make(decl2(), [i + 1, 2 * j])
+        assert r.index({"i": 3, "j": 5}, {}) == (4, 10)
+
+    def test_substituted(self):
+        r = ArrayRef.make(decl2(), [i, j])
+        out = r.substituted({"i": AffineExpr.var("u") + 1})
+        assert out.index({"u": 2, "j": 0}, {}) == (3, 0)
+
+    def test_str(self):
+        assert str(ArrayRef.make(decl2(), [i, j + 1])) == "A(i, j + 1)"
+
+
+class _Store:
+    def __init__(self, values):
+        self.values = values
+
+    def __call__(self, ref, env):
+        return self.values[(ref.array.name,) + ref.index(env, {})]
+
+
+class TestExpr:
+    def test_const(self):
+        assert Const(2.0).evaluate({}, None) == 2.0
+
+    def test_binops(self):
+        two, three = Const(2.0), Const(3.0)
+        assert BinOp("+", two, three).evaluate({}, None) == 5.0
+        assert BinOp("-", two, three).evaluate({}, None) == -1.0
+        assert BinOp("*", two, three).evaluate({}, None) == 6.0
+        assert BinOp("/", three, two).evaluate({}, None) == 1.5
+
+    def test_unknown_binop(self):
+        with pytest.raises(ValueError):
+            BinOp("%", Const(1.0), Const(1.0))
+
+    def test_unop(self):
+        assert UnOp("-", Const(2.0)).evaluate({}, None) == -2.0
+
+    def test_call(self):
+        assert Call("sqrt", Const(9.0)).evaluate({}, None) == 3.0
+        with pytest.raises(ValueError):
+            Call("tan", Const(0.0))
+
+    def test_operator_sugar(self):
+        e = Const(1.0) + 2 * Const(3.0) - 1
+        assert e.evaluate({}, None) == 6.0
+
+    def test_ref_evaluate_and_refs(self):
+        r = ArrayRef.make(decl2(), [i, j])
+        store = _Store({("A", 1, 2): 42.0})
+        e = Ref(r) + 1
+        assert e.evaluate({"i": 1, "j": 2}, store) == 43.0
+        assert list(e.refs()) == [r]
+
+    def test_wrap_rejects_junk(self):
+        with pytest.raises(TypeError):
+            wrap("hello")
+
+    def test_substituted_threads_through(self):
+        r = ArrayRef.make(decl2(), [i, j])
+        e = (Ref(r) * 2).substituted({"i": AffineExpr.var("u")})
+        store = _Store({("A", 7, 0): 5.0})
+        assert e.evaluate({"u": 7, "j": 0}, store) == 10.0

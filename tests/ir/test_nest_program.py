@@ -1,0 +1,237 @@
+import pytest
+
+from repro.ir import (
+    AffineExpr,
+    ArrayDecl,
+    ArrayRef,
+    Condition,
+    IndexVar,
+    Loop,
+    LoopNest,
+    Program,
+    ProgramBuilder,
+    Ref,
+    Statement,
+)
+from repro.ir.loops import Bound
+from repro.linalg import IMat
+
+i, j = IndexVar("i"), IndexVar("j")
+
+
+def small_nest():
+    a = ArrayDecl.make("A", [AffineExpr.var("N") + 1, AffineExpr.var("N") + 1])
+    b = ArrayDecl.make("B", [AffineExpr.var("N") + 1, AffineExpr.var("N") + 1])
+    stmt = Statement.make(
+        ArrayRef.make(a, [i, j]), Ref(ArrayRef.make(b, [j, i])) + 1.0
+    )
+    return LoopNest.make(
+        "n1",
+        [Loop.make("i", 1, "N"), Loop.make("j", 1, "N")],
+        [stmt],
+        params=("N",),
+    )
+
+
+class TestLoop:
+    def test_simple_bounds(self):
+        l = Loop.make("i", 1, "N")
+        assert l.simple
+        assert l.lower.const == 1
+        assert l.eval_range({"N": 5}) == (1, 5)
+        assert l.trip_count({"N": 5}) == 5
+
+    def test_compound_bounds(self):
+        l = Loop.from_bounds(
+            "v",
+            [Bound(AffineExpr.const_expr(0)), Bound(AffineExpr.make({"u": 1}, -4))],
+            [Bound(AffineExpr.make({"u": 1})), Bound(AffineExpr.const_expr(4))],
+        )
+        assert not l.simple
+        assert l.eval_range({"u": 6}) == (2, 4)
+        with pytest.raises(ValueError):
+            _ = l.lower
+
+    def test_bound_divisor(self):
+        l = Loop.from_bounds(
+            "i", [Bound(AffineExpr.const_expr(3), 2)], [Bound(AffineExpr.const_expr(9), 2)]
+        )
+        assert l.eval_range({}) == (2, 4)
+
+    def test_divisor_positive(self):
+        with pytest.raises(ValueError):
+            Bound(AffineExpr.const_expr(1), 0)
+
+    def test_empty_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Loop("i", (), (Bound(AffineExpr.const_expr(1)),))
+
+    def test_renamed(self):
+        l = Loop.make("j", IndexVar("i"), "N").renamed({"j": "v", "i": "u"})
+        assert l.var == "v"
+        assert l.eval_range({"u": 2, "N": 9}) == (2, 9)
+
+
+class TestLoopNest:
+    def test_basic_queries(self):
+        n = small_nest()
+        assert n.depth == 2
+        assert n.loop_vars == ("i", "j")
+        assert n.arrays() == {"A", "B"}
+
+    def test_refs(self):
+        n = small_nest()
+        triples = list(n.refs())
+        assert len(triples) == 2
+        writes = [r for _, r, w in triples if w]
+        assert writes[0].array.name == "A"
+
+    def test_access_matrix(self):
+        n = small_nest()
+        (bref, _), = [(r, w) for r, w in n.refs_to("B")]
+        assert n.access_matrix(bref) == IMat([[0, 1], [1, 0]])
+
+    def test_constraint_system_matches_iterate(self):
+        n = small_nest()
+        sys = n.constraint_system()
+        pts = list(n.iterate({"N": 3}))
+        assert len(pts) == 9
+        for p in pts:
+            env = {"N": 3, **p}
+            assert sys.satisfied(env)
+        assert not sys.satisfied({"N": 3, "i": 0, "j": 1})
+
+    def test_triangular_iterate(self):
+        n = LoopNest.make(
+            "t",
+            [Loop.make("i", 1, "N"), Loop.make("j", i, "N")],
+            small_nest().body,
+            params=("N",),
+        )
+        pts = list(n.iterate({"N": 3}))
+        assert len(pts) == 6
+        assert all(p["j"] >= p["i"] for p in pts)
+
+    def test_estimated_iterations(self):
+        n = small_nest()
+        assert n.estimated_iterations({"N": 10}) == 100
+
+    def test_pretty_contains_do(self):
+        text = small_nest().pretty()
+        assert "do i = 1, N" in text and "end do" in text
+
+
+class TestBuilderAndProgram:
+    def build_example(self):
+        b = ProgramBuilder("ex", params=("N",), default_binding={"N": 4})
+        N = b.param("N")
+        U = b.array("U", (N, N))
+        V = b.array("V", (N, N))
+        with b.nest("nest1", weight=2) as n:
+            ii = n.loop("i", 1, N)
+            jj = n.loop("j", 1, N)
+            n.assign(U[ii, jj], V[jj, ii] + 1.0)
+        return b.build()
+
+    def test_program_structure(self):
+        p = self.build_example()
+        assert p.name == "ex"
+        assert [a.name for a in p.arrays] == ["U", "V"]
+        assert len(p.nests) == 1
+        assert p.nests[0].weight == 2
+
+    def test_one_based_extents(self):
+        """1-based subscripts are rebased to 0-based storage: extent N
+        holds exactly N elements per dimension, and U[1,1] maps to (0,0)."""
+        p = self.build_example()
+        assert p.array("U").shape({"N": 4}) == (4, 4)
+        stmt = p.nests[0].body[0]
+        assert stmt.lhs.index({"i": 1, "j": 1}, {"N": 4}) == (0, 0)
+        assert stmt.lhs.index({"i": 4, "j": 4}, {"N": 4}) == (3, 3)
+
+    def test_binding_and_bytes(self):
+        p = self.build_example()
+        assert p.binding() == {"N": 4}
+        assert p.binding({"N": 8}) == {"N": 8}
+        assert p.total_array_bytes() == 2 * 16 * 8
+
+    def test_missing_param(self):
+        b = ProgramBuilder("x", params=("N", "M"))
+        N = b.param("N")
+        arr = b.array("A", (N,))
+        with b.nest() as n:
+            ii = n.loop("i", 1, N)
+            n.assign(arr[ii], 0.0)
+        with pytest.raises(ValueError):
+            b.build().binding()
+
+    def test_unknown_array_or_nest(self):
+        p = self.build_example()
+        with pytest.raises(KeyError):
+            p.array("Z")
+        with pytest.raises(KeyError):
+            p.nest("zzz")
+
+    def test_duplicate_names_rejected(self):
+        b = ProgramBuilder("x", params=("N",))
+        N = b.param("N")
+        b.array("A", (N,))
+        with pytest.raises(ValueError):
+            b.array("A", (N,))
+        with pytest.raises(KeyError):
+            b.param("M")
+
+    def test_empty_nest_rejected(self):
+        b = ProgramBuilder("x", params=("N",))
+        N = b.param("N")
+        arr = b.array("A", (N,))
+        with pytest.raises(ValueError):
+            with b.nest() as n:
+                n.loop("i", 1, N)
+
+    def test_tree_builder(self):
+        b = ProgramBuilder("x", params=("N",), default_binding={"N": 4})
+        N = b.param("N")
+        X = b.array("X", (N,))
+        Y = b.array("Y", (N, N))
+        with b.tree("t1") as t:
+            with t.loop("i", 1, N) as ti:
+                t.assign(X[ti], 0.0)
+                with t.loop("j", 1, N) as tj:
+                    t.assign(Y[ti, tj], X[ti] + 1.0)
+        with b.nest() as n:
+            ii = n.loop("i", 1, N)
+            n.assign(X[ii], 1.0)
+        p = b.build()
+        assert len(p.trees) == 1
+        assert not p.trees[0].is_perfect
+        assert p.trees[0].arrays() == {"X", "Y"}
+
+    def test_guarded_statement(self):
+        b = ProgramBuilder("x", params=("N",), default_binding={"N": 4})
+        N = b.param("N")
+        X = b.array("X", (N, N))
+        with b.nest() as n:
+            ii = n.loop("i", 1, N)
+            jj = n.loop("j", 1, N)
+            n.assign(X[ii, jj], 0.0, guards=[Condition.eq(jj, 1)])
+        stmt = b.build().nests[0].body[0]
+        assert stmt.guarded_on({"i": 2, "j": 1})
+        assert not stmt.guarded_on({"i": 2, "j": 2})
+
+
+class TestTreePretty:
+    def test_perfect_detection(self):
+        b = ProgramBuilder("x", params=("N",))
+        N = b.param("N")
+        X = b.array("X", (N, N))
+        with b.tree() as t:
+            with t.loop("i", 1, N) as ti:
+                with t.loop("j", 1, N) as tj:
+                    t.assign(X[ti, tj], 0.0)
+        with b.nest() as n:
+            ii = n.loop("i", 1, N)
+            n.assign(X[ii, ii], 0.0)
+        p = b.build()
+        assert p.trees[0].is_perfect
+        assert "do i" in p.trees[0].pretty()

@@ -1,0 +1,100 @@
+"""String renderings: these are user-facing (codegen, reports, examples)."""
+
+import pytest
+
+from repro.ir import (
+    AffineExpr,
+    ArrayDecl,
+    ArrayRef,
+    Condition,
+    IndexVar,
+    Loop,
+    ProgramBuilder,
+    Statement,
+)
+from repro.ir.expr import BinOp, Call, Const, Ref, UnOp
+from repro.ir.loops import Bound
+from repro.linalg import IMat
+
+i, j = IndexVar("i"), IndexVar("j")
+
+
+class TestExprStr:
+    def test_nested(self):
+        a = ArrayDecl.make("A", [8, 8])
+        e = Ref(ArrayRef.make(a, [i, j])) * 2.0 + 1.0
+        assert str(e) == "((A(i, j) * 2) + 1)"
+
+    def test_unop_and_call(self):
+        assert str(UnOp("-", Const(3.0))) == "(-3)"
+        assert str(Call("sqrt", Const(2.0))) == "sqrt(2)"
+
+
+class TestConditionStr:
+    def test_eq(self):
+        c = Condition.eq(i, 1)
+        assert str(c) == "i - 1 == 0"
+        assert str(Condition.ge(j)) == "j >= 0"
+
+    def test_bad_op(self):
+        with pytest.raises(ValueError):
+            Condition(AffineExpr.var("i"), "<")
+
+
+class TestStatementStr:
+    def test_guarded(self):
+        a = ArrayDecl.make("A", [8, 8])
+        s = Statement.make(
+            ArrayRef.make(a, [i, j]), 1.0, guards=[Condition.eq(j, 1)]
+        )
+        assert str(s) == "if (j - 1 == 0) A(i, j) = 1"
+
+
+class TestLoopStr:
+    def test_simple(self):
+        assert str(Loop.make("i", 1, "N")) == "do i = 1, N"
+
+    def test_compound(self):
+        l = Loop.from_bounds(
+            "v",
+            [Bound(AffineExpr.const_expr(0)), Bound(AffineExpr.var("u"))],
+            [Bound(AffineExpr.var("N"), 2)],
+        )
+        s = str(l)
+        assert s.startswith("do v = max(0, u), (N)/2")
+
+
+class TestTreePretty:
+    def test_tree_rendering(self):
+        b = ProgramBuilder("p", params=("N",))
+        N = b.param("N")
+        X = b.array("X", (N, N))
+        with b.tree() as t:
+            with t.loop("i", 1, N) as ti:
+                with t.loop("j", 1, N) as tj:
+                    t.assign(X[ti, tj], 0.0)
+        with b.nest() as nb:
+            ii = nb.loop("i", 1, N)
+            nb.assign(X[ii, ii], 1.0)
+        p = b.build()
+        text = p.trees[0].pretty()
+        assert "do i = 1, N" in text
+        assert text.count("end do") == 2
+
+
+class TestIMatRepr:
+    def test_repr(self):
+        assert repr(IMat([[1, 0], [0, 1]])) == "IMat[1 0; 0 1]"
+
+
+class TestDependenceEdgeStr:
+    def test_truncation(self):
+        from repro.dependence import DependenceEdge
+
+        e = DependenceEdge(
+            "A", 0, 1, "flow",
+            frozenset({(k, 0) for k in range(1, 9)}),
+        )
+        s = str(e)
+        assert "flow dep on A" in s
+        assert "…" in s  # more than 4 distances are elided

@@ -1,0 +1,76 @@
+"""Layouts for rank-3/4 arrays (the 3-D/4-D workload arrays)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.layout import col_major, layout_from_direction, row_major
+from repro.linalg import IMat
+
+
+def all_indices(shape):
+    return np.indices(shape).reshape(len(shape), -1).T.astype(np.int64)
+
+
+class TestCanonicalRank3:
+    def test_e0_is_col_major(self):
+        assert layout_from_direction((1, 0, 0)).d == col_major(3).d
+
+    def test_elast_is_row_major(self):
+        assert layout_from_direction((0, 0, 1)).d == row_major(3).d
+
+    def test_middle_fast_dim(self):
+        lay = layout_from_direction((0, 1, 0))
+        # unit step moves the middle index
+        assert lay.unit_step() == (0, 1, 0)
+
+    def test_rank4(self):
+        lay = layout_from_direction((0, 1, 0, 0))
+        assert lay.unit_step() == (0, 1, 0, 0)
+        am = lay.address_map((3, 4, 2, 2))
+        addrs = am.address(all_indices((3, 4, 2, 2)))
+        assert len(np.unique(addrs)) == 48
+
+
+class TestDirectionSemantics:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.sampled_from(
+            [(1, 0, 0), (0, 1, 0), (0, 0, 1), (1, 1, 0), (1, 0, 1)]
+        )
+    )
+    def test_unit_step_is_direction(self, delta):
+        lay = layout_from_direction(delta)
+        assert lay.unit_step() == delta
+        am = lay.address_map((5, 5, 5))
+        base = np.array([2, 2, 2])
+        stepped = base + np.array(delta)
+        assert am.address_one(stepped) - am.address_one(base) == 1
+
+    def test_injective_on_skewed_direction(self):
+        lay = layout_from_direction((1, 1, 0))
+        am = lay.address_map((4, 4, 4))
+        addrs = am.address(all_indices((4, 4, 4)))
+        assert len(np.unique(addrs)) == 64
+
+
+class TestWorkloadArrayLayouts:
+    def test_adi_plane_arrays_contiguous_runs(self):
+        """The 3-D (N, N, 2) arrays under the optimizer's chosen
+        direction (0,1,0): a (full-j, fixed-i, one-plane) slab must be a
+        single run."""
+        from repro.runtime import (
+            IOContext,
+            MachineParams,
+            OutOfCoreArray,
+            ParallelFileSystem,
+        )
+
+        params = MachineParams()
+        pfs = ParallelFileSystem(params)
+        lay = layout_from_direction((0, 1, 0))
+        arr = OutOfCoreArray.create("U1", (8, 8, 2), lay, pfs, real=False)
+        ctx = IOContext(params)
+        calls = arr.count_tile_io(((3, 3), (0, 7), (0, 0)), ctx, False)
+        assert calls == 1

@@ -1,0 +1,162 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.layout import (
+    ANTIDIAGONAL_H,
+    COL_MAJOR_H,
+    DIAGONAL_H,
+    ROW_MAJOR_H,
+    BlockedLayout,
+    Hyperplane,
+    LinearLayout,
+    antidiagonal,
+    col_major,
+    diagonal,
+    row_major,
+)
+from repro.linalg import IMat
+
+
+def all_indices(shape):
+    grid = np.indices(shape).reshape(len(shape), -1).T
+    return grid.astype(np.int64)
+
+
+class TestHyperplane:
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            Hyperplane.make((0, 0))
+
+    def test_primitive_normalization(self):
+        assert Hyperplane.make((2, 4)).g == (1, 2)
+
+    def test_column_major_semantics(self):
+        # (0,1): same hyperplane iff same column index (paper Section 3.2.1)
+        assert COL_MAJOR_H.same_hyperplane((0, 3), (7, 3))
+        assert not COL_MAJOR_H.same_hyperplane((0, 3), (0, 4))
+
+    def test_paper_7_4_example(self):
+        h = Hyperplane.make((7, 4))
+        assert h.same_hyperplane((0, 7), (4, 0))  # 7*0+4*7 == 7*4+4*0
+        assert not h.same_hyperplane((0, 0), (1, 0))
+
+    def test_names(self):
+        assert ROW_MAJOR_H.name == "row-major"
+        assert COL_MAJOR_H.name == "column-major"
+        assert DIAGONAL_H.name == "diagonal"
+        assert ANTIDIAGONAL_H.name == "anti-diagonal"
+
+
+class TestLinearLayout:
+    def test_non_unimodular_rejected(self):
+        with pytest.raises(ValueError):
+            LinearLayout(IMat([[2, 0], [0, 1]]))
+
+    def test_row_major_addresses(self):
+        am = row_major(2).address_map((3, 4))
+        assert am.address_one((0, 0)) == 0
+        assert am.address_one((0, 1)) == 1
+        assert am.address_one((1, 0)) == 4
+        assert am.total_slots == 12
+
+    def test_col_major_addresses(self):
+        am = col_major(2).address_map((3, 4))
+        assert am.address_one((0, 0)) == 0
+        assert am.address_one((1, 0)) == 1
+        assert am.address_one((0, 1)) == 3
+
+    def test_col_major_3d(self):
+        am = col_major(3).address_map((2, 3, 4))
+        # first index varies fastest
+        assert am.address_one((1, 0, 0)) - am.address_one((0, 0, 0)) == 1
+
+    def test_hyperplane_roundtrip(self):
+        assert LinearLayout.from_hyperplane((0, 1)).hyperplane == COL_MAJOR_H
+        assert LinearLayout.from_hyperplane((1, 0)).hyperplane == ROW_MAJOR_H
+
+    def test_from_general_hyperplane(self):
+        lay = LinearLayout.from_hyperplane((7, 4))
+        assert lay.hyperplane.g == (7, 4)
+        assert abs(lay.d.det()) == 1
+
+    @pytest.mark.parametrize(
+        "layout",
+        [row_major(2), col_major(2), diagonal(), antidiagonal(),
+         LinearLayout.from_hyperplane((2, 1)), LinearLayout.from_hyperplane((7, 4))],
+        ids=["row", "col", "diag", "antidiag", "g21", "g74"],
+    )
+    def test_addresses_are_injective(self, layout):
+        am = layout.address_map((6, 7))
+        addrs = am.address(all_indices((6, 7)))
+        assert len(np.unique(addrs)) == 42
+        assert addrs.min() >= 0
+        assert addrs.max() < am.total_slots
+
+    def test_diagonal_contiguity(self):
+        # under the diagonal layout, anti... the hyperplane (1,-1) groups
+        # elements with equal i-j: they must be file-adjacent
+        lay = diagonal()
+        am = lay.address_map((5, 5))
+        on_diag = [(0, 0), (1, 1), (2, 2), (3, 3), (4, 4)]
+        addrs = sorted(am.address_one(p) for p in on_diag)
+        assert addrs == list(range(addrs[0], addrs[0] + 5))
+
+    def test_unit_step_row_major(self):
+        assert row_major(2).unit_step() == (0, 1)
+        assert col_major(2).unit_step() == (1, 0)
+
+    def test_unit_step_moves_address_by_one(self):
+        for lay in (row_major(2), col_major(2), diagonal(), antidiagonal()):
+            am = lay.address_map((8, 8))
+            step = np.array(lay.unit_step())
+            base = np.array([4, 4])
+            assert am.address_one(base + step) - am.address_one(base) == 1
+
+    def test_shape_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            row_major(2).address_map((3,))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.sampled_from([(1, 0), (0, 1), (1, -1), (1, 1), (2, 1), (3, -2)]))
+    def test_hyperplane_defines_contiguity_classes(self, g):
+        """Elements on the same hyperplane occupy one contiguous address
+        range (the defining property of the paper's file layouts)."""
+        lay = LinearLayout.from_hyperplane(g)
+        am = lay.address_map((6, 6))
+        idx = all_indices((6, 6))
+        addrs = am.address(idx)
+        values = idx @ np.array(g)
+        for c in np.unique(values):
+            block = np.sort(addrs[values == c])
+            assert (np.diff(block) == 1).all()
+
+
+class TestBlockedLayout:
+    def test_invalid_block(self):
+        with pytest.raises(ValueError):
+            BlockedLayout((0, 4))
+
+    def test_block_is_contiguous(self):
+        lay = BlockedLayout((2, 2))
+        am = lay.address_map((4, 4))
+        tile = np.array([(0, 0), (0, 1), (1, 0), (1, 1)])
+        addrs = np.sort(am.address(tile))
+        assert (np.diff(addrs) == 1).all()
+
+    def test_injective(self):
+        am = BlockedLayout((2, 3)).address_map((5, 7))
+        addrs = am.address(all_indices((5, 7)))
+        assert len(np.unique(addrs)) == 35
+
+    def test_padding_counted_in_slots(self):
+        am = BlockedLayout((2, 2)).address_map((3, 3))
+        assert am.total_slots == 16  # 2x2 grid of 2x2 blocks
+
+    def test_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            BlockedLayout((2, 2)).address_map((4,))
+
+    def test_describe(self):
+        assert "chunk" in BlockedLayout((2, 2)).describe()

@@ -1,0 +1,118 @@
+import pytest
+
+from repro.ir import ArrayDecl, ArrayRef, IndexVar
+from repro.layout import (
+    expansion_factor,
+    innermost_cost,
+    reduce_storage,
+    spatial_locality_ok,
+    storage_box,
+    temporal_locality_ok,
+    transform_decl_dims,
+    transform_ref,
+)
+from repro.linalg import IMat
+
+i, j = IndexVar("i"), IndexVar("j")
+
+
+class TestTransformRef:
+    def test_interchange_dims(self):
+        a = ArrayDecl.make("A", [8, 8])
+        r = ArrayRef.make(a, [i, j + 1])
+        out = transform_ref(r, IMat([[0, 1], [1, 0]]))
+        assert str(out.subscripts[0]) == "j + 1"
+        assert str(out.subscripts[1]) == "i"
+
+    def test_rank_checked(self):
+        a = ArrayDecl.make("A", [8, 8])
+        r = ArrayRef.make(a, [i, j])
+        with pytest.raises(ValueError):
+            transform_ref(r, IMat([[1]]))
+
+    def test_diagonal_transform(self):
+        a = ArrayDecl.make("A", [8, 8])
+        r = ArrayRef.make(a, [i, j])
+        out = transform_ref(r, IMat([[1, -1], [0, 1]]))
+        assert out.index({"i": 5, "j": 2}, {}) == (3, 2)
+
+
+class TestTransformDeclDims:
+    def test_identity(self):
+        assert transform_decl_dims([4, 5], IMat.identity(2)) == ((0, 3), (0, 4))
+
+    def test_diagonal_expands(self):
+        box = transform_decl_dims([4, 4], IMat([[1, -1], [0, 1]]))
+        assert box[0] == (-3, 3)
+        assert box[1] == (0, 3)
+
+
+class TestClaim1:
+    """The worked example of Section 3.2.3, end to end."""
+
+    L_U = IMat([[1, 0], [0, 1]])
+    L_V = IMat([[0, 1], [1, 0]])
+
+    def test_U_row_major_with_identity_loop(self):
+        # q_last = (0,1): U needs g with g·L·(0,1)^T = 0 → g = (1,0)
+        assert spatial_locality_ok((1, 0), self.L_U, (0, 1))
+        assert not spatial_locality_ok((0, 1), self.L_U, (0, 1))
+
+    def test_V_col_major_with_identity_loop(self):
+        assert spatial_locality_ok((0, 1), self.L_V, (0, 1))
+        assert not spatial_locality_ok((1, 0), self.L_V, (0, 1))
+
+    def test_V_nest2_needs_interchange(self):
+        # nest 2: L_V2 = I, layout fixed col-major (0,1) → q_last = (1,0)
+        L_V2 = IMat([[1, 0], [0, 1]])
+        assert spatial_locality_ok((0, 1), L_V2, (1, 0))
+        assert not spatial_locality_ok((0, 1), L_V2, (0, 1))
+
+    def test_W_row_major_after_interchange(self):
+        L_W = IMat([[0, 1], [1, 0]])
+        assert spatial_locality_ok((1, 0), L_W, (1, 0))
+
+    def test_temporal(self):
+        # A(i) in nest (i, j): innermost j → L q_last = 0
+        L = IMat([[1, 0]])
+        assert temporal_locality_ok(L, (0, 1))
+        assert not temporal_locality_ok(L, (1, 0))
+
+    def test_innermost_cost_ladder(self):
+        L = IMat([[1, 0], [0, 1]])
+        assert innermost_cost(None, IMat([[1, 0]]), (0, 1)) == 0
+        assert innermost_cost((1, 0), L, (0, 1)) == 1
+        assert innermost_cost((0, 1), L, (0, 1)) == 1000
+
+
+class TestStorageReduction:
+    def test_storage_box(self):
+        box = storage_box(IMat([[1, 1], [1, 0]]), [(1, 4), (1, 4)])
+        assert box == ((2, 8), (1, 4))
+
+    def test_expansion_factor_identity(self):
+        assert expansion_factor(IMat.identity(2), [(1, 4), (1, 4)]) == 1.0
+
+    def test_paper_section_3_4_example(self):
+        # access matrix [[a, b], [c, 0]] with a=3, b=1, c=2 over u,v in [1,N']
+        access = IMat([[3, 1], [2, 0]])
+        ranges = [(1, 10), (1, 10)]
+        e, new_l, vol = reduce_storage(access, ranges)
+        orig_vol = 1
+        for lo, hi in storage_box(access, ranges):
+            orig_vol *= hi - lo + 1
+        assert vol < orig_vol
+        assert abs(e.det()) == 1
+        # locality: the 0 in column 1 (innermost v) must stay 0
+        assert new_l[1, 1] == 0
+
+    def test_reduction_keeps_zero_pattern(self):
+        access = IMat([[1, 1], [1, 0]])
+        e, new_l, _ = reduce_storage(access, [(1, 8), (1, 8)])
+        assert new_l[1, 1] == 0
+
+    def test_identity_when_optimal(self):
+        access = IMat.identity(2)
+        e, new_l, vol = reduce_storage(access, [(0, 7), (0, 7)])
+        assert new_l == access
+        assert vol == 64

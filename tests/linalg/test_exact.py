@@ -1,0 +1,77 @@
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.linalg import extended_gcd, gcd_all, is_primitive, lcm_all, primitive
+
+
+class TestGcdAll:
+    def test_empty(self):
+        assert gcd_all([]) == 0
+
+    def test_all_zero(self):
+        assert gcd_all([0, 0]) == 0
+
+    def test_simple(self):
+        assert gcd_all([4, 6, 8]) == 2
+
+    def test_negative_values(self):
+        assert gcd_all([-4, 6]) == 2
+
+    def test_coprime(self):
+        assert gcd_all([3, 5]) == 1
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=6))
+    def test_divides_all(self, values):
+        g = gcd_all(values)
+        if g:
+            assert all(v % g == 0 for v in values)
+        else:
+            assert all(v == 0 for v in values)
+
+
+class TestLcm:
+    def test_simple(self):
+        assert lcm_all([4, 6]) == 12
+
+    def test_empty(self):
+        assert lcm_all([]) == 1
+
+    def test_zero_raises(self):
+        with pytest.raises(ValueError):
+            lcm_all([2, 0])
+
+
+class TestExtendedGcd:
+    @given(st.integers(-500, 500), st.integers(-500, 500))
+    def test_bezout_identity(self, a, b):
+        g, x, y = extended_gcd(a, b)
+        assert a * x + b * y == g
+        assert g >= 0
+        if a or b:
+            assert a % g == 0 and b % g == 0
+
+    def test_zero_zero(self):
+        g, x, y = extended_gcd(0, 0)
+        assert g == 0
+
+
+class TestPrimitive:
+    def test_already_primitive(self):
+        assert primitive([2, 3]) == (2, 3)
+
+    def test_scales_down(self):
+        assert primitive([4, 6]) == (2, 3)
+
+    def test_sign_canonical(self):
+        assert primitive([-2, 4]) == (1, -2)
+
+    def test_zero_raises(self):
+        with pytest.raises(ValueError):
+            primitive([0, 0])
+
+    @given(st.lists(st.integers(-50, 50), min_size=1, max_size=5))
+    def test_result_is_primitive(self, vec):
+        if not any(vec):
+            return
+        assert is_primitive(primitive(vec))

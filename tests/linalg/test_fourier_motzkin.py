@@ -1,0 +1,232 @@
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import (
+    Constraint,
+    ConstraintSystem,
+    IMat,
+    fourier_motzkin,
+    loop_bounds_for_transform,
+)
+from repro.linalg.fourier_motzkin import (
+    BoundTerm,
+    bounds_by_level,
+    enumerate_lattice_points,
+    iterate_bounds,
+)
+
+
+def rect_system(n=2, lo=0, hi_param=True):
+    """0 <= i_k <= N (or <= 5 when hi_param=False)."""
+    names = [f"i{k}" for k in range(n)]
+    sys = ConstraintSystem(names, params=("N",) if hi_param else ())
+    for v in names:
+        sys.add_lower(v, {}, lo)
+        if hi_param:
+            sys.add_upper(v, {"N": 1}, 0)
+        else:
+            sys.add_upper(v, {}, 5)
+    return sys
+
+
+def brute_force(system, binding, ranges):
+    pts = []
+    for vals in itertools.product(*ranges):
+        env = dict(binding)
+        env.update(dict(zip(system.variables, vals)))
+        if system.satisfied(env):
+            pts.append(vals)
+    return pts
+
+
+class TestConstraint:
+    def test_make_normalizes_gcd(self):
+        c = Constraint.make({"i": 2, "j": 4}, 6)
+        assert c.coeffs == (("i", 1), ("j", 2))
+        assert c.const == 3
+
+    def test_make_tightens_const(self):
+        # 2i - 3 >= 0  <=>  i >= 1.5  <=>  i >= 2  <=>  i - 2 >= 0
+        c = Constraint.make({"i": 2}, -3)
+        assert c.coeffs == (("i", 1),)
+        assert c.const == -2
+
+    def test_trivial(self):
+        assert Constraint.make({}, 1).is_trivially_true()
+        assert Constraint.make({}, -1).is_trivially_false()
+
+    def test_evaluate(self):
+        c = Constraint.make({"i": 1, "N": -1}, 0)
+        assert c.evaluate({"i": 3, "N": 2}) == 1
+
+
+class TestSystem:
+    def test_var_param_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            ConstraintSystem(["i"], params=("i",))
+
+    def test_duplicate_constraints_deduped(self):
+        sys = ConstraintSystem(["i"])
+        sys.add_ineq({"i": 1}, 0)
+        sys.add_ineq({"i": 1}, 0)
+        assert len(sys.constraints) == 1
+
+    def test_satisfied(self):
+        sys = rect_system(2)
+        assert sys.satisfied({"i0": 0, "i1": 3, "N": 5})
+        assert not sys.satisfied({"i0": -1, "i1": 0, "N": 5})
+
+
+class TestElimination:
+    def test_eliminate_removes_var(self):
+        sys = rect_system(2)
+        out = fourier_motzkin(sys, "i1")
+        assert "i1" not in out.variables
+        assert all(not c.involves("i1") for c in out.constraints)
+
+    def test_unknown_var(self):
+        with pytest.raises(ValueError):
+            fourier_motzkin(rect_system(1), "zz")
+
+    def test_projection_sound(self):
+        # triangle: 0 <= j <= i <= 5 ; eliminating j keeps 0 <= i <= 5
+        sys = ConstraintSystem(["i", "j"])
+        sys.add_lower("i", {}, 0)
+        sys.add_upper("i", {}, 5)
+        sys.add_lower("j", {}, 0)
+        sys.add_upper("j", {"i": 1}, 0)
+        out = fourier_motzkin(sys, "j")
+        for i in range(0, 6):
+            assert out.satisfied({"i": i})
+        assert not out.satisfied({"i": -1})
+        assert not out.satisfied({"i": 6})
+
+
+class TestBoundsByLevel:
+    def test_rectangular(self):
+        sys = rect_system(2)
+        bounds = bounds_by_level(sys)
+        assert [b.var for b in bounds] == ["i0", "i1"]
+        env = {"N": 4}
+        assert bounds[0].eval_range(env) == (0, 4)
+        env["i0"] = 2
+        assert bounds[1].eval_range(env) == (0, 4)
+
+    def test_triangular(self):
+        sys = ConstraintSystem(["i", "j"], params=("N",))
+        sys.add_lower("i", {}, 1)
+        sys.add_upper("i", {"N": 1}, 0)
+        sys.add_lower("j", {"i": 1}, 0)  # j >= i
+        sys.add_upper("j", {"N": 1}, 0)
+        bounds = bounds_by_level(sys)
+        lo, hi = bounds[1].eval_range({"N": 5, "i": 3})
+        assert (lo, hi) == (3, 5)
+
+    def test_unbounded_raises(self):
+        sys = ConstraintSystem(["i"])
+        sys.add_lower("i", {}, 0)
+        with pytest.raises(ValueError):
+            bounds_by_level(sys)
+
+    def test_enumeration_matches_brute_force(self):
+        sys = ConstraintSystem(["i", "j"])
+        sys.add_lower("i", {}, 0)
+        sys.add_upper("i", {}, 4)
+        sys.add_lower("j", {}, 0)
+        sys.add_upper("j", {"i": 1}, 0)  # j <= i
+        got = enumerate_lattice_points(sys, {})
+        want = brute_force(sys, {}, [range(-1, 6)] * 2)
+        assert got == sorted(want)
+
+
+class TestBoundTerm:
+    def test_ceil_floor(self):
+        t = BoundTerm((), 5, 2)
+        assert t.eval_lower({}) == 3  # ceil(5/2)
+        assert t.eval_upper({}) == 2  # floor(5/2)
+
+    def test_negative_numerator(self):
+        t = BoundTerm((), -5, 2)
+        assert t.eval_lower({}) == -2
+        assert t.eval_upper({}) == -3
+
+
+class TestTransformedBounds:
+    def test_interchange_exact(self):
+        sys = rect_system(2, hi_param=False)
+        t = IMat([[0, 1], [1, 0]])
+        tb = loop_bounds_for_transform(sys, t, ["u", "v"])
+        assert tb.exact
+        pts = list(iterate_bounds(tb.bounds, {}, tb.strides))
+        orig = brute_force(sys, {}, [range(0, 6)] * 2)
+        assert sorted(pts) == sorted((j, i) for i, j in orig)
+
+    def test_skew_transform(self):
+        sys = rect_system(2, hi_param=False)
+        t = IMat([[1, 1], [0, 1]])  # u = i + j, v = j
+        tb = loop_bounds_for_transform(sys, t, ["u", "v"])
+        assert tb.exact
+        pts = set(iterate_bounds(tb.bounds, {}, tb.strides))
+        orig = brute_force(sys, {}, [range(0, 6)] * 2)
+        assert pts == {(i + j, j) for i, j in orig}
+
+    def test_symbolic_interchange(self):
+        sys = rect_system(2)
+        t = IMat([[0, 1], [1, 0]])
+        tb = loop_bounds_for_transform(sys, t, ["u", "v"])
+        pts = list(iterate_bounds(tb.bounds, {"N": 3}, tb.strides))
+        assert len(pts) == 16
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.sampled_from(
+            [
+                [[1, 0], [0, 1]],
+                [[0, 1], [1, 0]],
+                [[1, 1], [0, 1]],
+                [[1, 0], [1, 1]],
+                [[1, -1], [0, 1]],
+                [[2, 1], [1, 1]],
+                [[1, 2], [1, 3]],
+            ]
+        ),
+        st.integers(1, 5),
+    )
+    def test_unimodular_scan_is_bijective(self, rows, n):
+        t = IMat(rows)
+        sys = ConstraintSystem(["i", "j"])
+        for v in ("i", "j"):
+            sys.add_lower(v, {}, 0)
+            sys.add_upper(v, {}, n)
+        tb = loop_bounds_for_transform(sys, t, ["u", "v"])
+        pts = [
+            p
+            for p in iterate_bounds(tb.bounds, {}, tb.strides)
+            if tb.point_is_image(p)
+        ]
+        expected = {
+            tuple(t.matvec((i, j)))
+            for i in range(n + 1)
+            for j in range(n + 1)
+        }
+        assert set(pts) == expected
+        assert len(pts) == len(expected)
+
+    def test_non_unimodular_guarded_scan(self):
+        t = IMat([[2, 0], [0, 1]])  # u = 2i: image lattice has stride 2
+        sys = ConstraintSystem(["i", "j"])
+        for v in ("i", "j"):
+            sys.add_lower(v, {}, 0)
+            sys.add_upper(v, {}, 3)
+        tb = loop_bounds_for_transform(sys, t, ["u", "v"])
+        assert not tb.exact
+        pts = [
+            p
+            for p in iterate_bounds(tb.bounds, {}, tb.strides)
+            if tb.point_is_image(p)
+        ]
+        expected = {(2 * i, j) for i in range(4) for j in range(4)}
+        assert set(pts) == expected

@@ -1,0 +1,112 @@
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.linalg import IMat, column_hnf, hermite_normal_form, smith_normal_form
+
+
+def matrices(max_dim=4, v=8):
+    return st.tuples(st.integers(1, max_dim), st.integers(1, max_dim)).flatmap(
+        lambda mn: st.lists(
+            st.lists(st.integers(-v, v), min_size=mn[1], max_size=mn[1]),
+            min_size=mn[0],
+            max_size=mn[0],
+        ).map(IMat)
+    )
+
+
+def _pivots(h: IMat):
+    pivots = []
+    for i in range(h.nrows):
+        row = h.rows[i]
+        nz = [j for j, x in enumerate(row) if x != 0]
+        pivots.append(nz[0] if nz else None)
+    return pivots
+
+
+class TestRowHNF:
+    @given(matrices())
+    def test_factorization_and_unimodularity(self, a):
+        h, u = hermite_normal_form(a)
+        assert h == u @ a
+        assert abs(u.det()) == 1
+
+    @given(matrices())
+    def test_echelon_shape(self, a):
+        h, _ = hermite_normal_form(a)
+        pivots = _pivots(h)
+        # zero rows come last, pivot columns strictly increase
+        seen_zero = False
+        prev = -1
+        for p in pivots:
+            if p is None:
+                seen_zero = True
+            else:
+                assert not seen_zero
+                assert p > prev
+                prev = p
+
+    @given(matrices())
+    def test_pivot_positivity_and_reduction(self, a):
+        h, _ = hermite_normal_form(a)
+        for i, p in enumerate(_pivots(h)):
+            if p is None:
+                continue
+            piv = h[i, p]
+            assert piv > 0
+            for r in range(i):
+                assert 0 <= h[r, p] < piv
+
+    def test_known_example(self):
+        a = IMat([[2, 4], [3, 5]])
+        h, u = hermite_normal_form(a)
+        assert h == u @ a
+        assert h[1, 0] == 0
+
+
+class TestColumnHNF:
+    @given(matrices())
+    def test_factorization(self, a):
+        h, u = column_hnf(a)
+        assert h == a @ u
+        assert abs(u.det()) == 1
+
+    def test_nonsingular_lower_triangular(self):
+        a = IMat([[1, 2, 0], [0, 1, 3], [1, 0, 1]])
+        h, _ = column_hnf(a)
+        assert a.det() != 0
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert h[i, j] == 0
+            assert h[i, i] > 0
+
+
+class TestSmith:
+    @given(matrices(max_dim=3, v=5))
+    def test_factorization_and_diagonality(self, a):
+        s, u, v = smith_normal_form(a)
+        assert s == u @ a @ v
+        assert abs(u.det()) == 1
+        assert abs(v.det()) == 1
+        for i in range(s.nrows):
+            for j in range(s.ncols):
+                if i != j:
+                    assert s[i, j] == 0
+
+    @given(matrices(max_dim=3, v=5))
+    def test_divisibility_chain(self, a):
+        s, _, _ = smith_normal_form(a)
+        diag = [s[i, i] for i in range(min(s.shape))]
+        for x, y in zip(diag, diag[1:]):
+            if x != 0 and y != 0:
+                assert y % x == 0
+            if x == 0:
+                assert y == 0
+        assert all(d >= 0 for d in diag)
+
+    def test_identity(self):
+        s, _, _ = smith_normal_form(IMat.identity(3))
+        assert s == IMat.identity(3)
+
+    def test_diag_divisibility_example(self):
+        s, _, _ = smith_normal_form(IMat([[2, 0], [0, 3]]))
+        assert s[0, 0] == 1 and s[1, 1] == 6

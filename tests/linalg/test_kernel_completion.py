@@ -1,0 +1,159 @@
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.linalg import (
+    IMat,
+    complete_to_unimodular,
+    identity,
+    is_primitive,
+    kernel_basis,
+    kernel_contains,
+    min_gcd_kernel_vector,
+    unimodular_with_first_row,
+    unimodular_with_last_column,
+)
+from repro.linalg.completion import completion_candidates, unimodular_with_column
+
+
+def matrices(max_dim=4, v=6):
+    return st.tuples(st.integers(1, max_dim), st.integers(1, max_dim)).flatmap(
+        lambda mn: st.lists(
+            st.lists(st.integers(-v, v), min_size=mn[1], max_size=mn[1]),
+            min_size=mn[0],
+            max_size=mn[0],
+        ).map(IMat)
+    )
+
+
+def primitive_vectors(n_max=4, v=5):
+    return st.integers(2, n_max).flatmap(
+        lambda n: st.lists(st.integers(-v, v), min_size=n, max_size=n)
+    ).filter(lambda vec: any(vec) and is_primitive(vec))
+
+
+class TestKernelBasis:
+    @given(matrices())
+    def test_basis_vectors_in_kernel(self, a):
+        for b in kernel_basis(a):
+            assert kernel_contains(a, b)
+
+    @given(matrices(max_dim=3, v=4))
+    def test_basis_dimension_matches_rank(self, a):
+        basis = kernel_basis(a)
+        # rank-nullity over Q: dim kernel = ncols - rank
+        import numpy as np
+
+        rank = np.linalg.matrix_rank(np.array(a.to_lists(), dtype=float))
+        assert len(basis) == a.ncols - rank
+
+    def test_full_rank_trivial_kernel(self):
+        assert kernel_basis(identity(3)) == []
+
+    def test_paper_relation1_for_U(self):
+        # Section 3.2.3: L_U = I, q_last = (0,1) => g in Ker{(0,1)^T col}
+        lu_q = IMat.col_vector([0, 1])
+        g = min_gcd_kernel_vector(lu_q.transpose())
+        assert g == (1, 0)  # row-major for U
+
+    def test_paper_relation1_for_V(self):
+        lv_q = IMat.col_vector([1, 0])
+        g = min_gcd_kernel_vector(lv_q.transpose())
+        assert g == (0, 1)  # column-major for V
+
+
+class TestMinGcdKernelVector:
+    def test_trivial_kernel_returns_none(self):
+        assert min_gcd_kernel_vector(identity(2)) is None
+
+    @given(matrices())
+    def test_result_in_kernel_and_primitive(self, a):
+        vec = min_gcd_kernel_vector(a)
+        if vec is not None:
+            assert kernel_contains(a, vec)
+            assert is_primitive(vec)
+
+    def test_prefer_honored_when_in_kernel(self):
+        a = IMat([[0, 0]])  # everything is in the kernel
+        assert min_gcd_kernel_vector(a, prefer=[(0, 1)]) == (0, 1)
+
+    def test_prefer_ignored_when_not_in_kernel(self):
+        a = IMat([[1, 0]])  # kernel = span{(0,1)}
+        assert min_gcd_kernel_vector(a, prefer=[(1, 0)]) == (0, 1)
+
+    def test_prefers_elementary_vector(self):
+        # kernel of [1, 0, 0] contains (0,1,0),(0,0,1),(0,1,1)...
+        vec = min_gcd_kernel_vector(IMat([[1, 0, 0]]))
+        assert vec is not None
+        assert sorted(map(abs, vec)) == [0, 0, 1]
+
+
+class TestCompletion:
+    @given(primitive_vectors())
+    def test_last_column_completion(self, vec):
+        q = unimodular_with_last_column(vec)
+        assert q.is_unimodular()
+        assert q.col(q.ncols - 1) == tuple(vec)
+
+    @given(primitive_vectors())
+    def test_first_row_completion(self, vec):
+        d = unimodular_with_first_row(vec)
+        assert d.is_unimodular()
+        assert d.row(0) == tuple(vec)
+
+    def test_every_position(self):
+        vec = (2, 3, 5)
+        for pos in range(3):
+            m = unimodular_with_column(vec, pos)
+            assert m.is_unimodular()
+            assert m.col(pos) == vec
+
+    def test_non_primitive_rejected(self):
+        with pytest.raises(ValueError):
+            unimodular_with_last_column([2, 4])
+
+    def test_position_out_of_range(self):
+        with pytest.raises(ValueError):
+            unimodular_with_column([1, 0], 5)
+
+    def test_paper_interchange_example(self):
+        # Section 3.2.3: q_last = (1, 0)^T completes to the loop interchange
+        q = unimodular_with_last_column([1, 0])
+        assert q.is_unimodular()
+        assert q.col(1) == (1, 0)
+
+    def test_multi_column_completion(self):
+        cols = [(1, 0, 2), (0, 1, 3)]
+        w = complete_to_unimodular(cols)
+        assert w.is_unimodular()
+        assert w.col(0) == cols[0]
+        assert w.col(1) == cols[1]
+
+    def test_multi_column_impossible(self):
+        with pytest.raises(ValueError):
+            complete_to_unimodular([(2, 0), (0, 2)])
+
+    def test_too_many_columns(self):
+        with pytest.raises(ValueError):
+            complete_to_unimodular([(1, 0), (0, 1), (1, 1)])
+
+
+class TestCompletionCandidates:
+    def test_all_candidates_valid(self):
+        pinned = (1, 2)
+        count = 0
+        for m in itertools.islice(completion_candidates(pinned, 1), 20):
+            assert m.is_unimodular()
+            assert m.col(1) == pinned
+            count += 1
+        assert count == 20
+
+    def test_candidates_distinct(self):
+        mats = list(itertools.islice(completion_candidates((0, 1), 1), 30))
+        assert len({m.rows for m in mats}) == len(mats)
+
+    def test_limit_respected(self):
+        mats = list(completion_candidates((1, 0, 0), 2, limit=10))
+        assert len(mats) == 10

@@ -1,0 +1,129 @@
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.linalg import IMat, from_cols, from_rows, identity
+
+
+def square_matrices(n_max=4, v=6):
+    return st.integers(1, n_max).flatmap(
+        lambda n: st.lists(
+            st.lists(st.integers(-v, v), min_size=n, max_size=n),
+            min_size=n,
+            max_size=n,
+        ).map(IMat)
+    )
+
+
+class TestConstruction:
+    def test_identity(self):
+        i3 = identity(3)
+        assert i3.shape == (3, 3)
+        assert i3.det() == 1
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            IMat([[1, 2], [3]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            IMat([])
+
+    def test_from_cols_transposes(self):
+        m = from_cols([[1, 2], [3, 4]])
+        assert m.rows == ((1, 3), (2, 4))
+
+    def test_diag(self):
+        d = IMat.diag([2, 3])
+        assert d.rows == ((2, 0), (0, 3))
+
+
+class TestArithmetic:
+    def test_matmul(self):
+        a = IMat([[1, 2], [3, 4]])
+        b = IMat([[0, 1], [1, 0]])
+        assert (a @ b).rows == ((2, 1), (4, 3))
+
+    def test_matvec(self):
+        a = IMat([[1, 2], [3, 4]])
+        assert a.matvec([1, 1]) == (3, 7)
+
+    def test_vecmat(self):
+        a = IMat([[1, 2], [3, 4]])
+        assert a.vecmat([1, 1]) == (4, 6)
+
+    def test_add_sub_neg(self):
+        a = IMat([[1, 2], [3, 4]])
+        assert (a + a).rows == ((2, 4), (6, 8))
+        assert (a - a).rows == ((0, 0), (0, 0))
+        assert (-a).rows == ((-1, -2), (-3, -4))
+
+    def test_scalar_mul(self):
+        a = IMat([[1, 2], [3, 4]])
+        assert (2 * a).rows == ((2, 4), (6, 8))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            IMat([[1, 2]]) @ IMat([[1, 2]])
+
+    def test_hashable_and_eq(self):
+        assert IMat([[1]]) == IMat([[1]])
+        assert hash(IMat([[1]])) == hash(IMat([[1]]))
+        assert IMat([[1]]) != IMat([[2]])
+
+
+class TestDeterminant:
+    def test_identity(self):
+        assert identity(4).det() == 1
+
+    def test_interchange(self):
+        assert IMat([[0, 1], [1, 0]]).det() == -1
+
+    def test_singular(self):
+        assert IMat([[1, 2], [2, 4]]).det() == 0
+
+    def test_3x3(self):
+        assert IMat([[2, 0, 0], [0, 3, 0], [0, 0, 5]]).det() == 30
+
+    def test_needs_pivot_swap(self):
+        assert IMat([[0, 2], [3, 0]]).det() == -6
+
+    @given(square_matrices())
+    def test_det_of_transpose(self, m):
+        assert m.det() == m.transpose().det()
+
+    @given(square_matrices(n_max=3, v=4), square_matrices(n_max=3, v=4))
+    def test_det_multiplicative(self, a, b):
+        if a.shape != b.shape:
+            return
+        assert (a @ b).det() == a.det() * b.det()
+
+
+class TestInverse:
+    def test_singular_raises(self):
+        with pytest.raises(ValueError):
+            IMat([[1, 1], [1, 1]]).inverse_pair()
+
+    def test_unimodular_inverse(self):
+        m = IMat([[1, 1], [0, 1]])
+        inv = m.inverse_unimodular()
+        assert (m @ inv) == identity(2)
+
+    def test_non_unimodular_rejected(self):
+        with pytest.raises(ValueError):
+            IMat([[2, 0], [0, 1]]).inverse_unimodular()
+
+    @given(square_matrices())
+    def test_adjugate_identity(self, m):
+        d = m.det()
+        if d == 0:
+            return
+        adj, dd = m.inverse_pair()
+        assert dd == d
+        assert (m @ adj) == d * identity(m.nrows)
+
+    def test_inverse_fractions(self):
+        m = IMat([[2, 0], [0, 4]])
+        inv = m.inverse_fractions()
+        assert inv[0][0] * 2 == 1
+        assert inv[1][1] * 4 == 1

@@ -1,0 +1,123 @@
+import numpy as np
+import pytest
+
+from repro.engine import interpret_program
+from repro.engine.interpreter import initial_arrays
+from repro.ir import ProgramBuilder
+from repro.linalg import IMat
+from repro.optimizer import optimize_program, optimize_program_ilp
+from repro.optimizer.ilp import _build_models, solve_exhaustive, solve_milp
+from repro.workloads import build_workload, workload_names
+
+
+def motivating_program(n=8):
+    b = ProgramBuilder("motivating", params=("N",), default_binding={"N": n})
+    N = b.param("N")
+    U = b.array("U", (N, N))
+    V = b.array("V", (N, N))
+    W = b.array("W", (N, N))
+    with b.nest("nest1", weight=2) as nb:
+        i, j = nb.loop("i", 1, N), nb.loop("j", 1, N)
+        nb.assign(U[i, j], V[j, i] + 1.0)
+    with b.nest("nest2") as nb:
+        i, j = nb.loop("i", 1, N), nb.loop("j", 1, N)
+        nb.assign(V[i, j], W[j, i] + 2.0)
+    return b.build()
+
+
+class TestSolvers:
+    def test_solver_name_validated(self):
+        with pytest.raises(ValueError):
+            optimize_program_ilp(motivating_program(), solver="simplex")
+
+    def test_milp_matches_exhaustive_objective(self):
+        p = motivating_program()
+        b = p.binding()
+        models, dirs = _build_models(p, b)
+        _, _, cost_ex = solve_exhaustive(models, dirs, b)
+        _, _, cost_milp = solve_milp(models, dirs, b)
+        assert cost_milp == pytest.approx(cost_ex, rel=1e-9)
+
+    @pytest.mark.parametrize("workload", ["trans", "gfunp", "adi", "syr2k"])
+    def test_milp_matches_exhaustive_on_workloads(self, workload):
+        p = build_workload(workload, 8)
+        from repro.transforms import normalize_program
+
+        p = normalize_program(p)
+        b = p.binding()
+        models, dirs = _build_models(p, b)
+        _, _, cost_ex = solve_exhaustive(models, dirs, b)
+        _, _, cost_milp = solve_milp(models, dirs, b)
+        assert cost_milp == pytest.approx(cost_ex, rel=1e-9)
+
+
+class TestOptimizeProgramILP:
+    def test_worked_example_solution(self):
+        """The ILP finds the paper's (optimal) solution for the
+        motivating fragment."""
+        decision = optimize_program_ilp(motivating_program())
+        assert decision.directions["U"] == (0, 1)   # row-major
+        assert decision.directions["V"] == (1, 0)   # column-major
+        assert decision.directions["W"] == (0, 1)   # row-major
+        assert decision.transforms["nest2"] == IMat([[0, 1], [1, 0]])
+
+    def test_never_worse_than_greedy(self):
+        """The exact optimum is at most the greedy algorithm's cost, in
+        the shared cost model, on every workload."""
+        from repro.optimizer.ilp import _build_models, _total_cost
+
+        for workload in workload_names():
+            p = build_workload(workload, 8)
+            from repro.transforms import normalize_program
+
+            norm = normalize_program(p)
+            b = norm.binding()
+            greedy = optimize_program(norm)
+            exact = optimize_program_ilp(norm)
+            models, dirs = _build_models(norm, b)
+            q_greedy = {}
+            for m in models:
+                t = greedy.transforms[m.nest.name]
+                q_inv = t.inverse_unimodular()
+                q_greedy[m.nest.name] = q_inv.col(q_inv.ncols - 1)
+            # greedy q may not be in the model's option set (non-elementary
+            # completions); skip those nests by comparing total objectives
+            try:
+                greedy_cost = _total_cost(models, q_greedy, greedy.directions, b)
+            except KeyError:
+                continue
+            exact_cost = _total_cost(
+                models,
+                {m.nest.name: exact.transforms and q_of(exact, m) for m in models},
+                exact.directions,
+                b,
+            )
+            assert exact_cost <= greedy_cost + 1e-6, workload
+
+    def test_semantics_preserved(self):
+        p = motivating_program(5)
+        init = initial_arrays(p, {"N": 5})
+        expected = interpret_program(p, initial=init)
+        decision = optimize_program_ilp(p)
+        got = interpret_program(decision.program, initial=init)
+        for name in ("U", "V", "W"):
+            np.testing.assert_allclose(got[name], expected[name])
+
+    def test_transforms_are_legal(self):
+        from repro.dependence import analyze_nest, transform_is_legal
+        from repro.transforms import normalize_program
+
+        for workload in ("vpenta", "syr2k", "htribk"):
+            p = normalize_program(build_workload(workload, 8))
+            decision = optimize_program_ilp(p)
+            for nest in p.nests:
+                t = decision.transforms[nest.name]
+                assert transform_is_legal(t, analyze_nest(nest)), (
+                    workload, nest.name,
+                )
+
+
+def q_of(decision, model):
+    t = decision.transforms[model.nest.name]
+    q_inv = t.inverse_unimodular()
+    return q_inv.col(q_inv.ncols - 1)

@@ -1,0 +1,289 @@
+import numpy as np
+import pytest
+
+from repro.ir import ProgramBuilder
+from repro.linalg import IMat
+from repro.optimizer import (
+    VERSION_NAMES,
+    build_version,
+    choose_direction_for_array,
+    choose_layout_for_array,
+    connected_components,
+    estimate_nest_io,
+    interference_graph,
+    nest_cost,
+    optimize_nest,
+    optimize_program,
+)
+
+
+def motivating_program(n=8):
+    """Paper Section 3.1: the two-nest U/V/W fragment."""
+    b = ProgramBuilder("motivating", params=("N",), default_binding={"N": n})
+    N = b.param("N")
+    U = b.array("U", (N, N))
+    V = b.array("V", (N, N))
+    W = b.array("W", (N, N))
+    with b.nest("nest1", weight=2) as nb:
+        i = nb.loop("i", 1, N)
+        j = nb.loop("j", 1, N)
+        nb.assign(U[i, j], V[j, i] + 1.0)
+    with b.nest("nest2") as nb:
+        i = nb.loop("i", 1, N)
+        j = nb.loop("j", 1, N)
+        nb.assign(V[i, j], W[j, i] + 2.0)
+    return b.build()
+
+
+def two_component_program(n=6):
+    """Paper Figure 1: {U,V,W} nests plus a disjoint {X,Y} nest."""
+    b = ProgramBuilder("fig1", params=("N",), default_binding={"N": n})
+    N = b.param("N")
+    U = b.array("U", (N, N))
+    V = b.array("V", (N, N))
+    X = b.array("X", (N, N))
+    Y = b.array("Y", (N, N))
+    with b.nest("n1") as nb:
+        i = nb.loop("i", 1, N)
+        j = nb.loop("j", 1, N)
+        nb.assign(U[i, j], V[j, i] + 1.0)
+    with b.nest("n2") as nb:
+        i = nb.loop("i", 1, N)
+        j = nb.loop("j", 1, N)
+        nb.assign(X[i, j], Y[j, i] + 1.0)
+    return b.build()
+
+
+class TestInterference:
+    def test_bipartite_edges(self):
+        p = motivating_program()
+        g = interference_graph(p)
+        assert g.has_edge(("nest", "nest1"), ("array", "V"))
+        assert g.has_edge(("nest", "nest2"), ("array", "V"))
+        assert not g.has_edge(("nest", "nest1"), ("array", "W"))
+
+    def test_single_component_via_shared_array(self):
+        comps = connected_components(motivating_program())
+        assert len(comps) == 1
+        nests, arrays = comps[0]
+        assert nests == ["nest1", "nest2"]
+        assert arrays == ["U", "V", "W"]
+
+    def test_two_components(self):
+        comps = connected_components(two_component_program())
+        assert len(comps) == 2
+        assert comps[0][1] == ["U", "V"]
+        assert comps[1][1] == ["X", "Y"]
+
+
+class TestCost:
+    def test_weight_scales_cost(self):
+        p = motivating_program()
+        c1 = nest_cost(p.nests[0], {"N": 8})  # weight 2
+        c2 = nest_cost(p.nests[1], {"N": 8})  # weight 1
+        assert c1 == pytest.approx(2 * c2)
+
+    def test_estimate_prefers_matching_layout(self):
+        p = motivating_program()
+        nest = p.nests[0]
+        # q_last = (0,1): U wants row-major dir (0,1); V wants dir (1,0)
+        good = estimate_nest_io(
+            nest, {"U": (0, 1), "V": (1, 0)}, (0, 1), {"N": 8}
+        )
+        bad = estimate_nest_io(
+            nest, {"U": (1, 0), "V": (0, 1)}, (0, 1), {"N": 8}
+        )
+        assert good < bad
+
+    def test_temporal_cheapest(self):
+        b = ProgramBuilder("t", params=("N",), default_binding={"N": 8})
+        N = b.param("N")
+        X = b.array("X", (N, N))
+        Y = b.array("Y", (N, N))
+        with b.nest() as nb:
+            i = nb.loop("i", 1, N)
+            j = nb.loop("j", 1, N)
+            nb.assign(X[i, j], Y[i, i] + 1.0)  # Y temporal in j
+        nest = b.build().nests[0]
+        with_temporal = estimate_nest_io(nest, {"X": (0, 1)}, (0, 1), {"N": 8})
+        all_spatial = estimate_nest_io(
+            nest, {"X": (0, 1), "Y": (0, 1)}, (0, 1), {"N": 8}
+        )
+        assert with_temporal <= all_spatial
+
+
+class TestChooseLayout:
+    def test_paper_relation1_U(self):
+        # L_U = I, q_last = (0,1) => direction (0,1), hyperplane (1,0) row-major
+        l_u = IMat([[1, 0], [0, 1]])
+        assert choose_direction_for_array([l_u], (0, 1)) == (0, 1)
+        assert choose_layout_for_array([l_u], (0, 1)) == (1, 0)
+
+    def test_paper_relation1_V(self):
+        l_v = IMat([[0, 1], [1, 0]])
+        assert choose_direction_for_array([l_v], (0, 1)) == (1, 0)
+        assert choose_layout_for_array([l_v], (0, 1)) == (0, 1)
+
+    def test_temporal_unconstrained(self):
+        l = IMat([[1, 0], [1, 0]])
+        assert choose_direction_for_array([l], (0, 1)) is None
+
+    def test_conflict_majority_wins(self):
+        l1 = IMat([[1, 0], [0, 1]])  # direction (0,1)
+        l2 = IMat([[0, 1], [1, 0]])  # direction (1,0)
+        d = choose_direction_for_array([l1, l1, l2], (0, 1))
+        assert d == (0, 1)
+
+
+class TestOptimizeNest:
+    def test_data_only_first_nest(self):
+        """Step 3.b on nest1: row-major U, column-major V (the paper's
+        worked example)."""
+        p = motivating_program()
+        d = optimize_nest(p.nests[0], {}, {"N": 8}, allow_loop=False)
+        assert d.is_identity
+        assert d.new_layouts["U"] == (1, 0)   # row-major
+        assert d.new_layouts["V"] == (0, 1)   # column-major
+
+    def test_combined_second_nest_interchanges(self):
+        """Step 3.c on nest2 with V fixed column-major: loop interchange
+        plus row-major W."""
+        p = motivating_program()
+        d = optimize_nest(
+            p.nests[1], {"V": (1, 0)}, {"N": 8}, allow_loop=True
+        )
+        assert d.q_last == (1, 0)
+        assert d.t == IMat([[0, 1], [1, 0]])  # the interchange
+        assert d.new_layouts["W"] == (1, 0)   # row-major
+        assert "V" not in d.new_layouts       # already fixed
+
+    def test_illegal_interchange_avoided(self):
+        b = ProgramBuilder("t", params=("N",), default_binding={"N": 6})
+        N = b.param("N")
+        A = b.array("A", (N, N))
+        with b.nest() as nb:
+            i = nb.loop("i", 2, N)
+            j = nb.loop("j", 1, N - 1)
+            nb.assign(A[i, j], A[i - 1, j + 1] + 1.0)
+        nest = b.build().nests[0]
+        # force a fixed layout wanting the (illegal) interchange
+        d = optimize_nest(nest, {"A": (1, 0)}, {"N": 6}, allow_loop=True)
+        from repro.dependence import analyze_nest, transform_is_legal
+
+        assert transform_is_legal(d.t, analyze_nest(nest))
+
+    def test_rank1_arrays_ignored_for_layout(self):
+        b = ProgramBuilder("t", params=("N",), default_binding={"N": 6})
+        N = b.param("N")
+        X = b.array("X", (N,))
+        Y = b.array("Y", (N, N))
+        with b.nest() as nb:
+            i = nb.loop("i", 1, N)
+            j = nb.loop("j", 1, N)
+            nb.assign(Y[i, j], X[j] + 1.0)
+        d = optimize_nest(b.build().nests[0], {}, {"N": 6}, allow_loop=False)
+        assert "X" not in d.new_layouts
+        assert d.new_layouts["Y"] == (1, 0)
+
+
+class TestOptimizeProgram:
+    def test_paper_worked_example_end_to_end(self):
+        p = motivating_program()
+        decision = optimize_program(p)
+        assert decision.layouts["U"] == (1, 0)
+        assert decision.layouts["V"] == (0, 1)
+        assert decision.layouts["W"] == (1, 0)
+        assert decision.transforms["nest1"] == IMat.identity(2)
+        assert decision.transforms["nest2"] == IMat([[0, 1], [1, 0]])
+        # transformed nest2 reads W along rows: stride-1 under row-major W
+        nest2 = decision.program.nest("nest2")
+        assert str(nest2.body[0]) == "V(v - 1, u - 1) = (W(u - 1, v - 1) + 2)"
+
+    def test_all_references_optimized(self):
+        """The paper's point: the combined approach optimizes all four
+        references, which neither pure approach achieves."""
+        from repro.optimizer.cost import access_is_spatial
+
+        p = motivating_program()
+        decision = optimize_program(p)
+        for nest in decision.program.nests:
+            q_last = tuple(
+                1 if i == nest.depth - 1 else 0 for i in range(nest.depth)
+            )
+            for _, ref, _ in nest.refs():
+                l = nest.access_matrix(ref)
+                assert access_is_spatial(
+                    l, q_last, decision.directions.get(ref.array.name)
+                ), f"{ref} in {nest.name} unoptimized"
+
+    def test_components_independent(self):
+        p = two_component_program()
+        decision = optimize_program(p)
+        assert decision.layouts["U"] == (1, 0)
+        assert decision.layouts["X"] == (1, 0)
+        assert decision.layouts["V"] == (0, 1)
+        assert decision.layouts["Y"] == (0, 1)
+
+    def test_semantics_preserved(self):
+        from repro.engine import interpret_program
+        from repro.engine.interpreter import initial_arrays
+
+        p = motivating_program(5)
+        decision = optimize_program(p)
+        init = initial_arrays(p, {"N": 5})
+        expect = interpret_program(p, initial=init)
+        got = interpret_program(decision.program, initial=init)
+        for name in ("U", "V", "W"):
+            np.testing.assert_allclose(got[name], expect[name])
+
+    def test_data_only_mode(self):
+        p = motivating_program()
+        decision = optimize_program(p, allow_loop=False)
+        for t in decision.transforms.values():
+            assert t == IMat.identity(2)
+        # V has conflicting requirements; U is still optimized
+        assert decision.layouts["U"] == (1, 0)
+
+    def test_loop_only_mode(self):
+        p = motivating_program()
+        col_dirs = {"U": (1, 0), "V": (1, 0), "W": (1, 0)}
+        decision = optimize_program(
+            p, allow_data=False, initial_directions=col_dirs
+        )
+        assert decision.decisions[0].new_layouts == {}
+
+
+class TestVersions:
+    def test_all_versions_build(self):
+        p = motivating_program()
+        for name in VERSION_NAMES:
+            cfg = build_version(name, p)
+            assert cfg.name == name
+            assert cfg.layouts
+            assert cfg.program.nests
+
+    def test_unknown_version(self):
+        with pytest.raises(ValueError):
+            build_version("mystery", motivating_program())
+
+    def test_col_row_layouts(self):
+        p = motivating_program()
+        col = build_version("col", p)
+        row = build_version("row", p)
+        assert col.layouts["U"].describe().startswith("linear layout g=column")
+        assert row.layouts["U"].describe().startswith("linear layout g=row")
+
+    def test_hopt_has_storage_spec(self):
+        cfg = build_version("h-opt", motivating_program())
+        assert cfg.storage_spec is not None
+        assert set(cfg.storage_spec) == {"U", "V", "W"}
+
+    def test_lopt_keeps_col_layouts(self):
+        cfg = build_version("l-opt", motivating_program())
+        assert all(
+            "column" in l.describe() for l in cfg.layouts.values()
+        )
+
+    def test_version_describe(self):
+        cfg = build_version("c-opt", motivating_program())
+        assert "c-opt" in cfg.describe()

@@ -1,0 +1,133 @@
+"""Detailed tests of the six version strategies."""
+
+import pytest
+
+from repro.engine.executor import InterleavedStoreSpec, LinearStoreSpec
+from repro.ir import ProgramBuilder
+from repro.linalg import IMat
+from repro.optimizer import VERSION_NAMES, build_version
+from repro.optimizer.strategies import _effective_tile
+from repro.workloads import build_workload
+
+
+def shared_array_program(n=16):
+    """Array S is tiled differently by two nests — must not be chunked."""
+    b = ProgramBuilder("sp", params=("N",), default_binding={"N": n})
+    N = b.param("N")
+    S = b.array("S", (N, N))
+    A = b.array("A", (N, N))
+    B2 = b.array("B", (N, N))
+    with b.nest("r", weight=4) as nb:
+        i = nb.loop("i", 1, N)
+        j = nb.loop("j", 1, N)
+        nb.assign(A[i, j], S[i, j] + 1.0)
+    with b.nest("t") as nb:
+        i = nb.loop("i", 1, N)
+        j = nb.loop("j", 1, N)
+        nb.assign(B2[i, j], S[j, i] + 1.0)
+    return b.build()
+
+
+class TestEffectiveTile:
+    def test_tile_fits_slab(self):
+        assert _effective_tile(128, 16, 4) == 16  # slab 32, tile 16 divides
+
+    def test_slab_smaller_than_tile(self):
+        assert _effective_tile(128, 48, 16) == 8  # slab 8 < tile
+
+    def test_divisor_search(self):
+        # slab = ceil(100/4) = 25, tile 10 -> largest divisor of 25 <= 10 is 5
+        assert _effective_tile(100, 10, 4) == 5
+
+    def test_single_node_identity(self):
+        assert _effective_tile(128, 48, 1) == 48
+
+
+class TestVersionTiling:
+    def test_all_versions_use_ooc_rule(self):
+        p = build_workload("trans", 16)
+        for name in VERSION_NAMES:
+            cfg = build_version(name, p)
+            nest = cfg.program.nests[0]
+            spec = cfg.tiling(nest)
+            assert spec.tiled[-1] is False or nest.depth == 1, name
+
+
+class TestHoptStorage:
+    def params(self):
+        from dataclasses import replace
+
+        from repro.runtime import MachineParams
+
+        return replace(MachineParams(), memory_fraction=4)
+
+    def test_shared_array_chunked_when_optimizer_reconciles(self):
+        """After c-opt, the second nest is transformed so S's footprints
+        agree across nests — chunking stays profitable and is kept."""
+        cfg = build_version(
+            "h-opt", shared_array_program(), params=self.params()
+        )
+        assert isinstance(cfg.storage_spec["S"], InterleavedStoreSpec)
+
+    def test_inconsistent_shared_array_stays_linear(self):
+        """vpenta's X is read by two nests whose tile shapes differ even
+        after optimization: chunking would over-read, so it stays on a
+        plain linear layout."""
+        cfg = build_version(
+            "h-opt", build_workload("vpenta", 32), params=self.params()
+        )
+        assert isinstance(cfg.storage_spec["X"], LinearStoreSpec)
+        assert isinstance(cfg.storage_spec["E"], LinearStoreSpec)
+
+    def test_single_nest_arrays_chunked(self):
+        cfg = build_version(
+            "h-opt", shared_array_program(), params=self.params()
+        )
+        assert isinstance(cfg.storage_spec["A"], InterleavedStoreSpec)
+        assert isinstance(cfg.storage_spec["B"], InterleavedStoreSpec)
+
+    def test_coaccessed_same_shape_arrays_share_group(self):
+        """vpenta's A and C are accessed identically in the forward
+        elimination: they interleave into one chunked file."""
+        cfg = build_version(
+            "h-opt", build_workload("vpenta", 32), params=self.params()
+        )
+        spec = cfg.storage_spec
+        groups = {}
+        for name, s in spec.items():
+            if isinstance(s, InterleavedStoreSpec):
+                groups.setdefault(s.group, []).append(name)
+        assert any(len(members) >= 2 for members in groups.values()), groups
+
+    def test_blocks_respect_node_count(self):
+        p = build_workload("trans", 64)
+        cfg1 = build_version("h-opt", p, n_nodes=1)
+        cfg16 = build_version("h-opt", p, n_nodes=16)
+        b1 = next(
+            s.block for s in cfg1.storage_spec.values()
+            if isinstance(s, InterleavedStoreSpec)
+        )
+        b16 = next(
+            s.block for s in cfg16.storage_spec.values()
+            if isinstance(s, InterleavedStoreSpec)
+        )
+        assert max(b16) <= max(b1)
+
+
+class TestDecisionsAttached:
+    @pytest.mark.parametrize("name", ["l-opt", "d-opt", "c-opt", "h-opt"])
+    def test_optimized_versions_carry_decision(self, name):
+        cfg = build_version(name, build_workload("trans", 12))
+        assert cfg.decision is not None
+        assert cfg.decision.report
+
+    @pytest.mark.parametrize("name", ["col", "row"])
+    def test_baselines_have_no_decision(self, name):
+        cfg = build_version(name, build_workload("trans", 12))
+        assert cfg.decision is None
+
+    def test_dopt_never_transforms_loops(self):
+        for workload in ("mat", "adi", "syr2k"):
+            cfg = build_version("d-opt", build_workload(workload, 10))
+            for t in cfg.decision.transforms.values():
+                assert t == IMat.identity(t.nrows)

@@ -1,0 +1,62 @@
+import numpy as np
+import pytest
+
+from repro.runtime import IOContext, MachineParams, OutOfCoreArray, ParallelFileSystem
+from repro.layout import col_major
+
+
+class TestCallTrace:
+    def test_disabled_by_default(self):
+        ctx = IOContext(MachineParams())
+        ctx.record_call(0, 0, 4, False)
+        assert ctx.trace is None
+
+    def test_records_single_calls(self):
+        ctx = IOContext(MachineParams(), trace=True)
+        ctx.record_call(100, 5, 4, True)
+        assert ctx.trace == [(100, 5, 4, True)]
+
+    def test_records_batched_runs(self):
+        params = MachineParams(max_request_bytes=8 * 8)
+        ctx = IOContext(params, trace=True)
+        ctx.record_runs(0, np.array([0, 50]), np.array([20, 4]), False)
+        # 20 splits into 8+8+4
+        assert len(ctx.trace) == 4
+        assert ctx.trace[0] == (0, 0, 8, False)
+        assert ctx.trace[-1] == (0, 50, 4, False)
+
+    def test_trace_matches_stats(self):
+        params = MachineParams()
+        ctx = IOContext(params, trace=True)
+        pfs = ParallelFileSystem(params)
+        arr = OutOfCoreArray.create("A", (8, 8), col_major(2), pfs, real=False)
+        arr.count_tile_io(((0, 3), (0, 3)), ctx, is_write=False)
+        assert len(ctx.trace) == ctx.stats.read_calls
+        assert sum(t[2] for t in ctx.trace) == ctx.stats.elements_read
+
+    def test_reset_clears_trace(self):
+        ctx = IOContext(MachineParams(), trace=True)
+        ctx.record_call(0, 0, 4, False)
+        ctx.reset()
+        assert ctx.trace == []
+
+
+class TestRenderTileAccess:
+    def test_paper_pattern_a(self):
+        from repro.experiments.figure3 import FIGURE3_PARAMS, render_tile_access
+
+        pfs = ParallelFileSystem(FIGURE3_PARAMS)
+        v = OutOfCoreArray.create("V", (8, 8), col_major(2), pfs, real=False)
+        grid = render_tile_access(v, ((0, 3), (0, 3)), FIGURE3_PARAMS)
+        lines = grid.splitlines()
+        assert lines[0].split()[:4] == ["1", "2", "3", "4"]
+        assert lines[4].split() == ["."] * 8
+
+    def test_calls_numbered_contiguously(self):
+        from repro.experiments.figure3 import FIGURE3_PARAMS, render_tile_access
+
+        pfs = ParallelFileSystem(FIGURE3_PARAMS)
+        v = OutOfCoreArray.create("V", (8, 8), col_major(2), pfs, real=False)
+        grid = render_tile_access(v, ((0, 7), (0, 1)), FIGURE3_PARAMS)
+        numbers = {int(x) for x in grid.split() if x != "."}
+        assert numbers == {1, 2}

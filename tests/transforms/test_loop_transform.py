@@ -1,0 +1,153 @@
+import pytest
+
+from repro.ir import ProgramBuilder
+from repro.linalg import IMat
+from repro.transforms import (
+    apply_loop_transform,
+    interchange_matrix,
+    permutation_matrix,
+    reversal_matrix,
+    skew_matrix,
+    transformed_loop_vars,
+)
+
+
+def copy_nest(n_default=5):
+    b = ProgramBuilder("t", params=("N",), default_binding={"N": n_default})
+    N = b.param("N")
+    A = b.array("A", (N, N))
+    B = b.array("B", (N, N))
+    with b.nest("n") as nb:
+        i = nb.loop("i", 1, N)
+        j = nb.loop("j", 1, N)
+        nb.assign(A[i, j], B[j, i] + 1.0)
+    return b.build().nests[0]
+
+
+def stencil_nest():
+    b = ProgramBuilder("t", params=("N",), default_binding={"N": 5})
+    N = b.param("N")
+    A = b.array("A", (N, N))
+    with b.nest("n") as nb:
+        i = nb.loop("i", 2, N)
+        j = nb.loop("j", 2, N)
+        nb.assign(A[i, j], A[i - 1, j] + 1.0)
+    return b.build().nests[0]
+
+
+class TestElementary:
+    def test_permutation(self):
+        t = permutation_matrix([2, 0, 1])
+        assert t.matvec((10, 20, 30)) == (30, 10, 20)
+
+    def test_bad_permutation(self):
+        with pytest.raises(ValueError):
+            permutation_matrix([0, 0, 1])
+
+    def test_interchange(self):
+        t = interchange_matrix(3, 0, 2)
+        assert t.matvec((1, 2, 3)) == (3, 2, 1)
+
+    def test_reversal(self):
+        t = reversal_matrix(2, 1)
+        assert t.matvec((1, 2)) == (1, -2)
+
+    def test_skew(self):
+        t = skew_matrix(2, 0, 1, 1)
+        assert t.matvec((3, 4)) == (3, 7)
+        with pytest.raises(ValueError):
+            skew_matrix(2, 1, 1)
+
+    def test_all_unimodular(self):
+        for t in (
+            permutation_matrix([1, 0]),
+            reversal_matrix(2, 0),
+            skew_matrix(3, 0, 2, -2),
+        ):
+            assert abs(t.det()) == 1
+
+
+class TestTransformedLoopVars:
+    def test_avoids_clashes(self):
+        nest = copy_nest()
+        names = transformed_loop_vars(nest)
+        assert len(names) == 2
+        assert not set(names) & {"i", "j", "N"}
+
+    def test_paper_uses_u_v(self):
+        assert transformed_loop_vars(copy_nest()) == ("u", "v")
+
+
+class TestApplyLoopTransform:
+    def test_identity_returns_same(self):
+        nest = copy_nest()
+        assert apply_loop_transform(nest, IMat.identity(2)) is nest
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            apply_loop_transform(copy_nest(), IMat.identity(3))
+
+    def test_non_unimodular_rejected(self):
+        with pytest.raises(ValueError):
+            apply_loop_transform(copy_nest(), IMat([[2, 0], [0, 1]]))
+
+    def test_illegal_transform_rejected(self):
+        b = ProgramBuilder("t", params=("N",), default_binding={"N": 5})
+        N = b.param("N")
+        A = b.array("A", (N, N))
+        with b.nest("n") as nb:
+            i = nb.loop("i", 2, N)
+            j = nb.loop("j", 2, N)
+            nb.assign(A[i, j], A[i - 1, j + 1] + 1.0)
+        nest = b.build().nests[0]
+        with pytest.raises(ValueError):
+            apply_loop_transform(nest, interchange_matrix(2, 0, 1))
+
+    def test_interchange_swaps_subscripts(self):
+        nest = copy_nest()
+        out = apply_loop_transform(nest, interchange_matrix(2, 0, 1))
+        assert out.loop_vars == ("u", "v")
+        # A[i,j] (stored A(i-1, j-1)) with i=v, j=u becomes A(v-1, u-1)
+        stmt = out.body[0]
+        assert str(stmt.lhs) == "A(v - 1, u - 1)"
+
+    def test_interchange_preserves_iteration_multiset(self):
+        nest = copy_nest()
+        out = apply_loop_transform(nest, interchange_matrix(2, 0, 1))
+        orig_stmts = set()
+        for env in nest.iterate({"N": 4}):
+            orig_stmts.add(nest.body[0].lhs.index(env, {"N": 4}))
+        new_stmts = set()
+        for env in out.iterate({"N": 4}):
+            new_stmts.add(out.body[0].lhs.index(env, {"N": 4}))
+        assert orig_stmts == new_stmts
+
+    def test_skew_preserves_iteration_multiset(self):
+        nest = stencil_nest()
+        t = skew_matrix(2, 0, 1, 1)
+        out = apply_loop_transform(nest, t)
+        binding = {"N": 5}
+        orig = {nest.body[0].lhs.index(env, binding) for env in nest.iterate(binding)}
+        new = {out.body[0].lhs.index(env, binding) for env in out.iterate(binding)}
+        assert orig == new
+
+    def test_legal_interchange_on_stencil(self):
+        nest = stencil_nest()
+        out = apply_loop_transform(nest, interchange_matrix(2, 0, 1))
+        assert out.depth == 2
+
+    def test_triangular_bounds_transformed(self):
+        b = ProgramBuilder("t", params=("N",), default_binding={"N": 6})
+        N = b.param("N")
+        A = b.array("A", (N, N))
+        B2 = b.array("B", (N, N))
+        with b.nest("n") as nb:
+            i = nb.loop("i", 1, N)
+            j = nb.loop("j", i, N)
+            nb.assign(A[i, j], B2[j, i] + 1.0)
+        nest = b.build().nests[0]
+        out = apply_loop_transform(nest, interchange_matrix(2, 0, 1))
+        binding = {"N": 6}
+        orig = {(env["i"], env["j"]) for env in nest.iterate(binding)}
+        new = {(env["v"], env["u"]) for env in out.iterate(binding)}
+        assert orig == new

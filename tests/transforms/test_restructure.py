@@ -1,0 +1,290 @@
+import pytest
+
+from repro.ir import ProgramBuilder
+from repro.transforms import can_fuse, distribute, fuse, normalize_program, normalize_tree
+from repro.transforms.normalize import NormalizationError
+from repro.transforms import TilingSpec, levels_carrying_reuse, no_tiling, ooc_tiling, traditional_tiling
+from repro.layout import col_major, row_major
+
+
+def two_copy_nests(shift=0):
+    b = ProgramBuilder("t", params=("N",), default_binding={"N": 5})
+    N = b.param("N")
+    A = b.array("A", (N, N))
+    B = b.array("B", (N, N))
+    C = b.array("C", (N, N))
+    with b.nest("n1") as nb:
+        i = nb.loop("i", 1, N)
+        j = nb.loop("j", 1, N)
+        nb.assign(B[i, j], A[i, j] + 1.0)
+    with b.nest("n2") as nb:
+        i = nb.loop("i", 1, N)
+        j = nb.loop("j", 1, N)
+        if shift:
+            nb.assign(C[i, j], B[i + shift, j] + 1.0)
+        else:
+            nb.assign(C[i, j], B[i, j] + 1.0)
+    p = b.build()
+    return p.nests[0], p.nests[1]
+
+
+class TestFusion:
+    def test_independent_nests_fuse(self):
+        a, b = two_copy_nests()
+        assert can_fuse(a, b)
+        merged = fuse(a, b)
+        assert len(merged.body) == 2
+        assert merged.depth == 2
+
+    def test_forward_dep_fuses(self):
+        # n2 reads B(i, j) written by n1 at the same iteration: legal
+        a, b = two_copy_nests(shift=0)
+        assert can_fuse(a, b)
+
+    def test_backward_dep_blocks_fusion(self):
+        # n2 reads B(i+1, j): after fusion the read at i would happen
+        # before the write at i+1 — original had all writes first
+        a, b = two_copy_nests(shift=1)
+        assert not can_fuse(a, b)
+
+    def test_different_bounds_block_fusion(self):
+        bld = ProgramBuilder("t", params=("N",), default_binding={"N": 5})
+        N = bld.param("N")
+        A = bld.array("A", (N, N))
+        with bld.nest("n1") as nb:
+            i = nb.loop("i", 1, N)
+            j = nb.loop("j", 1, N)
+            nb.assign(A[i, j], 0.0)
+        with bld.nest("n2") as nb:
+            i = nb.loop("i", 2, N)
+            j = nb.loop("j", 1, N)
+            nb.assign(A[i, j], 1.0)
+        p = bld.build()
+        assert not can_fuse(p.nests[0], p.nests[1])
+        with pytest.raises(ValueError):
+            fuse(p.nests[0], p.nests[1])
+
+    def test_fuse_renames_variables(self):
+        bld = ProgramBuilder("t", params=("N",), default_binding={"N": 5})
+        N = bld.param("N")
+        A = bld.array("A", (N, N))
+        B = bld.array("B", (N, N))
+        with bld.nest("n1") as nb:
+            i = nb.loop("i", 1, N)
+            j = nb.loop("j", 1, N)
+            nb.assign(A[i, j], 1.0)
+        with bld.nest("n2") as nb:
+            u = nb.loop("u", 1, N)
+            v = nb.loop("v", 1, N)
+            nb.assign(B[u, v], 2.0)
+        p = bld.build()
+        merged = fuse(p.nests[0], p.nests[1])
+        assert merged.loop_vars == ("i", "j")
+        assert "u" not in str(merged.body[1])
+
+
+class TestDistribution:
+    def test_independent_statements_split(self):
+        bld = ProgramBuilder("t", params=("N",), default_binding={"N": 5})
+        N = bld.param("N")
+        A = bld.array("A", (N, N))
+        B = bld.array("B", (N, N))
+        with bld.nest("n") as nb:
+            i = nb.loop("i", 1, N)
+            j = nb.loop("j", 1, N)
+            nb.assign(A[i, j], 1.0)
+            nb.assign(B[i, j], 2.0)
+        nests = distribute(bld.build().nests[0])
+        assert len(nests) == 2
+        assert [len(n.body) for n in nests] == [1, 1]
+
+    def test_single_statement_unchanged(self):
+        a, _ = two_copy_nests()
+        assert distribute(a) == [a]
+
+    def test_dependence_cycle_stays_together(self):
+        bld = ProgramBuilder("t", params=("N",), default_binding={"N": 5})
+        N = bld.param("N")
+        A = bld.array("A", (N, N))
+        B = bld.array("B", (N, N))
+        with bld.nest("n") as nb:
+            i = nb.loop("i", 2, N)
+            j = nb.loop("j", 2, N)
+            nb.assign(A[i, j], B[i - 1, j] + 1.0)
+            nb.assign(B[i, j], A[i - 1, j] + 1.0)
+        nests = distribute(bld.build().nests[0])
+        assert len(nests) == 1
+
+    def test_chain_distributes_in_order(self):
+        bld = ProgramBuilder("t", params=("N",), default_binding={"N": 5})
+        N = bld.param("N")
+        A = bld.array("A", (N, N))
+        B = bld.array("B", (N, N))
+        C = bld.array("C", (N, N))
+        with bld.nest("n") as nb:
+            i = nb.loop("i", 1, N)
+            j = nb.loop("j", 1, N)
+            nb.assign(B[i, j], A[i, j] + 1.0)
+            nb.assign(C[i, j], B[i, j] + 1.0)
+        nests = distribute(bld.build().nests[0])
+        assert len(nests) == 2
+        assert nests[0].body[0].lhs.array.name == "B"
+        assert nests[1].body[0].lhs.array.name == "C"
+
+
+class TestNormalize:
+    def build_figure1_first_tree(self):
+        """do i { do j {S1}; do j {S2} } — fusable (Figure 1, left nest)."""
+        b = ProgramBuilder("f1", params=("N",), default_binding={"N": 5})
+        N = b.param("N")
+        U = b.array("U", (N, N))
+        V = b.array("V", (N, N))
+        W = b.array("W", (N, N))
+        with b.tree("t0") as t:
+            with t.loop("i", 1, N) as ti:
+                with t.loop("j", 1, N) as tj:
+                    t.assign(U[ti, tj], V[tj, ti] + 1.0)
+                with t.loop("j2", 1, N) as tj2:
+                    t.assign(W[ti, tj2], V[ti, tj2] + 2.0)
+        return b.build()
+
+    def test_fusion_path(self):
+        p = self.build_figure1_first_tree()
+        out = normalize_program(p)
+        assert len(out.nests) == 1
+        assert len(out.nests[0].body) == 2
+        assert out.nests[0].depth == 2
+
+    def test_distribution_path(self):
+        # inner loops with different bounds cannot fuse -> distribute i
+        b = ProgramBuilder("f2", params=("N",), default_binding={"N": 5})
+        N = b.param("N")
+        X = b.array("X", (N, N))
+        Y = b.array("Y", (N, N))
+        with b.tree() as t:
+            with t.loop("i", 1, N) as ti:
+                with t.loop("j", 1, N) as tj:
+                    t.assign(X[ti, tj], 1.0)
+                with t.loop("j2", 2, N) as tj2:
+                    t.assign(Y[ti, tj2], 2.0)
+        out = normalize_program(b.build())
+        assert len(out.nests) == 2
+
+    def test_sinking_path(self):
+        # statement before an inner loop gets guarded into it
+        b = ProgramBuilder("f3", params=("N",), default_binding={"N": 5})
+        N = b.param("N")
+        X = b.array("X", (N,))
+        Y = b.array("Y", (N, N))
+        with b.tree() as t:
+            with t.loop("i", 1, N) as ti:
+                t.assign(X[ti], 0.0)
+                with t.loop("j", 1, N) as tj:
+                    t.assign(Y[ti, tj], X[ti] + 1.0)
+        out = normalize_program(b.build())
+        assert len(out.nests) == 1
+        nest = out.nests[0]
+        assert len(nest.body) == 2
+        guarded = [s for s in nest.body if s.guards]
+        assert len(guarded) == 1
+        # the guard pins j to its lower bound
+        assert guarded[0].guarded_on({"i": 3, "j": 1, "N": 5})
+        assert not guarded[0].guarded_on({"i": 3, "j": 2, "N": 5})
+
+    def test_illegal_distribution_raises(self):
+        # second inner loop writes what the first reads at later i:
+        # distributing i would reverse the order; different bounds block fusion
+        b = ProgramBuilder("f4", params=("N",), default_binding={"N": 5})
+        N = b.param("N")
+        X = b.array("X", (2 * N, N))
+        with b.tree() as t:
+            with t.loop("i", 1, N) as ti:
+                with t.loop("j", 1, N) as tj:
+                    t.assign(X[ti, tj], X[ti + 1, tj] + 1.0)
+                with t.loop("j2", 2, N) as tj2:
+                    t.assign(X[ti + 1, tj2], 5.0)
+        with pytest.raises(NormalizationError):
+            normalize_program(b.build())
+
+    def test_program_without_trees_unchanged(self):
+        a, _ = two_copy_nests()
+        b = ProgramBuilder("x", params=("N",), default_binding={"N": 5})
+        p = self_contained(a)
+        assert normalize_program(p) is p
+
+    def test_statement_multiset_preserved(self):
+        p = self.build_figure1_first_tree()
+        out = normalize_program(p)
+        orig = sorted(str(s.lhs.array.name) for s in p.trees[0].statements())
+        new = sorted(s.lhs.array.name for n in out.nests for s in n.body)
+        assert orig == new
+
+
+def self_contained(nest):
+    from repro.ir import Program
+
+    arrays = []
+    seen = set()
+    for _, ref, _ in nest.refs():
+        if ref.array.name not in seen:
+            seen.add(ref.array.name)
+            arrays.append(ref.array)
+    return Program.make("p", arrays, [nest], nest.params, {"N": 5})
+
+
+class TestTiling:
+    def test_specs(self):
+        a, _ = two_copy_nests()
+        assert traditional_tiling(a).tiled == (True, True)
+        assert ooc_tiling(a).tiled == (True, False)
+        assert no_tiling(a).tiled == (False, False)
+        assert ooc_tiling(a).describe() == "T."
+
+    def test_depth1_ooc_still_tiles(self):
+        b = ProgramBuilder("t", params=("N",), default_binding={"N": 5})
+        N = b.param("N")
+        X = b.array("X", (N,))
+        with b.nest() as nb:
+            i = nb.loop("i", 1, N)
+            nb.assign(X[i], 1.0)
+        assert ooc_tiling(b.build().nests[0]).tiled == (True,)
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ValueError):
+            TilingSpec(())
+
+    def test_levels_carrying_reuse(self):
+        # B(j, i) read in nest (i, j): j strides rows -> temporal none;
+        # with col-major B, innermost j walks down a column: spatial at j=...
+        b = ProgramBuilder("t", params=("N",), default_binding={"N": 5})
+        N = b.param("N")
+        A = b.array("A", (N, N))
+        X = b.array("X", (N,))
+        with b.nest() as nb:
+            i = nb.loop("i", 1, N)
+            j = nb.loop("j", 1, N)
+            nb.assign(A[i, j], X[i] + 1.0)
+        nest = b.build().nests[0]
+        reuse = levels_carrying_reuse(
+            nest, {"A": row_major(2), "X": row_major(1)}
+        )
+        # X(i) has temporal reuse in j (level 1); A(i,j) spatial in j under
+        # row-major: level 1 carries reuse; level 0 carries none
+        assert reuse == (False, True)
+
+    def test_reuse_with_col_major(self):
+        b = ProgramBuilder("t", params=("N",), default_binding={"N": 5})
+        N = b.param("N")
+        A = b.array("A", (N, N))
+        B2 = b.array("B", (N, N))
+        with b.nest() as nb:
+            i = nb.loop("i", 1, N)
+            j = nb.loop("j", 1, N)
+            nb.assign(A[i, j], B2[j, i] + 1.0)
+        nest = b.build().nests[0]
+        reuse = levels_carrying_reuse(
+            nest, {"A": row_major(2), "B": col_major(2)}
+        )
+        # A spatial in j (row-major); B(j,i): innermost j moves first
+        # subscript; col-major hyperplane (0,1): g·col = 0 -> spatial at j
+        assert reuse[1] is True

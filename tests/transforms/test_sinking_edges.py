@@ -1,0 +1,117 @@
+"""Code sinking details: exit-guarded statements, nested sinking, and
+semantic preservation of the normalized forms."""
+
+import numpy as np
+import pytest
+
+from repro.engine import interpret_program
+from repro.engine.interpreter import initial_arrays, interpret_nest
+from repro.ir import ProgramBuilder
+from repro.transforms import normalize_program
+
+
+def interpret_tree(program, binding, storage):
+    """Reference semantics of the imperfect trees: walk them directly."""
+    from repro.ir.tree import LoopNode, StmtNode
+
+    def load(ref, env):
+        return float(storage[ref.array.name][ref.index(env, binding)])
+
+    def walk(node, env):
+        if isinstance(node, StmtNode):
+            full = {**binding, **env}
+            if node.stmt.guards and not node.stmt.guarded_on(full):
+                return
+            value = node.stmt.rhs.evaluate(full, load)
+            storage[node.stmt.lhs.array.name][
+                node.stmt.lhs.index(env, binding)
+            ] = value
+            return
+        lo = max(b.eval_lower({**binding, **env}) for b in node.loop.lowers)
+        hi = min(b.eval_upper({**binding, **env}) for b in node.loop.uppers)
+        for v in range(lo, hi + 1):
+            env[node.loop.var] = v
+            for child in node.children:
+                walk(child, env)
+            del env[node.loop.var]
+
+    for tree in program.trees:
+        walk(tree, {})
+
+
+class TestExitGuardSinking:
+    def build(self):
+        b = ProgramBuilder("s", params=("N",), default_binding={"N": 5})
+        N = b.param("N")
+        X = b.array("X", (N,))
+        Y = b.array("Y", (N, N))
+        with b.tree() as t:
+            with t.loop("i", 1, N) as ti:
+                with t.loop("j", 1, N) as tj:
+                    t.assign(Y[ti, tj], Y[ti, tj] + 1.0)
+                t.assign(X[ti], Y[ti, 3] * 2.0)  # after the j loop
+        return b.build()
+
+    def test_statement_sunk_with_exit_guard(self):
+        out = normalize_program(self.build())
+        assert len(out.nests) == 1
+        guarded = [s for s in out.nests[0].body if s.guards]
+        assert len(guarded) == 1
+        # runs only on the last j iteration
+        assert guarded[0].guarded_on({"i": 2, "j": 5, "N": 5})
+        assert not guarded[0].guarded_on({"i": 2, "j": 4, "N": 5})
+
+    def test_semantics_preserved(self):
+        p = self.build()
+        binding = p.binding()
+        init = initial_arrays(p, binding)
+        ref = {k: v.copy() for k, v in init.items()}
+        interpret_tree(p, binding, ref)
+        out = normalize_program(p)
+        got = interpret_program(out, initial=init)
+        for name in ("X", "Y"):
+            np.testing.assert_allclose(got[name], ref[name])
+
+
+class TestMixedSinkingAndFusion:
+    def test_pre_and_post_statements(self):
+        b = ProgramBuilder("m", params=("N",), default_binding={"N": 4})
+        N = b.param("N")
+        X = b.array("X", (N,))
+        Y = b.array("Y", (N, N))
+        Z = b.array("Z", (N,))
+        with b.tree() as t:
+            with t.loop("i", 1, N) as ti:
+                t.assign(X[ti], 0.0)  # before: entry guard
+                with t.loop("j", 1, N) as tj:
+                    t.assign(Y[ti, tj], X[ti] + 1.0)
+                t.assign(Z[ti], Y[ti, 1])  # after: exit guard
+        p = b.build()
+        binding = p.binding()
+        init = initial_arrays(p, binding)
+        ref = {k: v.copy() for k, v in init.items()}
+        interpret_tree(p, binding, ref)
+        out = normalize_program(p)
+        assert len(out.nests) == 1
+        assert len(out.nests[0].body) == 3
+        got = interpret_program(out, initial=init)
+        for name in ("X", "Y", "Z"):
+            np.testing.assert_allclose(got[name], ref[name], err_msg=name)
+
+    def test_three_sibling_loops_fuse(self):
+        b = ProgramBuilder("f", params=("N",), default_binding={"N": 4})
+        N = b.param("N")
+        A = b.array("A", (N, N))
+        B2 = b.array("B", (N, N))
+        C = b.array("C", (N, N))
+        with b.tree() as t:
+            with t.loop("i", 1, N) as ti:
+                with t.loop("j", 1, N) as tj:
+                    t.assign(A[ti, tj], 1.0)
+                with t.loop("j2", 1, N) as tj2:
+                    t.assign(B2[ti, tj2], A[ti, tj2] + 1.0)
+                with t.loop("j3", 1, N) as tj3:
+                    t.assign(C[ti, tj3], B2[ti, tj3] + 1.0)
+        out = normalize_program(b.build())
+        assert len(out.nests) == 1
+        assert len(out.nests[0].body) == 3

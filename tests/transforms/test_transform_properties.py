@@ -1,0 +1,100 @@
+"""Algebraic properties of loop transformations, checked semantically."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import interpret_program
+from repro.engine.interpreter import initial_arrays
+from repro.ir import Program, ProgramBuilder
+from repro.linalg import IMat
+from repro.transforms import apply_loop_transform
+
+UNIMODULAR_2X2 = [
+    [[1, 0], [0, 1]],
+    [[0, 1], [1, 0]],
+    [[1, 1], [0, 1]],
+    [[1, 0], [1, 1]],
+    [[1, -1], [0, 1]],
+    [[2, 1], [1, 1]],
+]
+
+
+def copy_program(n=5):
+    b = ProgramBuilder("t", params=("N",), default_binding={"N": n})
+    N = b.param("N")
+    A = b.array("A", (N, N))
+    B2 = b.array("B", (N, N))
+    with b.nest("n") as nb:
+        i = nb.loop("i", 1, N)
+        j = nb.loop("j", 1, N)
+        nb.assign(A[i, j], B2[j, i] + 1.0)
+    return b.build()
+
+
+def run(program: Program) -> dict:
+    init = initial_arrays(program, program.binding())
+    return interpret_program(program, initial=init)
+
+
+class TestComposition:
+    @settings(max_examples=25, deadline=None)
+    @given(st.sampled_from(UNIMODULAR_2X2), st.sampled_from(UNIMODULAR_2X2))
+    def test_sequential_equals_composed(self, rows1, rows2):
+        """Applying T1 then T2 equals applying T2·T1 (both legal here:
+        the nest has no dependences)."""
+        p = copy_program()
+        nest = p.nests[0]
+        t1, t2 = IMat(rows1), IMat(rows2)
+        step = apply_loop_transform(
+            apply_loop_transform(nest, t1, check_legality=False),
+            t2,
+            check_legality=False,
+        )
+        composed = apply_loop_transform(nest, t2 @ t1, check_legality=False)
+        binding = {"N": 5}
+        pts_step = {
+            tuple(env[v] for v in step.loop_vars)
+            for env in step.iterate(binding)
+        }
+        pts_comp = {
+            tuple(env[v] for v in composed.loop_vars)
+            for env in composed.iterate(binding)
+        }
+        assert pts_step == pts_comp
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.sampled_from(UNIMODULAR_2X2))
+    def test_inverse_restores_iteration_space(self, rows):
+        p = copy_program()
+        nest = p.nests[0]
+        t = IMat(rows)
+        back = apply_loop_transform(
+            apply_loop_transform(nest, t, check_legality=False),
+            t.inverse_unimodular(),
+            check_legality=False,
+        )
+        binding = {"N": 5}
+        orig = {
+            tuple(env[v] for v in nest.loop_vars)
+            for env in nest.iterate(binding)
+        }
+        restored = {
+            tuple(env[v] for v in back.loop_vars)
+            for env in back.iterate(binding)
+        }
+        assert orig == restored
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.sampled_from(UNIMODULAR_2X2))
+    def test_any_unimodular_transform_preserves_results(self, rows):
+        """Dependence-free nest: every unimodular reordering computes the
+        same arrays."""
+        p = copy_program()
+        transformed = p.with_nests(
+            [apply_loop_transform(p.nests[0], IMat(rows), check_legality=False)]
+        )
+        expect = run(p)
+        got = run(transformed)
+        np.testing.assert_allclose(got["A"], expect["A"])
