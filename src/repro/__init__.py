@@ -70,6 +70,7 @@ from .optimizer import (
     optimize_program,
 )
 from .runtime import IOStats, MachineParams, OutOfCoreArray, ParallelFileSystem
+from .cache import CacheConfig, CacheMetrics, TileCache
 from .engine import OOCExecutor, generate_tiled_code, interpret_program
 from .parallel import run_version_parallel, speedup_curve
 from .workloads import WORKLOADS, build_workload
@@ -114,6 +115,9 @@ __all__ = [
     "optimize_nest",
     "optimize_program",
     # runtime & engine
+    "CacheConfig",
+    "CacheMetrics",
+    "TileCache",
     "IOStats",
     "MachineParams",
     "OutOfCoreArray",

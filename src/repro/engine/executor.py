@@ -7,11 +7,20 @@ single-node experiments; :mod:`repro.parallel` wraps it per SPMD node.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dc_replace
 from typing import Callable, Mapping
 
 import numpy as np
 
+from ..cache import (
+    CacheConfig,
+    CacheMetrics,
+    DoubleBufferModel,
+    PrefetchScheduler,
+    TileCache,
+    make_policy,
+)
+from ..cache.tile_cache import CacheEntry
 from ..ir.nest import LoopNest
 from ..ir.program import Program
 from ..layout import Layout, row_major
@@ -25,7 +34,8 @@ from ..runtime import (
     OutOfCoreArray,
     ParallelFileSystem,
 )
-from ..runtime.ooc_array import Region, region_size
+from ..runtime.ooc_array import Region, region_size, runs_of
+from ..runtime.stats import plan_runs
 from ..transforms.tiling import TilingSpec, ooc_tiling
 from .interpreter import (
     initial_arrays,
@@ -66,10 +76,22 @@ class RunResult:
     nest_runs: list[NestRun]
     peak_memory: int
     over_budget_tiles: int = 0
+    cache_metrics: CacheMetrics | None = None
 
     @property
     def serial_time_s(self) -> float:
         return self.stats.total_time_s
+
+    @property
+    def overlapped_time_s(self) -> float:
+        """Estimated wall time with double-buffered prefetch: the serial
+        time minus the prefetch I/O the cost model hides under compute."""
+        saved = (
+            self.cache_metrics.overlapped_io_s
+            if self.cache_metrics is not None
+            else 0.0
+        )
+        return self.stats.total_time_s - saved
 
 
 class _LinearStore:
@@ -94,6 +116,13 @@ class _LinearStore:
     def load_ndarray(self, name, values):
         self.arrays[name].load_ndarray(values)
 
+    def estimate_read(self, name, region, params) -> tuple[int, int]:
+        """(calls, elements) a read of the region would cost — the exact
+        sieve/split planning of ``record_runs``, without recording."""
+        offsets, lengths = runs_of(self.arrays[name].addresses(region))
+        offsets, lengths = plan_runs(params, offsets, lengths)
+        return int(offsets.size), int(lengths.sum())
+
 
 class _InterleavedStore:
     def __init__(self, store: InterleavedChunkedStore):
@@ -110,6 +139,16 @@ class _InterleavedStore:
 
     def load_ndarray(self, name, values):
         self.store.load_ndarray(name, values)
+
+    def estimate_read(self, name, region, params) -> tuple[int, int]:
+        """(calls, elements) for a standalone whole-chunk read of the
+        region.  Upper bound for combined multi-array requests — a hit
+        cannot participate in another request's merged super-run."""
+        ids = np.unique(self.store.chunk_ids(name, region))
+        offsets, lengths = runs_of(ids)
+        bs = self.store._block_slots
+        offsets, lengths = plan_runs(params, offsets * bs, lengths * bs)
+        return int(offsets.size), int(lengths.sum())
 
 
 class OOCExecutor:
@@ -145,6 +184,7 @@ class OOCExecutor:
         pfs: ParallelFileSystem | None = None,
         node_slice: tuple[int, int] | None = None,
         vectorize: bool = True,
+        cache: CacheConfig | None = None,
     ):
         if node_slice is not None:
             rank, n_nodes = node_slice
@@ -215,6 +255,30 @@ class OOCExecutor:
 
         self.memory = MemoryManager(self.memory_budget)
         self._over_budget_tiles = 0
+        # tile cache + prefetch (repro.cache); the cache budget is carved
+        # out of the memory budget, so resident cache tiles plus in-flight
+        # compute tiles together stay under the per-node budget and the
+        # planner sizes tiles against the remainder only
+        self._cache_cfg = cache if cache is not None and cache.enabled else None
+        self._plan_budget = self.memory_budget
+        self._cache: TileCache | None = None
+        self._prefetcher: PrefetchScheduler | None = None
+        self._overlap: DoubleBufferModel | None = None
+        if self._cache_cfg is not None:
+            cfg = self._cache_cfg
+            cache_budget = cfg.resolve_budget(self.memory_budget)
+            if cache_budget >= self.memory_budget:
+                raise ValueError(
+                    f"cache budget {cache_budget} must leave memory for "
+                    f"compute tiles (budget {self.memory_budget})"
+                )
+            self._plan_budget = self.memory_budget - cache_budget
+            self._cache = TileCache(
+                cache_budget, make_policy(cfg.policy), memory=self.memory
+            )
+            if cfg.prefetch:
+                self._prefetcher = PrefetchScheduler(cfg.prefetch_depth)
+                self._overlap = DoubleBufferModel(self._cache.metrics)
         # real-mode fast path: vectorize the innermost loop when no
         # dependence is carried by it (scalar fallback otherwise)
         self._vectorizable: dict[str, bool] = {}
@@ -235,9 +299,12 @@ class OOCExecutor:
         for nest in self.program.nests:
             spec = self._tiling_for(nest)
             plan = plan_nest(
-                nest, spec, self.memory_budget, self.binding, self.shapes
+                nest, spec, self._plan_budget, self.binding, self.shapes
             )
-            if self.real:
+            # with a live cache, weight repetitions are executed (not
+            # scaled): the cache warms across repetitions, so repetition
+            # stats are not multiples of the first pass
+            if self.real or self._cache is not None:
                 total = IOStats()
                 tiles = 0
                 for _ in range(nest.weight):
@@ -262,12 +329,21 @@ class OOCExecutor:
                 ctx.stats = ctx.stats.merge(scaled)
                 ctx.io_node_load += local.io_node_load * w
                 nest_runs.append(NestRun(nest.name, plan, scaled, tiles))
+        # snapshot the counters: the cache (and its live metrics) outlives
+        # this run, so the result must not mutate retroactively if run()
+        # is called again; counters stay cumulative over the cache's life
+        metrics = (
+            dc_replace(self._cache.metrics) if self._cache is not None else None
+        )
+        if metrics is not None:
+            ctx.stats.cache = metrics
         return RunResult(
             ctx.stats,
             ctx.io_node_load,
             nest_runs,
             self.memory.peak,
             self._over_budget_tiles,
+            metrics,
         )
 
     # -- internals -----------------------------------------------------------
@@ -360,6 +436,11 @@ class OOCExecutor:
         return total
 
     def _run_nest(self, nest: LoopNest, plan: NestPlan, ctx: IOContext) -> int:
+        if self._cache is not None:
+            return self._run_nest_cached(nest, plan, ctx)
+        return self._run_nest_plain(nest, plan, ctx)
+
+    def _run_nest_plain(self, nest: LoopNest, plan: NestPlan, ctx: IOContext) -> int:
         from .footprint import nest_footprints
 
         tiles_executed = 0
@@ -433,3 +514,300 @@ class OOCExecutor:
                 self.memory.free(total_fp)
             tiles_executed += 1
         return tiles_executed
+
+    # -- cached execution (repro.cache) -----------------------------------
+
+    def _run_nest_cached(
+        self, nest: LoopNest, plan: NestPlan, ctx: IOContext
+    ) -> int:
+        """Tile loop with the tile cache between executor and stores.
+
+        Differences from the plain path: reads consult the cache first
+        (hits skip the file and record saved calls/volume), writes go
+        write-back or write-through per the config, the prefetcher
+        fetches upcoming tiles of the statically known walk, and all
+        dirty tiles are flushed at the nest boundary — clean data stays
+        resident, which is what enables cross-nest reuse.
+        """
+        from .footprint import nest_footprints
+
+        cache = self._cache
+        assert cache is not None
+        # the tile-space walk is static: enumerate it up front so the
+        # prefetcher knows every upcoming read set
+        tiles: list[tuple[dict[str, tuple[int, int]], dict]] = []
+        for windows in self._tile_windows(nest, plan):
+            var_ranges = self._tile_var_ranges(nest, windows)
+            if var_ranges is None:
+                continue
+            fps = nest_footprints(nest, var_ranges, self.binding, self.shapes)
+            fps = {
+                name: (region, r, w)
+                for name, (region, r, w) in fps.items()
+                if region_size(region) > 0
+            }
+            if fps:
+                tiles.append((windows, fps))
+        if self._prefetcher is not None:
+            self._prefetcher.begin_nest(
+                [
+                    [(name, region) for name, (region, _, _) in fps.items()]
+                    for _, fps in tiles
+                ]
+            )
+
+        for t, (windows, fps) in enumerate(tiles):
+            total_fp = sum(region_size(region) for region, _, _ in fps.values())
+            allocated = False
+            if not plan.over_budget:
+                try:
+                    self.memory.allocate(total_fp)
+                    allocated = True
+                except MemoryBudgetExceeded:
+                    self.memory.peak = max(
+                        self.memory.peak, self.memory.in_use + total_fp
+                    )
+                    self._over_budget_tiles += 1
+
+            tiles_data = self._read_tiles_cached(fps, ctx)
+
+            compute_before = ctx.stats.compute_time_s
+            if self.real:
+                regions = {name: region for name, (region, _, _) in fps.items()}
+                runner = (
+                    run_element_loops_vectorized
+                    if self._vectorizable.get(nest.name)
+                    else run_element_loops
+                )
+                count = runner(
+                    nest, self.binding, windows, tiles_data, regions
+                )
+                ctx.record_compute(count, len(nest.body))
+            else:
+                count = self._estimate_iterations(nest, windows)
+                ctx.record_compute(count, len(nest.body))
+            compute_s = ctx.stats.compute_time_s - compute_before
+
+            self._write_tiles_cached(fps, tiles_data, ctx)
+
+            if self._prefetcher is not None:
+                prefetch_io = self._prefetch_tiles(
+                    self._prefetcher.requests_after(t), ctx
+                )
+                self._overlap.note_tile(compute_s, prefetch_io)
+
+            if allocated:
+                self.memory.free(total_fp)
+        # nest boundary: dirty tiles land on disk; clean data stays
+        # resident for the next nest (or weight repetition)
+        self._write_entries(cache.flush_all(), ctx)
+        return len(tiles)
+
+    def _read_tiles_cached(
+        self, fps: Mapping[str, tuple], ctx: IOContext
+    ) -> dict[str, np.ndarray | None]:
+        cache = self._cache
+        tiles_data: dict[str, np.ndarray | None] = {}
+        miss_by_store: dict[int, list[tuple[str, Region]]] = {}
+        for name, (region, _, _) in fps.items():
+            resident = cache.peek(name, region)
+            prefetch_first_use = resident is not None and resident.prefetched
+            entry = cache.lookup(name, region)
+            if entry is not None:
+                tiles_data[name] = (
+                    None if entry.data is None else entry.data.copy()
+                )
+                # a prefetched tile's first use is prepaid I/O, not
+                # avoided I/O — only genuine reuse counts as savings
+                if not prefetch_first_use:
+                    calls, elems = self._stores[name].estimate_read(
+                        name, region, self.params
+                    )
+                    cache.metrics.read_calls_saved += calls
+                    cache.metrics.elements_saved += elems
+            else:
+                store = self._stores[name]
+                if isinstance(store, _LinearStore):
+                    # linear stores can read partial regions: serve
+                    # whatever overlapping resident tiles cover and
+                    # fetch only the remainder
+                    tiles_data[name] = self._fetch_linear(
+                        store, name, region, ctx
+                    )
+                    continue
+                # interleaved stores transfer whole chunks — exact hits
+                # only; overlapping dirty data must reach the file
+                # before we read the region from it
+                self._write_entries(
+                    cache.flush_overlapping(name, region), ctx
+                )
+                miss_by_store.setdefault(id(store), []).append(
+                    (name, region)
+                )
+        for requests in miss_by_store.values():
+            store = self._stores[requests[0][0]]
+            got = store.read_many(requests, ctx)
+            for name, region in requests:
+                tiles_data[name] = got[name]
+                self._cache_insert(name, region, got[name], ctx)
+        return tiles_data
+
+    def _fetch_linear(
+        self,
+        store: _LinearStore,
+        name: str,
+        region: Region,
+        ctx: IOContext,
+        *,
+        prefetched: bool = False,
+    ) -> np.ndarray | None:
+        """Read one linear-store region through the cache's coverage map.
+
+        Consecutive tiles of the walk overlap (stencil halos, growing
+        bounding-box hulls), so the dominant reuse is *partial*: resident
+        tiles cover part of the region and only the uncovered remainder
+        needs the file.  Punching holes in a contiguous run can increase
+        the call count, so the remainder is priced against the full read
+        with the exact run planning and only taken when cheaper."""
+        cache = self._cache
+        arr = store.arrays[name]
+        p = self.params
+        cov = cache.coverage(name, region)
+        if cov is not None:
+            mask, entries = cov
+            addrs = arr.addresses(region)
+            f_off, f_len = plan_runs(p, *runs_of(addrs))
+            need = addrs[~mask.ravel()]
+            r_off, r_len = plan_runs(p, *runs_of(need))
+            per_el = p.element_size / p.io_bandwidth_bps
+            t_full = f_off.size * p.io_latency_s + int(f_len.sum()) * per_el
+            t_rem = r_off.size * p.io_latency_s + int(r_len.sum()) * per_el
+            if t_rem < t_full:
+                data = arr.read_tile_partial(region, mask, ctx)
+                if data is not None:
+                    cache.fill_from(data, region, entries)
+                m = cache.metrics
+                if not prefetched:
+                    m.partial_hits += 1
+                m.read_calls_saved += int(f_off.size) - int(r_off.size)
+                m.elements_saved += int(f_len.sum()) - int(r_len.sum())
+                self._cache_insert(name, region, data, ctx, prefetched=prefetched)
+                return data
+            # not worth splitting the runs: read the whole region — the
+            # dirty overlaps must land on the file first
+            self._write_entries(cache.flush_overlapping(name, region), ctx)
+        data = arr.read_tile(region, ctx)
+        self._cache_insert(name, region, data, ctx, prefetched=prefetched)
+        return data
+
+    def _write_tiles_cached(
+        self,
+        fps: Mapping[str, tuple],
+        tiles_data: Mapping[str, np.ndarray | None],
+        ctx: IOContext,
+    ) -> None:
+        cache = self._cache
+        writes = [
+            (name, region, tiles_data.get(name))
+            for name, (region, _, written) in fps.items()
+            if written
+        ]
+        if not writes:
+            return
+        for name, region, _ in writes:
+            # older dirty overlaps must land first (they own cells outside
+            # this region); then drop now-stale overlapping entries
+            self._write_entries(
+                cache.flush_overlapping(name, region, exclude_exact=True), ctx
+            )
+            cache.invalidate_overlapping(name, region, exclude_exact=True)
+        if self._cache_cfg.write_back:
+            direct: list[tuple[str, Region, np.ndarray | None]] = []
+            for name, region, data in writes:
+                if not self._cache_insert(name, region, data, ctx, dirty=True):
+                    direct.append((name, region, data))
+            self._write_requests(direct, ctx)
+        else:
+            self._write_requests(writes, ctx)
+            for name, region, data in writes:
+                self._cache_insert(name, region, data, ctx)
+
+    def _prefetch_tiles(
+        self, requests: list[tuple[str, Region]], ctx: IOContext
+    ) -> float:
+        """Fetch upcoming tiles into the cache; returns the serial I/O
+        seconds spent (the overlap model decides how much of that a
+        second buffer would hide)."""
+        cache = self._cache
+        io_before = ctx.stats.io_time_s
+        miss_by_store: dict[int, list[tuple[str, Region]]] = {}
+        for name, region in requests:
+            if cache.peek(name, region) is not None or not cache.fits(region):
+                continue
+            store = self._stores[name]
+            if isinstance(store, _LinearStore):
+                self._fetch_linear(store, name, region, ctx, prefetched=True)
+                cache.metrics.prefetch_issued += 1
+                continue
+            self._write_entries(cache.flush_overlapping(name, region), ctx)
+            miss_by_store.setdefault(id(store), []).append((name, region))
+        for reqs in miss_by_store.values():
+            store = self._stores[reqs[0][0]]
+            got = store.read_many(reqs, ctx)
+            for name, region in reqs:
+                self._cache_insert(name, region, got[name], ctx, prefetched=True)
+                cache.metrics.prefetch_issued += 1
+        return ctx.stats.io_time_s - io_before
+
+    def _cache_insert(
+        self,
+        name: str,
+        region: Region,
+        data: np.ndarray | None,
+        ctx: IOContext,
+        *,
+        dirty: bool = False,
+        prefetched: bool = False,
+    ) -> bool:
+        """Offer a tile to the cache; returns whether it became resident
+        (a declined *dirty* tile must be written directly by the caller)."""
+        cache = self._cache
+        if not cache.fits(region):
+            return False
+        cost_s = 0.0
+        if cache.policy.uses_cost:
+            calls, elems = self._stores[name].estimate_read(
+                name, region, self.params
+            )
+            p = self.params
+            cost_s = calls * p.io_latency_s + (
+                elems * p.element_size / p.io_bandwidth_bps
+            )
+        accepted, evicted = cache.insert(
+            name, region, data,
+            dirty=dirty, prefetched=prefetched, cost_s=cost_s,
+        )
+        # evicted dirty tiles must be written back through the stores
+        self._write_entries(evicted, ctx)
+        return accepted
+
+    def _write_entries(
+        self, entries: list[CacheEntry], ctx: IOContext
+    ) -> None:
+        self._write_requests(
+            [(e.name, e.region, e.data) for e in entries], ctx
+        )
+
+    def _write_requests(
+        self, requests: list[tuple[str, Region, np.ndarray | None]], ctx: IOContext
+    ) -> None:
+        if not requests:
+            return
+        by_store: dict[int, list[tuple[str, Region, np.ndarray | None]]] = {}
+        for name, region, data in requests:
+            by_store.setdefault(id(self._stores[name]), []).append(
+                (name, region, data)
+            )
+        for reqs in by_store.values():
+            store = self._stores[reqs[0][0]]
+            store.write_many(reqs, ctx)

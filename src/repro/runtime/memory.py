@@ -36,6 +36,8 @@ class MemoryManager:
 
     def free(self, n_elements: int) -> None:
         n_elements = int(n_elements)
+        if n_elements < 0:
+            raise ValueError("cannot free a negative amount")
         if n_elements > self.in_use:
             raise ValueError("freeing more than allocated")
         self.in_use -= n_elements

@@ -125,6 +125,30 @@ class OutOfCoreArray:
         sizes = [hi - lo + 1 for lo, hi in region]
         return self.file.gather(addrs).reshape(sizes)
 
+    def read_tile_partial(
+        self, region: Region, skip_mask: np.ndarray, ctx: IOContext
+    ) -> np.ndarray | None:
+        """Fetch only the elements of ``region`` where ``skip_mask`` is
+        False; the caller supplies the rest (e.g. from a tile cache).
+        Skipped positions are left zero in the returned tile.  Only the
+        transferred runs are accounted — note that punching holes in a
+        contiguous run can *increase* the call count, so callers should
+        price the remainder against the full read first."""
+        addrs = self.addresses(region)
+        flat_skip = np.asarray(skip_mask, dtype=bool).ravel()
+        if flat_skip.size != addrs.size:
+            raise ValueError("skip mask does not match region")
+        need = addrs[~flat_skip]
+        offsets, lengths = runs_of(need)
+        self.file.account_runs(ctx, offsets, lengths, is_write=False)
+        if not self.file.real:
+            return None
+        sizes = [hi - lo + 1 for lo, hi in region]
+        out = np.zeros(flat_skip.size, dtype=np.float64)
+        if need.size:
+            out[~flat_skip] = self.file.gather(need)
+        return out.reshape(sizes)
+
     def write_tile(
         self, region: Region, data: np.ndarray | None, ctx: IOContext
     ) -> None:

@@ -8,11 +8,15 @@ cheaply.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from .params import MachineParams
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cache → stats)
+    from ..cache.metrics import CacheMetrics
 
 
 def _sieve(
@@ -22,6 +26,10 @@ def _sieve(
     single spanning calls (the gap bytes are transferred and discarded —
     or rewritten unchanged for writes, which are tile-level
     read-modify-write here).  Runs must be disjoint."""
+    if offsets.size <= 1:
+        # nothing to merge: zero runs (no gaps at all) or a single run
+        # (whose "gaps" array would otherwise index out of bounds)
+        return offsets, lengths
     order = np.argsort(offsets, kind="stable")
     offsets, lengths = offsets[order], lengths[order]
     ends = offsets + lengths
@@ -34,6 +42,39 @@ def _sieve(
     return new_offsets, new_lengths
 
 
+def plan_runs(
+    params: MachineParams, offsets: np.ndarray, lengths: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """The exact I/O calls :meth:`IOContext.record_runs` would issue for a
+    batch of contiguous runs: sieve small gaps, then split runs longer
+    than the maximum request size.  Pure — no accounting is recorded —
+    so the tile cache can price *avoided* transfers identically."""
+    offsets = np.asarray(offsets, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if offsets.size == 0:
+        return offsets, lengths
+    maxe = params.max_request_elements
+    if params.sieve_gap_bytes and offsets.size > 1:
+        offsets, lengths = _sieve(
+            offsets, lengths, params.sieve_gap_bytes // params.element_size
+        )
+        if params.sieve_buffer_bytes:
+            maxe = min(maxe, params.sieve_buffer_bytes // params.element_size)
+    if (lengths > maxe).any():
+        pieces_off: list[np.ndarray] = []
+        pieces_len: list[np.ndarray] = []
+        counts = -(-lengths // maxe)
+        for off, ln, cnt in zip(offsets, lengths, counts):
+            starts = off + maxe * np.arange(cnt, dtype=np.int64)
+            plen = np.full(cnt, maxe, dtype=np.int64)
+            plen[-1] = ln - maxe * (cnt - 1)
+            pieces_off.append(starts)
+            pieces_len.append(plen)
+        offsets = np.concatenate(pieces_off)
+        lengths = np.concatenate(pieces_len)
+    return offsets, lengths
+
+
 @dataclass
 class IOStats:
     read_calls: int = 0
@@ -42,6 +83,10 @@ class IOStats:
     elements_written: int = 0
     io_time_s: float = 0.0       # serial time the compute node spends in I/O
     compute_time_s: float = 0.0
+    #: tile-cache counters (hits / misses / prefetch / bytes saved) when
+    #: the run used :mod:`repro.cache`; ``None`` for uncached runs, so
+    #: default accounting is bit-identical with the cache disabled
+    cache: "CacheMetrics | None" = field(default=None, compare=False)
 
     @property
     def calls(self) -> int:
@@ -56,6 +101,10 @@ class IOStats:
         return self.io_time_s + self.compute_time_s
 
     def merge(self, other: "IOStats") -> "IOStats":
+        if self.cache is not None and other.cache is not None:
+            cache = self.cache.merge(other.cache)
+        else:
+            cache = self.cache if self.cache is not None else other.cache
         return IOStats(
             self.read_calls + other.read_calls,
             self.write_calls + other.write_calls,
@@ -63,14 +112,18 @@ class IOStats:
             self.elements_written + other.elements_written,
             self.io_time_s + other.io_time_s,
             self.compute_time_s + other.compute_time_s,
+            cache,
         )
 
     def __str__(self) -> str:
-        return (
+        base = (
             f"calls={self.calls} (r{self.read_calls}/w{self.write_calls}) "
             f"elements={self.elements_moved} io={self.io_time_s:.3f}s "
             f"compute={self.compute_time_s:.3f}s"
         )
+        if self.cache is not None:
+            base += f" {self.cache}"
+        return base
 
 
 class IOContext:
@@ -134,29 +187,9 @@ class IOContext:
         units).  Runs longer than the maximum request size are split into
         multiple calls.  Returns the number of I/O calls recorded."""
         p = self.params
-        offsets = np.asarray(offsets, dtype=np.int64)
-        lengths = np.asarray(lengths, dtype=np.int64)
+        offsets, lengths = plan_runs(p, offsets, lengths)
         if offsets.size == 0:
             return 0
-        maxe = p.max_request_elements
-        if p.sieve_gap_bytes and offsets.size > 1:
-            offsets, lengths = _sieve(
-                offsets, lengths, p.sieve_gap_bytes // p.element_size
-            )
-            if p.sieve_buffer_bytes:
-                maxe = min(maxe, p.sieve_buffer_bytes // p.element_size)
-        if (lengths > maxe).any():
-            pieces_off: list[np.ndarray] = []
-            pieces_len: list[np.ndarray] = []
-            counts = -(-lengths // maxe)
-            for off, ln, cnt in zip(offsets, lengths, counts):
-                starts = off + maxe * np.arange(cnt, dtype=np.int64)
-                plen = np.full(cnt, maxe, dtype=np.int64)
-                plen[-1] = ln - maxe * (cnt - 1)
-                pieces_off.append(starts)
-                pieces_len.append(plen)
-            offsets = np.concatenate(pieces_off)
-            lengths = np.concatenate(pieces_len)
 
         n_calls = int(offsets.size)
         n_elems = int(lengths.sum())

@@ -1,0 +1,88 @@
+import pytest
+
+from repro.cache import (
+    POLICIES,
+    CostAwarePolicy,
+    LFUPolicy,
+    LRUPolicy,
+    TileCache,
+    make_policy,
+)
+
+
+def R(*bounds):
+    return tuple(bounds)
+
+
+class TestMakePolicy:
+    def test_by_name_and_passthrough(self):
+        assert isinstance(make_policy("lru"), LRUPolicy)
+        assert isinstance(make_policy("lfu"), LFUPolicy)
+        assert isinstance(make_policy("cost"), CostAwarePolicy)
+        p = LRUPolicy()
+        assert make_policy(p) is p
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown eviction policy"):
+            make_policy("fifo")
+
+    def test_registry_names_match(self):
+        for name, cls in POLICIES.items():
+            assert cls.name == name
+
+
+class TestLRU:
+    def test_evicts_least_recently_used(self):
+        c = TileCache(8, "lru")
+        c.insert("A", R((0, 3)), None)
+        c.insert("B", R((0, 3)), None)
+        c.lookup("A", R((0, 3)))  # A is now the most recent
+        c.insert("C", R((0, 3)), None)
+        assert c.peek("B", R((0, 3))) is None
+        assert c.peek("A", R((0, 3))) is not None
+
+
+class TestLFU:
+    def test_protects_frequently_used(self):
+        c = TileCache(8, "lfu")
+        c.insert("A", R((0, 3)), None)
+        c.insert("B", R((0, 3)), None)
+        for _ in range(3):
+            c.lookup("A", R((0, 3)))
+        c.lookup("B", R((0, 3)))  # more recent, but less frequent
+        c.insert("C", R((0, 3)), None)
+        assert c.peek("B", R((0, 3))) is None
+        assert c.peek("A", R((0, 3))) is not None
+
+    def test_tie_broken_lru(self):
+        c = TileCache(8, "lfu")
+        c.insert("A", R((0, 3)), None)
+        c.insert("B", R((0, 3)), None)
+        c.insert("C", R((0, 3)), None)  # equal counts: A is oldest
+        assert c.peek("A", R((0, 3))) is None
+
+
+class TestCostAware:
+    def test_keeps_expensive_tiles(self):
+        c = TileCache(8, "cost")
+        assert c.policy.uses_cost
+        # same size and recency; A shatters into many calls, B is one
+        # sequential run
+        c.insert("A", R((0, 3)), None, cost_s=1.0)
+        c.insert("B", R((0, 3)), None, cost_s=0.001)
+        c.insert("C", R((0, 3)), None, cost_s=0.5)
+        assert c.peek("B", R((0, 3))) is None
+        assert c.peek("A", R((0, 3))) is not None
+
+    def test_clock_ages_survivors(self):
+        p = CostAwarePolicy()
+        c = TileCache(4, p)
+        c.insert("A", R((0, 3)), None, cost_s=0.4)
+        c.insert("B", R((0, 3)), None, cost_s=0.2)  # evicts A
+        # the evicted priority became the clock: fresh cheap entries are
+        # not immortalized against long-gone expensive ones
+        assert p._clock == pytest.approx(0.4 / 4)
+        c.insert("C", R((0, 3)), None, cost_s=0.3)  # evicts B
+        entry = c.peek("C", R((0, 3)))
+        assert entry is not None
+        assert entry.priority > 0.4 / 4

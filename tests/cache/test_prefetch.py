@@ -1,0 +1,83 @@
+import pytest
+
+from repro.cache import CacheMetrics, DoubleBufferModel, PrefetchScheduler
+
+
+def tiles(n):
+    return [[(f"A", ((t, t),))] for t in range(n)]
+
+
+class TestPrefetchScheduler:
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            PrefetchScheduler(0)
+
+    def test_depth_one_hands_out_next_tile(self):
+        s = PrefetchScheduler(1)
+        s.begin_nest(tiles(3))
+        assert s.requests_after(0) == [("A", ((1, 1),))]
+        assert s.requests_after(1) == [("A", ((2, 2),))]
+        assert s.requests_after(2) == []  # walk exhausted
+
+    def test_deeper_lookahead_no_reissue(self):
+        s = PrefetchScheduler(2)
+        s.begin_nest(tiles(4))
+        assert s.requests_after(0) == [
+            ("A", ((1, 1),)),
+            ("A", ((2, 2),)),
+        ]
+        # tiles 1 and 2 were already handed out; only 3 is new
+        assert s.requests_after(1) == [("A", ((3, 3),))]
+
+    def test_begin_nest_resets(self):
+        s = PrefetchScheduler(1)
+        s.begin_nest(tiles(2))
+        s.requests_after(0)
+        s.begin_nest(tiles(2))
+        assert s.n_tiles == 2
+        assert s.requests_after(0) == [("A", ((1, 1),))]
+
+
+class TestDoubleBufferModel:
+    def test_overlap_split(self):
+        m = CacheMetrics()
+        model = DoubleBufferModel(m)
+        model.note_tile(compute_s=2.0, prefetch_io_s=0.5)  # fully hidden
+        model.note_tile(compute_s=0.25, prefetch_io_s=1.0)  # mostly exposed
+        assert m.prefetch_io_s == pytest.approx(1.5)
+        assert m.overlapped_io_s == pytest.approx(0.75)
+        assert m.exposed_prefetch_io_s == pytest.approx(0.75)
+
+    def test_zero_compute_exposes_everything(self):
+        m = CacheMetrics()
+        DoubleBufferModel(m).note_tile(0.0, 0.4)
+        assert m.overlapped_io_s == 0.0
+        assert m.exposed_prefetch_io_s == pytest.approx(0.4)
+
+
+class TestCacheMetrics:
+    def test_merge_is_fieldwise(self):
+        a = CacheMetrics(hits=1, misses=2, partial_hits=1, evictions=3,
+                         read_calls_saved=4, elements_saved=5,
+                         prefetch_issued=2, prefetch_used=1,
+                         overlapped_io_s=0.5)
+        b = CacheMetrics(hits=10, misses=20, partial_hits=2, evictions=30,
+                         read_calls_saved=40, elements_saved=50,
+                         prefetch_issued=3, prefetch_used=3,
+                         exposed_prefetch_io_s=0.25)
+        m = a.merge(b)
+        assert (m.hits, m.misses, m.partial_hits) == (11, 22, 3)
+        assert (m.evictions, m.read_calls_saved, m.elements_saved) == (33, 44, 55)
+        assert (m.prefetch_issued, m.prefetch_used, m.prefetch_unused) == (5, 4, 1)
+        assert m.overlapped_io_s == pytest.approx(0.5)
+        assert m.exposed_prefetch_io_s == pytest.approx(0.25)
+
+    def test_rates_and_bytes(self):
+        m = CacheMetrics(hits=3, misses=1, elements_saved=10)
+        assert m.hit_rate == 0.75
+        assert m.bytes_saved() == 80
+        assert CacheMetrics().hit_rate == 0.0
+
+    def test_str_mentions_prefetch_only_when_issued(self):
+        assert "prefetch" not in str(CacheMetrics(hits=1, misses=1))
+        assert "prefetch" in str(CacheMetrics(prefetch_issued=2))

@@ -1,0 +1,64 @@
+import pytest
+
+from repro.runtime import MemoryBudgetExceeded, MemoryManager
+
+
+class TestMemoryManager:
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MemoryManager(0)
+        with pytest.raises(ValueError):
+            MemoryManager(-5)
+
+    def test_allocate_and_free_roundtrip(self):
+        mm = MemoryManager(10)
+        mm.allocate(4)
+        mm.allocate(6)
+        assert mm.in_use == 10
+        mm.free(6)
+        assert mm.in_use == 4
+
+    def test_over_budget_raises_and_leaves_state(self):
+        mm = MemoryManager(10)
+        mm.allocate(8)
+        with pytest.raises(MemoryBudgetExceeded):
+            mm.allocate(3)
+        assert mm.in_use == 8  # failed allocation must not leak
+
+    def test_free_more_than_allocated(self):
+        mm = MemoryManager(10)
+        mm.allocate(3)
+        with pytest.raises(ValueError, match="freeing more than allocated"):
+            mm.free(4)
+        assert mm.in_use == 3
+
+    def test_negative_amounts_rejected(self):
+        mm = MemoryManager(10)
+        with pytest.raises(ValueError):
+            mm.allocate(-1)
+        mm.allocate(5)
+        # a negative free would silently *increase* in_use
+        with pytest.raises(ValueError):
+            mm.free(-2)
+        assert mm.in_use == 5
+
+    def test_zero_size_allocate_is_noop(self):
+        mm = MemoryManager(10)
+        mm.allocate(0)
+        mm.free(0)
+        assert mm.in_use == 0 and mm.peak == 0
+
+    def test_peak_tracks_high_water_mark(self):
+        mm = MemoryManager(10)
+        mm.allocate(7)
+        mm.free(7)
+        mm.allocate(2)
+        assert mm.peak == 7
+
+    def test_peak_across_reset(self):
+        mm = MemoryManager(10)
+        mm.allocate(9)
+        mm.reset()
+        assert mm.in_use == 0 and mm.peak == 0
+        mm.allocate(3)
+        assert mm.peak == 3  # reset starts a fresh high-water mark

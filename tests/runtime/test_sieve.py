@@ -4,7 +4,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.runtime import IOContext, MachineParams
-from repro.runtime.stats import _sieve
+from repro.runtime.stats import _sieve, plan_runs
 
 
 def runs_strategy():
@@ -28,6 +28,19 @@ def _normalize_runs(pairs):
 
 
 class TestSieve:
+    def test_empty_input(self):
+        """Regression: an empty run set used to hit ``offsets[0]`` and
+        raise IndexError; it must pass through untouched."""
+        empty = np.zeros(0, dtype=np.int64)
+        offs, lens = _sieve(empty, empty, max_gap_elems=6)
+        assert offs.size == 0 and lens.size == 0
+
+    def test_single_run_passthrough(self):
+        """A single run has no gaps to sieve — returned as-is."""
+        offs, lens = _sieve(np.array([5]), np.array([7]), max_gap_elems=6)
+        assert list(offs) == [5]
+        assert list(lens) == [7]
+
     def test_merges_small_gaps(self):
         offs, lens = _sieve(np.array([0, 10]), np.array([4, 4]), max_gap_elems=6)
         assert list(offs) == [0]
@@ -123,3 +136,24 @@ class TestSieveInContext:
         n = ctx.record_runs(0, np.array([0, 6]), np.array([2, 2]), False)
         assert n == 2
         assert ctx.stats.elements_read == 4
+
+    def test_empty_runs_record_nothing(self):
+        """Regression: an empty batch (e.g. a fully cache-covered
+        partial read) must account zero calls, not crash in the sieve."""
+        ctx = IOContext(self.params())
+        empty = np.zeros(0, dtype=np.int64)
+        assert ctx.record_runs(0, empty, empty, False) == 0
+        assert ctx.stats.calls == 0 and ctx.stats.elements_moved == 0
+
+    @settings(max_examples=60)
+    @given(runs_strategy())
+    def test_plan_runs_matches_recording(self, runs):
+        """The pure planner must predict ``record_runs`` exactly — the
+        tile cache prices avoided transfers with it."""
+        offsets, lengths = runs
+        params = self.params()
+        p_off, p_len = plan_runs(params, offsets, lengths)
+        ctx = IOContext(params)
+        n = ctx.record_runs(0, offsets, lengths, False)
+        assert n == p_off.size
+        assert ctx.stats.elements_read == int(p_len.sum())
