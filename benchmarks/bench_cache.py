@@ -30,6 +30,8 @@ from repro.workloads import WORKLOADS, build_workload
 #: extent for the cache ablation (weight repetitions are *executed*
 #: with a live cache, so this is deliberately below the harness N)
 CACHE_N = 64
+#: extent under ``--smoke`` (CI: exercise every code path, tiny cost)
+SMOKE_N = 32
 
 WORKLOAD_GRID = ("adi", "mxm", "syr2k")
 POLICY_GRID = ("lru", "lfu", "cost")
@@ -49,15 +51,16 @@ def _run(decision, params, memory_budget=None, cache=None):
     return ex, ex.run()
 
 
-def test_cache_disabled_is_bit_identical(benchmark):
+def test_cache_disabled_is_bit_identical(benchmark, smoke):
     """``CacheConfig(enabled=False)`` must not perturb a single counter
     of any seed workload — the subsystem is strictly opt-in."""
-    params = _scaled_params(CACHE_N)
+    n = SMOKE_N if smoke else CACHE_N
+    params = _scaled_params(n)
 
     def sweep():
         out = {}
         for workload in sorted(WORKLOADS):
-            decision = optimize_program(build_workload(workload, CACHE_N))
+            decision = optimize_program(build_workload(workload, n))
             _, off = _run(decision, params)
             _, disabled = _run(
                 decision, params, cache=CacheConfig(enabled=False)
@@ -73,14 +76,15 @@ def test_cache_disabled_is_bit_identical(benchmark):
         assert disabled.cache is None
 
 
-def test_cache_ablation(benchmark):
+def test_cache_ablation(benchmark, smoke):
     """Policy x budget x prefetch grid on three workloads."""
-    params = _scaled_params(CACHE_N)
+    n = SMOKE_N if smoke else CACHE_N
+    params = _scaled_params(n)
 
     def sweep():
         out = {}
         for workload in WORKLOAD_GRID:
-            decision = optimize_program(build_workload(workload, CACHE_N))
+            decision = optimize_program(build_workload(workload, n))
             ex, off = _run(decision, params)
             M = ex.memory_budget
             rows = {}
@@ -139,20 +143,24 @@ def test_cache_ablation(benchmark):
         ):
             winners.append(workload)
     print(f"  lru+prefetch wins on: {winners}")
-    assert len(winners) >= 2, (
-        f"LRU+prefetch should reduce read calls and volume on >=2 "
+    # tiny smoke sizes leave less reuse to capture; the full size must
+    # win on two workloads, smoke only needs to prove the paths work
+    need = 1 if smoke else 2
+    assert len(winners) >= need, (
+        f"LRU+prefetch should reduce read calls and volume on >={need} "
         f"workloads, got {winners}"
     )
 
 
 @pytest.mark.parametrize("workload", ["adi", "mxm"])
 def test_cache_write_modes_account_identically_for_reads(
-    benchmark, workload
+    benchmark, workload, smoke
 ):
     """Write-back coalesces rewrites while write-through pays every
     write immediately; the read side (hits, savings) must agree."""
-    params = _scaled_params(CACHE_N)
-    decision = optimize_program(build_workload(workload, CACHE_N))
+    n = SMOKE_N if smoke else CACHE_N
+    params = _scaled_params(n)
+    decision = optimize_program(build_workload(workload, n))
 
     def sweep():
         ex, _ = _run(decision, params)

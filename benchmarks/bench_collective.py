@@ -1,0 +1,236 @@
+"""Collective two-phase I/O sweep: nodes x I/O nodes x layout
+conformance on adi/mxm/trans.
+
+Two findings, both asserted:
+
+- On a **non-conforming layout** (`col` walked against the storage
+  order) different nodes' short runs interleave in the file; two-phase
+  aggregation merges them into a few large conforming-domain calls —
+  an order-of-magnitude I/O-call reduction, and a time win whenever the
+  saved latency exceeds the redistribution cost.
+- On the **compile-time optimized layout** (`c-opt`) every node's
+  accesses already conform; aggregation has nothing to merge and the
+  redistribution phase is pure overhead, so `mode="auto"` keeps the run
+  independent.  This is the paper's point: layout optimization at
+  compile time can make runtime collectives unnecessary.
+
+The sweep also cross-checks the two pricing models (closed-form
+``makespan`` vs. the discrete-event simulator) and, outside ``--smoke``,
+seeds ``BENCH_collective.json`` so future changes can diff against the
+recorded trajectory.
+"""
+
+import json
+import pathlib
+from dataclasses import asdict, replace
+
+from conftest import run_once
+
+from repro.collective import CollectiveConfig
+from repro.experiments.harness import _scaled_params
+from repro.optimizer import build_version
+from repro.parallel import run_version_parallel
+from repro.workloads import build_workload
+
+SWEEP_N = 48
+SMOKE_N = 24
+
+WORKLOAD_GRID = ("adi", "mxm", "trans")
+VERSION_GRID = ("col", "c-opt")
+NODE_GRID = (4, 8)
+IO_NODE_GRID = (2, 4, 8)
+SMOKE_NODE_GRID = (4,)
+SMOKE_IO_NODE_GRID = (4,)
+
+ARTIFACT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_collective.json"
+
+
+def _sweep_grid(smoke):
+    n = SMOKE_N if smoke else SWEEP_N
+    nodes = SMOKE_NODE_GRID if smoke else NODE_GRID
+    io_nodes = SMOKE_IO_NODE_GRID if smoke else IO_NODE_GRID
+    return n, nodes, io_nodes
+
+
+def _row(cfg, p, params):
+    base = run_version_parallel(cfg, p, params=params)
+    auto = run_version_parallel(
+        cfg, p, params=params, collective=CollectiveConfig(mode="auto")
+    )
+    forced = run_version_parallel(
+        cfg, p, params=params, collective=CollectiveConfig(mode="always")
+    )
+    closed = run_version_parallel(
+        cfg, p, params=params,
+        collective=CollectiveConfig(mode="auto", simulator="closed-form"),
+    )
+    return {
+        "independent_calls": base.total_io_calls,
+        "independent_time_s": base.time_s,
+        "auto_calls": auto.total_io_calls,
+        "auto_time_s": auto.time_s,
+        "auto_collective_nests": auto.collective.n_collective_nests,
+        "auto_total_nests": len(auto.collective.chosen),
+        "forced_calls": forced.total_io_calls,
+        "forced_time_s": forced.time_s,
+        "redist_messages": forced.total_stats.redist_messages,
+        "redist_time_s": forced.total_stats.redist_time_s,
+        "closed_form_time_s": closed.time_s,
+        "event_vs_closed_delta": (
+            (auto.time_s - closed.time_s) / closed.time_s
+            if closed.time_s > 0
+            else 0.0
+        ),
+    }
+
+
+def test_collective_sweep(benchmark, smoke):
+    n, node_grid, io_node_grid = _sweep_grid(smoke)
+
+    def sweep():
+        rows = {}
+        for workload in WORKLOAD_GRID:
+            program = build_workload(workload, n)
+            for version in VERSION_GRID:
+                cfg = build_version(version, program)
+                for nio in io_node_grid:
+                    params = replace(_scaled_params(n), n_io_nodes=nio)
+                    for p in node_grid:
+                        rows[(workload, version, nio, p)] = _row(
+                            cfg, p, params
+                        )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+
+    print()
+    print(
+        "  workload version nio  p | ind calls   time | auto calls"
+        "   time coll | forced calls msgs"
+    )
+    for (w, v, nio, p), r in sorted(rows.items()):
+        print(
+            f"  {w:8s} {v:7s} {nio:3d} {p:2d} |"
+            f" {r['independent_calls']:9d} {r['independent_time_s']:6.3f} |"
+            f" {r['auto_calls']:10d} {r['auto_time_s']:6.3f}"
+            f" {r['auto_collective_nests']:d}/{r['auto_total_nests']:d} |"
+            f" {r['forced_calls']:12d} {r['redist_messages']:4d}"
+        )
+
+    # (1) >=2x I/O-call reduction from two-phase I/O on a non-conforming
+    # layout; at full size the auto decision itself achieves it, at
+    # smoke sizes there is too little I/O for auto to engage everywhere
+    # so the forced mode carries the demonstration
+    best_forced = max(
+        r["independent_calls"] / r["forced_calls"]
+        for (w, v, _, _), r in rows.items()
+        if v == "col" and r["forced_calls"] > 0
+    )
+    best_auto = max(
+        r["independent_calls"] / r["auto_calls"]
+        for (w, v, _, _), r in rows.items()
+        if v == "col" and r["auto_calls"] > 0
+    )
+    print(
+        f"  best col-layout call reduction: forced {best_forced:.1f}x, "
+        f"auto {best_auto:.1f}x"
+    )
+    assert best_forced >= 2.0, (
+        "two-phase I/O should reduce I/O calls >=2x on a non-conforming "
+        f"layout, got {best_forced:.2f}x"
+    )
+    if not smoke:
+        assert best_auto >= 2.0, (
+            "the auto decision should capture a >=2x call reduction at "
+            f"full sweep size, got {best_auto:.2f}x"
+        )
+
+    # (2) the honest counterpoint: on the compile-time optimized layout
+    # the auto decision keeps (at least some of) the run independent —
+    # collectives are unnecessary once layouts conform
+    copt_independent = [
+        (w, nio, p)
+        for (w, v, nio, p), r in rows.items()
+        if v == "c-opt"
+        and r["auto_collective_nests"] < r["auto_total_nests"]
+    ]
+    print(
+        f"  c-opt configs where auto keeps nests independent: "
+        f"{len(copt_independent)}"
+    )
+    assert copt_independent, (
+        "expected at least one optimized-layout config where the auto "
+        "decision rejects two-phase I/O (layout optimization beats "
+        "runtime collectives)"
+    )
+
+    # (3) forcing two-phase where auto declined must cost time — the
+    # decision is doing real work
+    forced_losses = [
+        r
+        for (w, v, _, _), r in rows.items()
+        if v == "c-opt"
+        and r["auto_collective_nests"] == 0
+        and r["forced_time_s"] > r["auto_time_s"]
+    ]
+    if not smoke:
+        assert forced_losses, "forced two-phase never lost where auto declined"
+
+    if not smoke:
+        _write_artifact(n, node_grid, io_node_grid, rows)
+
+
+def _write_artifact(n, node_grid, io_node_grid, rows):
+    params = _scaled_params(n)
+    payload = {
+        "n": n,
+        "machine_params": asdict(params),
+        "node_grid": list(node_grid),
+        "io_node_grid": list(io_node_grid),
+        "sweep": [
+            {"workload": w, "version": v, "n_io_nodes": nio, "n_nodes": p, **r}
+            for (w, v, nio, p), r in sorted(rows.items())
+        ],
+        "summary": {
+            "best_col_call_reduction": max(
+                r["independent_calls"] / r["auto_calls"]
+                for (w, v, _, _), r in rows.items()
+                if v == "col" and r["auto_calls"] > 0
+            ),
+            "max_abs_event_vs_closed_delta": max(
+                abs(r["event_vs_closed_delta"]) for r in rows.values()
+            ),
+        },
+    }
+    ARTIFACT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"  wrote {ARTIFACT.name}")
+
+
+def test_event_sim_reduces_to_closed_form(benchmark, smoke):
+    """Acceptance criterion: with a single compute node no queue can
+    overlap, and the event simulator must agree with the closed-form
+    ``makespan`` within 1%."""
+    n, _, _ = _sweep_grid(smoke)
+
+    def measure():
+        out = {}
+        for workload in WORKLOAD_GRID:
+            cfg = build_version("c-opt", build_workload(workload, n))
+            params = _scaled_params(n)
+            base = run_version_parallel(cfg, 1, params=params)
+            ev = run_version_parallel(
+                cfg, 1, params=params,
+                collective=CollectiveConfig(mode="never"),
+            )
+            out[workload] = (base.time_s, ev.time_s)
+        return out
+
+    results = run_once(benchmark, measure)
+    print()
+    for workload, (closed, event) in results.items():
+        delta = abs(event - closed) / closed
+        print(
+            f"  {workload:8s} closed={closed:.4f}s event={event:.4f}s "
+            f"delta={100 * delta:.3f}%"
+        )
+        assert delta <= 0.01, (workload, closed, event)

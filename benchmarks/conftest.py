@@ -15,6 +15,22 @@ from repro.experiments.harness import ExperimentSettings
 BENCH_N = 128
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="CI smoke mode: tiny problem sizes, reduced sweep grids, "
+        "relaxed win-margin assertions (keeps benchmarks from rotting "
+        "without paying full-sweep cost)",
+    )
+
+
+@pytest.fixture(scope="session")
+def smoke(request) -> bool:
+    return request.config.getoption("--smoke")
+
+
 @pytest.fixture(scope="session")
 def settings() -> ExperimentSettings:
     return ExperimentSettings(n=BENCH_N)

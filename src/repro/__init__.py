@@ -71,6 +71,7 @@ from .optimizer import (
 )
 from .runtime import IOStats, MachineParams, OutOfCoreArray, ParallelFileSystem
 from .cache import CacheConfig, CacheMetrics, TileCache
+from .collective import CollectiveConfig, event_makespan, plan_nest_collective
 from .engine import OOCExecutor, generate_tiled_code, interpret_program
 from .parallel import run_version_parallel, speedup_curve
 from .workloads import WORKLOADS, build_workload
@@ -117,7 +118,10 @@ __all__ = [
     # runtime & engine
     "CacheConfig",
     "CacheMetrics",
+    "CollectiveConfig",
     "TileCache",
+    "event_makespan",
+    "plan_nest_collective",
     "IOStats",
     "MachineParams",
     "OutOfCoreArray",

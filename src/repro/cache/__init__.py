@@ -42,7 +42,7 @@ from .policy import (
     LRUPolicy,
     make_policy,
 )
-from .prefetch import DoubleBufferModel, PrefetchScheduler
+from .prefetch import DoubleBufferModel, PrefetchScheduler, overlap_credit
 from .tile_cache import (
     CacheConfig,
     CacheEntry,
@@ -65,5 +65,6 @@ __all__ = [
     "TileCache",
     "intersect_slices",
     "make_policy",
+    "overlap_credit",
     "regions_overlap",
 ]

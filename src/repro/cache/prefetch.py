@@ -81,3 +81,11 @@ class DoubleBufferModel:
         self.metrics.prefetch_io_s += prefetch_io_s
         self.metrics.overlapped_io_s += min(compute_s, prefetch_io_s)
         self.metrics.exposed_prefetch_io_s += max(0.0, prefetch_io_s - compute_s)
+
+
+def overlap_credit(metrics: CacheMetrics | None) -> float:
+    """Seconds of blocked I/O a second buffer hides under compute — the
+    :class:`DoubleBufferModel`'s verdict, exposed as the per-node overlap
+    budget the event simulator (:mod:`repro.collective.sim`) consumes.
+    Zero for uncached runs."""
+    return 0.0 if metrics is None else metrics.overlapped_io_s

@@ -1,0 +1,66 @@
+"""Collective two-phase I/O and the event-driven parallel I/O simulator.
+
+The paper's runtime is PASSION, whose signature mechanism is *two-phase
+collective I/O*: compute nodes read a file in its conforming
+(layout-contiguous) partition and redistribute over the interconnect,
+turning many small strided calls into few large ones — the same
+call-count reduction the compiler chases, achieved at the runtime layer.
+This package adds both that mechanism and the contention model needed to
+price it:
+
+- :mod:`~repro.collective.planner` — the two-phase planner: conforming
+  file partition, aggregator (``cb_nodes``) assignment, cross-node run
+  merging priced by the exact :func:`~repro.runtime.stats.plan_runs`,
+  and the redistribution message list costed by the new
+  :class:`~repro.runtime.params.MachineParams` interconnect constants;
+- :mod:`~repro.collective.sim` — a deterministic discrete-event
+  simulator with per-I/O-node FIFO queues, blocking compute nodes,
+  a shared interconnect channel and optional prefetch overlap; it
+  reduces to the closed-form ``makespan()`` when queues never overlap;
+- integration — ``run_version_parallel(..., collective=
+  CollectiveConfig(...))`` chooses independent vs. two-phase per nest by
+  predicted cost and reports the phase breakdown in ``IOStats``.
+
+The paper's own finding survives intact: on layouts the compiler already
+made conforming, two-phase I/O buys nothing and costs redistribution —
+``mode="auto"`` keeps those nests independent, and
+``benchmarks/bench_collective.py`` reports both regimes.
+"""
+
+from .planner import (
+    CollectiveConfig,
+    CollectiveReport,
+    FileAccessPlan,
+    NestCollectivePlan,
+    choose_aggregators,
+    conforming_partition,
+    io_node_loads,
+    plan_nest_collective,
+    union_runs,
+)
+from .sim import (
+    NodeTimeline,
+    SimOp,
+    SimResult,
+    event_makespan,
+    simulate,
+    timeline_from_result,
+)
+
+__all__ = [
+    "CollectiveConfig",
+    "CollectiveReport",
+    "FileAccessPlan",
+    "NestCollectivePlan",
+    "NodeTimeline",
+    "SimOp",
+    "SimResult",
+    "choose_aggregators",
+    "conforming_partition",
+    "event_makespan",
+    "io_node_loads",
+    "plan_nest_collective",
+    "simulate",
+    "timeline_from_result",
+    "union_runs",
+]

@@ -67,6 +67,13 @@ class NestRun:
     plan: NestPlan
     stats: IOStats
     tiles_executed: int
+    #: per-call trace ``(file_base, offset, length, is_write)`` in issue
+    #: order, recorded when the executor was built with ``trace=True``
+    #: (the collective planner and event simulator consume it).  In
+    #: simulate mode a weighted nest is traced once and ``trace_weight``
+    #: carries the repetition count; executed repetitions concatenate.
+    trace: list[tuple[int, int, int, bool]] | None = None
+    trace_weight: int = 1
 
 
 @dataclass
@@ -185,12 +192,14 @@ class OOCExecutor:
         node_slice: tuple[int, int] | None = None,
         vectorize: bool = True,
         cache: CacheConfig | None = None,
+        trace: bool = False,
     ):
         if node_slice is not None:
             rank, n_nodes = node_slice
             if not (0 <= rank < n_nodes):
                 raise ValueError(f"bad node slice {node_slice}")
         self.node_slice = node_slice
+        self._trace = trace
         self.program = program
         self.params = params or MachineParams()
         self.binding = program.binding(binding)
@@ -307,15 +316,20 @@ class OOCExecutor:
             if self.real or self._cache is not None:
                 total = IOStats()
                 tiles = 0
+                nest_trace: list | None = [] if self._trace else None
                 for _ in range(nest.weight):
-                    local = IOContext(self.params)
+                    local = IOContext(self.params, trace=self._trace)
                     tiles = self._run_nest(nest, plan, local)
                     total = total.merge(local.stats)
                     ctx.stats = ctx.stats.merge(local.stats)
                     ctx.io_node_load += local.io_node_load
-                nest_runs.append(NestRun(nest.name, plan, total, tiles))
+                    if nest_trace is not None:
+                        nest_trace.extend(local.trace)
+                nest_runs.append(
+                    NestRun(nest.name, plan, total, tiles, nest_trace)
+                )
             else:
-                local = IOContext(self.params)
+                local = IOContext(self.params, trace=self._trace)
                 tiles = self._run_nest(nest, plan, local)
                 w = nest.weight
                 scaled = IOStats(
@@ -328,7 +342,12 @@ class OOCExecutor:
                 )
                 ctx.stats = ctx.stats.merge(scaled)
                 ctx.io_node_load += local.io_node_load * w
-                nest_runs.append(NestRun(nest.name, plan, scaled, tiles))
+                nest_runs.append(
+                    NestRun(
+                        nest.name, plan, scaled, tiles, local.trace,
+                        trace_weight=w,
+                    )
+                )
         # snapshot the counters: the cache (and its live metrics) outlives
         # this run, so the result must not mutate retroactively if run()
         # is called again; counters stay cumulative over the cache's life

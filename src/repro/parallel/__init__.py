@@ -11,4 +11,14 @@ regime Table 3 measures.
 from .spmd import ParallelRun, run_version_parallel, speedup_curve
 from .model import makespan
 
-__all__ = ["ParallelRun", "run_version_parallel", "speedup_curve", "makespan"]
+#: re-exported for convenience: the switch that turns on two-phase
+#: collective I/O + event simulation in ``run_version_parallel``
+from ..collective.planner import CollectiveConfig
+
+__all__ = [
+    "CollectiveConfig",
+    "ParallelRun",
+    "run_version_parallel",
+    "speedup_curve",
+    "makespan",
+]

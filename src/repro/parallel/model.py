@@ -26,6 +26,12 @@ from ..engine.executor import RunResult
 def makespan(results: Sequence[RunResult]) -> float:
     if not results:
         raise ValueError("no node results")
+    sizes = {r.io_node_load.size for r in results}
+    if len(sizes) > 1:
+        raise ValueError(
+            f"heterogeneous io_node_load lengths {sorted(sizes)}: every "
+            "node must be simulated against the same n_io_nodes"
+        )
     node_busy = max(r.stats.total_time_s for r in results)
     io_load = np.zeros_like(results[0].io_node_load)
     for r in results:

@@ -2,12 +2,20 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dc_replace
 from typing import Mapping, Sequence
 
 import numpy as np
 
-from ..engine.executor import OOCExecutor, RunResult
+from ..collective.planner import (
+    CollectiveConfig,
+    CollectiveReport,
+    NestCollectivePlan,
+    io_node_loads,
+    plan_nest_collective,
+)
+from ..collective.sim import NET, NodeTimeline, SimOp, io_node_of, nest_ops, simulate
+from ..engine.executor import NestRun, OOCExecutor, RunResult
 from ..optimizer.strategies import VersionConfig
 from ..runtime import IOStats, MachineParams, ParallelFileSystem
 from .model import makespan
@@ -19,6 +27,9 @@ class ParallelRun:
     n_nodes: int
     time_s: float
     node_results: list[RunResult]
+    #: per-nest collective decisions + event-sim record; ``None`` for
+    #: plain independent runs (``collective`` not passed)
+    collective: CollectiveReport | None = None
 
     @property
     def total_io_calls(self) -> int:
@@ -26,10 +37,7 @@ class ParallelRun:
 
     @property
     def total_stats(self) -> IOStats:
-        total = IOStats()
-        for r in self.node_results:
-            total = total.merge(r.stats)
-        return total
+        return IOStats.fold(r.stats for r in self.node_results)
 
 
 def run_version_parallel(
@@ -39,6 +47,7 @@ def run_version_parallel(
     params: MachineParams | None = None,
     binding: Mapping[str, int] | None = None,
     memory_per_node: int | None = None,
+    collective: CollectiveConfig | None = None,
 ) -> ParallelRun:
     """Execute a version on ``n_nodes`` (simulate mode, no data).
 
@@ -46,6 +55,14 @@ def run_version_parallel(
     computation's memory at 1/128th of the out-of-core data *per node*),
     its own contiguous slab of each nest's outer tile loop, and its own
     partition of the files — staggered across the shared I/O nodes.
+
+    With ``collective=CollectiveConfig(...)`` the run is re-priced
+    through :mod:`repro.collective`: per nest, two-phase collective I/O
+    is planned from the per-node call traces and applied when it beats
+    the independent cost (``mode="auto"``), and the makespan comes from
+    the event-driven simulator (``simulator="event"``) instead of the
+    closed-form aggregate max.  Without it the behavior — stats and
+    makespan — is exactly the independent model.
     """
     params = params or MachineParams()
     b = cfg.program.binding(binding)
@@ -71,9 +88,12 @@ def run_version_parallel(
             storage_spec=cfg.storage_spec,
             pfs=pfs,
             node_slice=(rank, n_nodes) if n_nodes > 1 else None,
+            trace=collective is not None,
         )
         results.append(ex.run())
-    return ParallelRun(cfg.name, n_nodes, makespan(results), results)
+    if collective is None:
+        return ParallelRun(cfg.name, n_nodes, makespan(results), results)
+    return _collective_run(cfg.name, n_nodes, params, results, collective)
 
 
 def speedup_curve(
@@ -83,16 +103,186 @@ def speedup_curve(
     params: MachineParams | None = None,
     binding: Mapping[str, int] | None = None,
     memory_per_node: int | None = None,
+    collective: CollectiveConfig | None = None,
 ) -> dict[int, float]:
     """Speedups vs. the same version on one node (Table 3's metric)."""
     base = run_version_parallel(
-        cfg, 1, params=params, binding=binding, memory_per_node=memory_per_node
+        cfg, 1, params=params, binding=binding,
+        memory_per_node=memory_per_node, collective=collective,
     )
     out: dict[int, float] = {}
     for p in node_counts:
         run = run_version_parallel(
             cfg, p, params=params, binding=binding,
-            memory_per_node=memory_per_node,
+            memory_per_node=memory_per_node, collective=collective,
         )
         out[p] = base.time_s / run.time_s if run.time_s > 0 else float("inf")
     return out
+
+
+# -- collective execution ---------------------------------------------------
+
+
+def _collective_run(
+    name: str,
+    n_nodes: int,
+    params: MachineParams,
+    results: list[RunResult],
+    config: CollectiveConfig,
+) -> ParallelRun:
+    """Re-price a traced run nest by nest: keep the recorded independent
+    accounting where independent wins, substitute the two-phase plan's
+    aggregator calls + redistribution messages where collective wins."""
+    report = CollectiveReport(config)
+    stats = [IOStats() for _ in range(n_nodes)]
+    loads = [np.zeros(params.n_io_nodes) for _ in range(n_nodes)]
+    timelines = [NodeTimeline(i) for i in range(n_nodes)]
+    for j in range(len(results[0].nest_runs)):
+        nrs = [r.nest_runs[j] for r in results]
+        plan = plan_nest_collective(
+            params,
+            nrs[0].nest_name,
+            [nr.trace or [] for nr in nrs],
+            weight=max(nr.trace_weight for nr in nrs),
+            cb_nodes=config.cb_nodes,
+        )
+        two_phase = plan is not None and (
+            config.mode == "always" or (config.mode == "auto" and plan.wins)
+        )
+        if plan is not None:
+            report.nest_plans.append(plan)
+        report.chosen[nrs[0].nest_name] = two_phase
+        if two_phase:
+            _account_two_phase(params, plan, nrs, stats, loads, timelines)
+        else:
+            _account_independent(params, nrs, stats, loads, timelines)
+    if any(report.chosen.values()):
+        node_results = [
+            dc_replace(r, stats=s, io_node_load=l)
+            for r, s, l in zip(results, stats, loads)
+        ]
+    else:
+        # every nest stayed independent: keep the executor's own
+        # accounting verbatim (bit-identical to collective=None)
+        node_results = results
+    if config.simulator == "event":
+        sim = simulate(params, timelines)
+        report.sim = sim
+        time_s = sim.makespan_s
+    else:
+        time_s = makespan(node_results)
+    return ParallelRun(name, n_nodes, time_s, node_results, collective=report)
+
+
+def _account_independent(
+    params: MachineParams,
+    nrs: list[NestRun],
+    stats: list[IOStats],
+    loads: list[np.ndarray],
+    timelines: list[NodeTimeline],
+) -> None:
+    for rank, nr in enumerate(nrs):
+        stats[rank] = stats[rank].merge(nr.stats)
+        if nr.trace:
+            off = np.array([b + o for b, o, _, _ in nr.trace], dtype=np.int64)
+            ln = np.array([l for _, _, l, _ in nr.trace], dtype=np.int64)
+            loads[rank] += io_node_loads(params, off, ln) * nr.trace_weight
+        timelines[rank].ops.extend(nest_ops(params, nr))
+
+
+def _account_two_phase(
+    params: MachineParams,
+    plan: NestCollectivePlan,
+    nrs: list[NestRun],
+    stats: list[IOStats],
+    loads: list[np.ndarray],
+    timelines: list[NodeTimeline],
+) -> None:
+    """Substitute the plan's phases for the recorded independent I/O.
+
+    Per repetition each rank's timeline is: read-phase aggregator calls,
+    incoming read-redistribution messages, compute, outgoing
+    write-redistribution messages, write-phase aggregator calls.
+    Compute itself is untouched — only the data movement changes.
+    """
+    w = plan.weight
+    esz = params.element_size
+    rank_of = {a_idx: rank for a_idx, rank in enumerate(plan.aggregators)}
+    # pre-split plan content per rank
+    agg_io: dict[int, dict[bool, list[tuple[int, int]]]] = {}
+    msgs: dict[int, dict[bool, list[int]]] = {}
+    for access in plan.accesses:
+        for a_idx, (off, ln) in enumerate(
+            zip(access.agg_offsets, access.agg_lengths)
+        ):
+            rank = rank_of[a_idx]
+            agg_io.setdefault(rank, {}).setdefault(access.is_write, []).extend(
+                (int(o), int(l)) for o, l in zip(off, ln)
+            )
+        for rank, _a_idx, vol in access.messages:
+            msgs.setdefault(rank, {}).setdefault(access.is_write, []).append(vol)
+
+    for rank, nr in enumerate(nrs):
+        add = IOStats(compute_time_s=nr.stats.compute_time_s)
+        calls = agg_io.get(rank, {})
+        for is_write, runs in calls.items():
+            n_calls = len(runs)
+            elems = sum(l for _, l in runs)
+            io_t = n_calls * params.io_latency_s + (
+                elems * esz / params.io_bandwidth_bps
+            )
+            if is_write:
+                add.write_calls += n_calls * w
+                add.elements_written += elems * w
+            else:
+                add.read_calls += n_calls * w
+                add.elements_read += elems * w
+            add.io_time_s += io_t * w
+        all_runs = [r for runs in calls.values() for r in runs]
+        if all_runs:
+            off = np.array([o for o, _ in all_runs], dtype=np.int64)
+            ln = np.array([l for _, l in all_runs], dtype=np.int64)
+            loads[rank] += io_node_loads(params, off, ln) * w
+        for is_write, vols in msgs.get(rank, {}).items():
+            add.redist_messages += len(vols) * w
+            add.redist_elements += sum(vols) * w
+            add.redist_time_s += sum(
+                params.net_time(v * esz) for v in vols
+            ) * w
+        stats[rank] = stats[rank].merge(add)
+
+        # timeline: phases in order, repeated per weight
+        compute_rep = nr.stats.compute_time_s / w
+        read_io = [
+            SimOp(
+                "io",
+                resource=io_node_of(params, o),
+                service_s=params.call_time(l * esz),
+            )
+            for o, l in calls.get(False, [])
+        ]
+        write_io = [
+            SimOp(
+                "io",
+                resource=io_node_of(params, o),
+                service_s=params.call_time(l * esz),
+            )
+            for o, l in calls.get(True, [])
+        ]
+        read_net = [
+            SimOp("net", resource=NET, service_s=params.net_time(v * esz))
+            for v in msgs.get(rank, {}).get(False, [])
+        ]
+        write_net = [
+            SimOp("net", resource=NET, service_s=params.net_time(v * esz))
+            for v in msgs.get(rank, {}).get(True, [])
+        ]
+        for _ in range(w):
+            timelines[rank].ops.extend(read_io)
+            timelines[rank].ops.extend(read_net)
+            if compute_rep > 0.0:
+                timelines[rank].ops.append(
+                    SimOp("compute", duration_s=compute_rep)
+                )
+            timelines[rank].ops.extend(write_net)
+            timelines[rank].ops.extend(write_io)

@@ -35,12 +35,30 @@ class MachineParams:
     #: (ROMIO's bounded sieve buffer).  Prevents the degenerate
     #: "read the whole array and filter" the paper rules out.
     sieve_buffer_bytes: int = 64 * 1024
+    #: interconnect: per-message software latency and shared-channel
+    #: bandwidth (Paragon mesh magnitudes).  The interconnect is far
+    #: faster than an I/O node, which is exactly what makes two-phase
+    #: collective I/O pay: trading disk calls for messages is profitable
+    #: whenever the layout is non-conforming.
+    net_latency_s: float = 5.0e-5
+    net_bandwidth_bps: float = 50.0e6
 
     def __post_init__(self):
         if self.n_io_nodes <= 0 or self.stripe_bytes <= 0:
             raise ValueError("I/O node count and stripe size must be positive")
         if self.max_request_bytes < self.element_size:
             raise ValueError("max request smaller than one element")
+        if self.io_latency_s < 0 or self.io_bandwidth_bps <= 0:
+            raise ValueError(
+                "I/O latency must be non-negative and bandwidth positive"
+            )
+        if self.net_latency_s < 0 or self.net_bandwidth_bps <= 0:
+            raise ValueError(
+                "interconnect latency must be non-negative and "
+                "bandwidth positive"
+            )
+        if self.sieve_gap_bytes < 0 or self.sieve_buffer_bytes < 0:
+            raise ValueError("sieve gap/buffer sizes must be non-negative")
 
     @property
     def max_request_elements(self) -> int:
@@ -55,6 +73,10 @@ class MachineParams:
 
     def call_time(self, nbytes: int) -> float:
         return self.io_latency_s + self.transfer_time(nbytes)
+
+    def net_time(self, nbytes: int) -> float:
+        """Cost of one interconnect message (redistribution phase)."""
+        return self.net_latency_s + nbytes / self.net_bandwidth_bps
 
 
 #: Tiny machine used by unit tests and the Figure-3 reproduction: memory of

@@ -9,7 +9,7 @@ cheaply.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
@@ -87,6 +87,13 @@ class IOStats:
     #: the run used :mod:`repro.cache`; ``None`` for uncached runs, so
     #: default accounting is bit-identical with the cache disabled
     cache: "CacheMetrics | None" = field(default=None, compare=False)
+    #: redistribution phase (two-phase collective I/O, :mod:`repro
+    #: .collective`): interconnect messages exchanged between compute
+    #: nodes after the aggregators' file phase.  All zero — and the
+    #: stats line unchanged — for independent (non-collective) runs.
+    redist_messages: int = 0
+    redist_elements: int = 0
+    redist_time_s: float = 0.0
 
     @property
     def calls(self) -> int:
@@ -98,7 +105,7 @@ class IOStats:
 
     @property
     def total_time_s(self) -> float:
-        return self.io_time_s + self.compute_time_s
+        return self.io_time_s + self.redist_time_s + self.compute_time_s
 
     def merge(self, other: "IOStats") -> "IOStats":
         if self.cache is not None and other.cache is not None:
@@ -113,7 +120,35 @@ class IOStats:
             self.io_time_s + other.io_time_s,
             self.compute_time_s + other.compute_time_s,
             cache,
+            self.redist_messages + other.redist_messages,
+            self.redist_elements + other.redist_elements,
+            self.redist_time_s + other.redist_time_s,
         )
+
+    @classmethod
+    def fold(cls, items: "Iterable[IOStats]") -> "IOStats":
+        """Sum many stats in one linear pass (no per-step intermediates).
+
+        Field-by-field accumulation in iteration order, so the result is
+        bit-identical to a left-to-right ``merge`` chain.
+        """
+        total = cls()
+        for s in items:
+            total.read_calls += s.read_calls
+            total.write_calls += s.write_calls
+            total.elements_read += s.elements_read
+            total.elements_written += s.elements_written
+            total.io_time_s += s.io_time_s
+            total.compute_time_s += s.compute_time_s
+            total.redist_messages += s.redist_messages
+            total.redist_elements += s.redist_elements
+            total.redist_time_s += s.redist_time_s
+            if s.cache is not None:
+                total.cache = (
+                    s.cache if total.cache is None
+                    else total.cache.merge(s.cache)
+                )
+        return total
 
     def __str__(self) -> str:
         base = (
@@ -121,6 +156,12 @@ class IOStats:
             f"elements={self.elements_moved} io={self.io_time_s:.3f}s "
             f"compute={self.compute_time_s:.3f}s"
         )
+        if self.redist_messages:
+            base += (
+                f" redist[msgs={self.redist_messages} "
+                f"elements={self.redist_elements} "
+                f"t={self.redist_time_s:.3f}s]"
+            )
         if self.cache is not None:
             base += f" {self.cache}"
         return base

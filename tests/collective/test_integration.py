@@ -1,0 +1,155 @@
+"""Collective execution through ``run_version_parallel``: the off-switch
+is bit-identical, auto picks the right path per layout, and the stats
+carry the phase breakdown."""
+
+import pytest
+
+from dataclasses import replace
+
+from repro.experiments.harness import _scaled_params
+from repro.ir import ProgramBuilder
+from repro.optimizer import build_version
+from repro.parallel import CollectiveConfig, run_version_parallel, speedup_curve
+
+# geometry scaled to N=48 (realistic stripes/latency at test size); the
+# default params put all of a 48x48 array in one stripe, which makes
+# merging trivially win and the auto decision meaningless
+PARAMS = replace(_scaled_params(48), n_io_nodes=4)
+N_NODES = 4
+
+
+def transpose_program(n=48):
+    b = ProgramBuilder("trans", params=("N",), default_binding={"N": n})
+    N = b.param("N")
+    A, B = b.array("A", (N, N)), b.array("B", (N, N))
+    with b.nest("t") as nb:
+        i, j = nb.loop("i", 1, N), nb.loop("j", 1, N)
+        nb.assign(A[i, j], B[j, i] + 1.0)
+    return b.build()
+
+
+def _run(version, collective, n_nodes=N_NODES):
+    cfg = build_version(version, transpose_program())
+    return run_version_parallel(
+        cfg, n_nodes, params=PARAMS, collective=collective
+    )
+
+
+def _stats_fields(stats):
+    return (
+        stats.read_calls, stats.write_calls,
+        stats.elements_read, stats.elements_written,
+        stats.io_time_s, stats.compute_time_s,
+        stats.redist_messages, stats.redist_elements, stats.redist_time_s,
+    )
+
+
+class TestOffSwitch:
+    def test_never_closed_form_bit_identical(self):
+        """mode='never' + closed-form simulator reproduces the plain
+        independent run exactly — time and stats bit-identical."""
+        base = _run("col", None)
+        off = _run(
+            "col", CollectiveConfig(mode="never", simulator="closed-form")
+        )
+        assert off.time_s == base.time_s
+        assert _stats_fields(off.total_stats) == _stats_fields(
+            base.total_stats
+        )
+        for b, o in zip(base.node_results, off.node_results):
+            assert _stats_fields(b.stats) == _stats_fields(o.stats)
+            assert b.io_node_load.tolist() == o.io_node_load.tolist()
+
+    def test_none_has_no_report(self):
+        assert _run("col", None).collective is None
+
+    def test_never_event_sim_not_faster(self):
+        base = _run("col", None)
+        ev = _run("col", CollectiveConfig(mode="never"))
+        assert ev.collective is not None and ev.collective.sim is not None
+        assert ev.time_s >= base.time_s * (1 - 1e-12)
+
+
+class TestAutoDecision:
+    def test_col_layout_goes_two_phase(self):
+        """Column-major layout under a row-order walk: interleaved short
+        runs across nodes — the collective planner's target case."""
+        run = _run("col", CollectiveConfig(mode="auto"))
+        assert run.collective.n_collective_nests >= 1
+        plan = run.collective.nest_plans[0]
+        assert plan.wins and plan.call_reduction > 2.0
+
+    def test_c_opt_layout_stays_independent(self):
+        """After compile-time layout optimization each node's accesses
+        conform already; auto must keep the nest independent (the
+        paper's claim that the compiler obviates runtime collectives)."""
+        run = _run("c-opt", CollectiveConfig(mode="auto"))
+        assert run.collective.n_collective_nests == 0
+        for plan in run.collective.nest_plans:
+            assert not plan.wins
+
+    def test_always_forces_two_phase(self):
+        run = _run("c-opt", CollectiveConfig(mode="always"))
+        assert run.collective.n_collective_nests >= 1
+
+
+class TestTwoPhaseAccounting:
+    def test_call_reduction_on_col(self):
+        base = _run("col", None)
+        coll = _run("col", CollectiveConfig(mode="always"))
+        assert coll.total_io_calls * 2 <= base.total_io_calls
+
+    def test_redistribution_in_stats(self):
+        run = _run("col", CollectiveConfig(mode="always"))
+        total = run.total_stats
+        assert total.redist_messages > 0
+        assert total.redist_elements > 0
+        assert total.redist_time_s > 0
+        assert "redist[" in str(total)
+
+    def test_no_redistribution_when_independent(self):
+        run = _run("col", CollectiveConfig(mode="never"))
+        total = run.total_stats
+        assert total.redist_messages == 0
+        assert "redist[" not in str(total)
+
+    def test_elements_conserved(self):
+        """Two-phase covers every requested element but never moves more
+        than independent did (the union dedupes sieve-filled overlap
+        between different nodes' calls)."""
+        base = _run("col", None)
+        coll = _run("col", CollectiveConfig(mode="always"))
+        assert 0 < coll.total_stats.elements_moved <= (
+            base.total_stats.elements_moved
+        )
+
+    def test_compute_untouched(self):
+        base = _run("col", None)
+        coll = _run("col", CollectiveConfig(mode="always"))
+        assert coll.total_stats.compute_time_s == pytest.approx(
+            base.total_stats.compute_time_s
+        )
+
+
+class TestSimulatorChoice:
+    def test_closed_form_vs_event(self):
+        ev = _run("col", CollectiveConfig(mode="always", simulator="event"))
+        cf = _run(
+            "col", CollectiveConfig(mode="always", simulator="closed-form")
+        )
+        # same accounting, different pricing model
+        assert _stats_fields(ev.total_stats) == _stats_fields(cf.total_stats)
+        assert ev.collective.sim is not None
+        assert cf.collective.sim is None
+        # the event sim sees per-request queueing the closed form cannot
+        assert ev.time_s >= cf.time_s * (1 - 1e-12)
+
+
+class TestSpeedupCurve:
+    def test_accepts_collective(self):
+        cfg = build_version("col", transpose_program(32))
+        curve = speedup_curve(
+            cfg, (2,), params=PARAMS,
+            collective=CollectiveConfig(mode="auto"),
+        )
+        assert set(curve) == {2} and curve[2] > 0

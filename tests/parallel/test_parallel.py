@@ -78,3 +78,55 @@ class TestRunVersionParallel:
         t_col = run_version_parallel(col, 4, params=PARAMS).time_s
         t_dopt = run_version_parallel(dopt, 4, params=PARAMS).time_s
         assert t_dopt < t_col
+
+
+class TestMakespanValidation:
+    def test_heterogeneous_load_vectors_rejected(self):
+        """Nodes simulated against different n_io_nodes cannot share a
+        makespan; the old code crashed adding mismatched vectors."""
+        r1 = RunResult(IOStats(io_time_s=1.0), np.zeros(4), [], 0)
+        r2 = RunResult(IOStats(io_time_s=1.0), np.zeros(8), [], 0)
+        with pytest.raises(ValueError, match="heterogeneous"):
+            makespan([r1, r2])
+
+    def test_homogeneous_vectors_fine(self):
+        r1 = RunResult(IOStats(io_time_s=1.0), np.zeros(4), [], 0)
+        r2 = RunResult(IOStats(io_time_s=2.0), np.zeros(4), [], 0)
+        assert makespan([r1, r2]) == pytest.approx(2.0)
+
+
+class TestTotalStatsFold:
+    def test_fold_matches_merge_chain(self):
+        """ParallelRun.total_stats (a single linear fold) must equal the
+        old merge-chain accumulation bit for bit."""
+        stats = [
+            IOStats(
+                read_calls=k, write_calls=2 * k,
+                elements_read=10 * k, elements_written=5 * k,
+                io_time_s=0.1 * k, compute_time_s=0.01 * k,
+                redist_messages=k, redist_elements=3 * k,
+                redist_time_s=0.001 * k,
+            )
+            for k in range(1, 9)
+        ]
+        chained = stats[0]
+        for s in stats[1:]:
+            chained = chained.merge(s)
+        folded = IOStats.fold(stats)
+        for f in (
+            "read_calls", "write_calls", "elements_read",
+            "elements_written", "io_time_s", "compute_time_s",
+            "redist_messages", "redist_elements", "redist_time_s",
+        ):
+            assert getattr(folded, f) == getattr(chained, f)
+
+    def test_fold_empty(self):
+        z = IOStats.fold([])
+        assert z.calls == 0 and z.total_time_s == 0.0
+
+    def test_run_total_stats_uses_fold(self):
+        cfg = build_version("c-opt", transpose_program())
+        run = run_version_parallel(cfg, 3, params=PARAMS)
+        assert run.total_stats.calls == sum(
+            r.stats.calls for r in run.node_results
+        )

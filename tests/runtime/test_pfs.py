@@ -1,0 +1,82 @@
+"""ParallelFileSystem: round-robin striping, stripe-aligned allocation,
+and the SPMD stagger that spreads node partitions over I/O nodes."""
+
+import pytest
+
+from repro.runtime import MachineParams, ParallelFileSystem
+
+PARAMS = MachineParams(n_io_nodes=4, stripe_bytes=16 * 8)  # 16 elements
+SE = PARAMS.stripe_elements
+
+
+@pytest.fixture
+def pfs():
+    return ParallelFileSystem(PARAMS)
+
+
+class TestIONodeOf:
+    def test_round_robin_over_stripes(self, pfs):
+        nodes = [pfs.io_node_of(s * SE) for s in range(8)]
+        assert nodes == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_constant_within_a_stripe(self, pfs):
+        assert {pfs.io_node_of(e) for e in range(SE)} == {0}
+        assert {pfs.io_node_of(SE + e) for e in range(SE)} == {1}
+
+    def test_wraps_at_n_io_nodes(self, pfs):
+        assert pfs.io_node_of(4 * SE) == pfs.io_node_of(0)
+
+
+class TestAllocate:
+    def test_first_file_at_zero(self, pfs):
+        assert pfs.allocate("A", 100) == 0
+
+    def test_bases_stripe_aligned(self, pfs):
+        pfs.allocate("A", SE + 1)  # not a whole number of stripes
+        base_b = pfs.allocate("B", 5)
+        assert base_b % SE == 0
+        assert base_b == 2 * SE  # rounded up past A's partial stripe
+
+    def test_files_do_not_overlap(self, pfs):
+        sizes = {"A": 3 * SE, "B": SE // 2, "C": 7 * SE + 1}
+        spans = []
+        for name, n in sizes.items():
+            base = pfs.allocate(name, n)
+            spans.append((base, base + n))
+        spans.sort()
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert end <= start
+
+    def test_duplicate_name_rejected(self, pfs):
+        pfs.allocate("A", 10)
+        with pytest.raises(ValueError, match="already allocated"):
+            pfs.allocate("A", 10)
+
+    def test_consecutive_files_start_on_different_io_nodes(self, pfs):
+        """Back-to-back placement spreads array starts round-robin."""
+        bases = [pfs.allocate(f"f{k}", SE) for k in range(4)]
+        assert [pfs.io_node_of(b) for b in bases] == [0, 1, 2, 3]
+
+
+class TestAdvance:
+    def test_stripe_aligned_skip(self, pfs):
+        pfs.advance(1)  # rounds up to a whole stripe
+        assert pfs.allocate("A", 10) == SE
+
+    def test_zero_is_noop(self, pfs):
+        pfs.advance(0)
+        assert pfs.allocate("A", 10) == 0
+
+    def test_spmd_stagger_spreads_ranks(self):
+        """The SPMD runner's ``advance(rank * stagger)`` lands different
+        ranks' identical files on different I/O nodes."""
+        total = 4 * SE
+        n_nodes = 4
+        stagger = total // n_nodes
+        first_nodes = []
+        for rank in range(n_nodes):
+            pfs = ParallelFileSystem(PARAMS)
+            pfs.advance(rank * stagger)
+            base = pfs.allocate("A", total)
+            first_nodes.append(pfs.io_node_of(base))
+        assert len(set(first_nodes)) == n_nodes
