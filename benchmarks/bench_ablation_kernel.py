@@ -25,11 +25,15 @@ def _tile_cost(g, n=128, rows=16):
     return ctx.stats.calls, arr.map.total_slots
 
 
-def test_min_gcd_choice(benchmark):
+def test_min_gcd_choice(benchmark, json_out):
     def sweep():
         return {g: _tile_cost(g) for g in [(1, 0), (2, 1), (3, 1), (7, 4)]}
 
     results = run_once(benchmark, sweep)
+    json_out("ablation_kernel", {
+        str(g): {"calls": calls, "slots": slots}
+        for g, (calls, slots) in results.items()
+    })
     print()
     for g, (calls, slots) in results.items():
         print(f"  g={g}: {calls} calls, file of {slots} slots")

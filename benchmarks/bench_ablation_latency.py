@@ -17,7 +17,7 @@ from repro.parallel import run_version_parallel
 from repro.workloads import build_workload
 
 
-def test_latency_sweep(benchmark, settings):
+def test_latency_sweep(benchmark, settings, json_out):
     program = build_workload("trans", settings.n)
 
     def sweep():
@@ -51,3 +51,7 @@ def test_latency_sweep(benchmark, settings):
     # optimization always helps; higher latency widens the gap
     assert all(r >= 1.0 for r in ratios.values())
     assert ratios[10.0] >= ratios[0.1]
+    json_out("ablation_latency", {
+        str(factor): {**row, "gain": ratios[factor]}
+        for factor, row in sorted(results.items())
+    })

@@ -16,7 +16,7 @@ from repro.workloads import build_workload
 
 
 @pytest.mark.parametrize("workload", ["trans", "gfunp"])
-def test_memory_sweep(benchmark, settings, workload):
+def test_memory_sweep(benchmark, settings, workload, json_out):
     program = build_workload(workload, settings.n)
 
     def sweep():
@@ -33,6 +33,9 @@ def test_memory_sweep(benchmark, settings, workload):
         return out
 
     results = run_once(benchmark, sweep)
+    json_out(f"ablation_memory.{workload}", {
+        str(fraction): row for fraction, row in results.items()
+    })
     print()
     for fraction, row in results.items():
         ratio = row["col"] / row["c-opt"]

@@ -44,13 +44,17 @@ def _time(program, order):
     return ex.run().stats.io_time_s, decision.layouts
 
 
-def test_cost_order_wins(benchmark):
+def test_cost_order_wins(benchmark, json_out):
     program = skewed_cost_program()
 
     def sweep():
         return {order: _time(program, order) for order in ("cost", "program")}
 
     results = run_once(benchmark, sweep)
+    json_out("ablation_order", {
+        order: {"io_time_s": t, "layouts": {k: list(v) for k, v in lay.items()}}
+        for order, (t, lay) in results.items()
+    })
     print()
     for order, (t, layouts) in results.items():
         print(f"  {order}-ordered: {t:.3f}s, layouts {layouts}")

@@ -39,7 +39,7 @@ def _run(workload, settings, tiling):
 
 
 @pytest.mark.parametrize("workload", workload_names())
-def test_tiling_rule(benchmark, settings, workload):
+def test_tiling_rule(benchmark, settings, workload, json_out):
     def sweep():
         return {
             "traditional": _run(workload, settings, traditional_tiling),
@@ -48,6 +48,7 @@ def test_tiling_rule(benchmark, settings, workload):
         }
 
     stats = run_once(benchmark, sweep)
+    json_out(f"ablation_tiling.{workload}", stats)
     print(
         f"\n{workload}: "
         + "  ".join(f"{k}={v.calls} calls" for k, v in stats.items())

@@ -51,7 +51,7 @@ def _run(decision, params, memory_budget=None, cache=None):
     return ex, ex.run()
 
 
-def test_cache_disabled_is_bit_identical(benchmark, smoke):
+def test_cache_disabled_is_bit_identical(benchmark, smoke, json_out):
     """``CacheConfig(enabled=False)`` must not perturb a single counter
     of any seed workload — the subsystem is strictly opt-in."""
     n = SMOKE_N if smoke else CACHE_N
@@ -74,9 +74,12 @@ def test_cache_disabled_is_bit_identical(benchmark, smoke):
         print(f"  {workload:8s} {off}")
         assert off == disabled, f"{workload}: disabled cache changed stats"
         assert disabled.cache is None
+    json_out("cache_disabled_identical", {
+        workload: off.to_dict() for workload, (off, _) in results.items()
+    })
 
 
-def test_cache_ablation(benchmark, smoke):
+def test_cache_ablation(benchmark, smoke, json_out):
     """Policy x budget x prefetch grid on three workloads."""
     n = SMOKE_N if smoke else CACHE_N
     params = _scaled_params(n)
@@ -129,6 +132,20 @@ def test_cache_ablation(benchmark, smoke):
                 )
             print(line)
 
+    json_out("cache_ablation", {
+        workload: {
+            "off": off.stats.to_dict(),
+            "grid": {
+                f"{policy}.C{mult}M.{'pf' if prefetch else 'nopf'}": {
+                    "stats": res.stats.to_dict(),
+                    "cache": res.cache_metrics.to_dict(),
+                }
+                for (policy, mult, prefetch), res in sorted(rows.items())
+            },
+        }
+        for workload, (off, rows) in results.items()
+    })
+
     # acceptance: an LRU cache with prefetch measurably reduces both
     # read calls and read volume on at least two workloads
     winners = []
@@ -154,7 +171,7 @@ def test_cache_ablation(benchmark, smoke):
 
 @pytest.mark.parametrize("workload", ["adi", "mxm"])
 def test_cache_write_modes_account_identically_for_reads(
-    benchmark, workload, smoke
+    benchmark, workload, smoke, json_out
 ):
     """Write-back coalesces rewrites while write-through pays every
     write immediately; the read side (hits, savings) must agree."""
@@ -173,6 +190,9 @@ def test_cache_write_modes_account_identically_for_reads(
         return out
 
     results = run_once(benchmark, sweep)
+    json_out(f"cache_write_modes.{workload}", {
+        mode: res.stats.to_dict() for mode, res in results.items()
+    })
     wb, wt = results["write-back"], results["write-through"]
     print()
     for mode, res in results.items():

@@ -84,7 +84,7 @@ def _row(cfg, p, params):
     }
 
 
-def test_collective_sweep(benchmark, smoke):
+def test_collective_sweep(benchmark, smoke, json_out):
     n, node_grid, io_node_grid = _sweep_grid(smoke)
 
     def sweep():
@@ -102,6 +102,14 @@ def test_collective_sweep(benchmark, smoke):
         return rows
 
     rows = run_once(benchmark, sweep)
+    json_out("collective_sweep", {
+        "n": n,
+        "rows": [
+            {"workload": w, "version": v, "n_io_nodes": nio,
+             "n_nodes": p, **r}
+            for (w, v, nio, p), r in sorted(rows.items())
+        ],
+    })
 
     print()
     print(
@@ -206,7 +214,7 @@ def _write_artifact(n, node_grid, io_node_grid, rows):
     print(f"  wrote {ARTIFACT.name}")
 
 
-def test_event_sim_reduces_to_closed_form(benchmark, smoke):
+def test_event_sim_reduces_to_closed_form(benchmark, smoke, json_out):
     """Acceptance criterion: with a single compute node no queue can
     overlap, and the event simulator must agree with the closed-form
     ``makespan`` within 1%."""
@@ -226,6 +234,9 @@ def test_event_sim_reduces_to_closed_form(benchmark, smoke):
         return out
 
     results = run_once(benchmark, measure)
+    json_out("event_sim_vs_closed_form", {
+        w: {"closed_s": c, "event_s": e} for w, (c, e) in results.items()
+    })
     print()
     for workload, (closed, event) in results.items():
         delta = abs(event - closed) / closed

@@ -10,9 +10,10 @@ from conftest import run_once
 from repro.experiments.compare import table2_scorecard, table3_scorecard
 
 
-def test_scorecard(benchmark, settings):
+def test_scorecard(benchmark, settings, json_out):
     text, summary = run_once(benchmark, table2_scorecard, settings)
     print("\n" + text)
+    json_out("scorecard.table2", summary)
     # the global conclusion of the paper, reproduced exactly
     assert summary["average_order_matches"], summary
     # per-cell direction agreement: at least 70% (documented deviations
@@ -27,8 +28,9 @@ def test_scorecard(benchmark, settings):
         assert "paper improves" not in d or "measured hurts" not in d, d
 
 
-def test_table3_scalability_scorecard(benchmark, settings):
+def test_table3_scalability_scorecard(benchmark, settings, json_out):
     text, summary = run_once(benchmark, table3_scorecard, settings)
     print("\n" + text)
+    json_out("scorecard.table3", summary)
     # the paper's scalability conclusion holds for at least 8 of 10 codes
     assert summary["agreement"] >= 0.8, text

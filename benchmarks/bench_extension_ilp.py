@@ -33,7 +33,7 @@ def _run(decision, settings, program):
 
 
 @pytest.mark.parametrize("workload", workload_names())
-def test_ilp_vs_greedy(benchmark, settings, workload):
+def test_ilp_vs_greedy(benchmark, settings, workload, json_out):
     program = normalize_program(build_workload(workload, settings.n))
 
     def sweep():
@@ -45,6 +45,7 @@ def test_ilp_vs_greedy(benchmark, settings, workload):
         }
 
     results = run_once(benchmark, sweep)
+    json_out(f"ilp_vs_greedy.{workload}", results)
     print(f"\n{workload}: greedy {results['greedy']:.3f}s, "
           f"ilp {results['ilp']:.3f}s")
     # The ILP is optimal in the *per-iteration locality* model; executed

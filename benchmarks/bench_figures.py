@@ -8,28 +8,31 @@ from repro.experiments.figure2 import figure2, FIGURE2_LAYOUTS
 from repro.experiments.figure3 import figure3
 
 
-def test_figure1(benchmark):
+def test_figure1(benchmark, json_out):
     text = run_once(benchmark, figure1)
     print("\n" + text)
     assert "2 connected component(s)" in text
     # the paper's components: {U, V, W} and {X, Y}
     assert "['U', 'V', 'W']" in text
     assert "['X', 'Y']" in text
+    json_out("figure1", {"text": text})
 
 
-def test_figure2(benchmark):
+def test_figure2(benchmark, json_out):
     text = run_once(benchmark, figure2)
     print("\n" + text)
     for name, g, _ in FIGURE2_LAYOUTS:
         assert name in text
     # column-major: file order goes down the first column
     assert "0  4  8 12" in text
+    json_out("figure2", {"text": text})
 
 
-def test_figure3(benchmark):
+def test_figure3(benchmark, json_out):
     text, result = run_once(benchmark, figure3)
     print("\n" + text)
     # the paper's exact counts
     assert result.calls_per_tile_traditional == 4
     assert result.calls_per_tile_ooc == 2
     assert result.total_calls_ooc < result.total_calls_traditional
+    json_out("figure3", result)

@@ -25,8 +25,13 @@ def _sweep():
     return results
 
 
-def test_storage_reduction(benchmark):
+def test_storage_reduction(benchmark, json_out):
     results = run_once(benchmark, _sweep)
+    json_out("storage_reduction", [
+        {"access": [a, b, c], "declared_before": before,
+         "declared_after": after, "E": repr(e)}
+        for a, b, c, before, after, e in results
+    ])
     print()
     for a, b, c, before, after, e in results:
         print(

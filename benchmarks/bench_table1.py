@@ -6,7 +6,7 @@ from repro.experiments.table1 import table1
 from repro.workloads import WORKLOADS
 
 
-def test_table1(benchmark):
+def test_table1(benchmark, json_out):
     text = run_once(benchmark, table1)
     print("\n" + text)
     # every paper row present with its source and iteration count
@@ -15,3 +15,10 @@ def test_table1(benchmark):
         assert meta.name in text
         assert meta.source in text
     assert len(WORKLOADS) == 10
+    json_out("table1", {
+        "workloads": {
+            name: {"source": meta.source, "name": meta.name}
+            for name, meta in sorted(WORKLOADS.items())
+        },
+        "text": text,
+    })

@@ -13,8 +13,11 @@ from repro.experiments.harness import run_table3_block
 
 
 @pytest.mark.parametrize("workload", ["mat", "adi", "trans", "emit"])
-def test_table3_block(benchmark, settings, workload):
+def test_table3_block(benchmark, settings, workload, json_out):
     block = run_once(benchmark, run_table3_block, workload, settings)
+    json_out(f"table3_block.{workload}", {
+        v: {str(p): s for p, s in curve.items()} for v, curve in block.items()
+    })
     for version, curve in block.items():
         print(f"\n{workload}.{version}: " + "  ".join(
             f"p={p}:{s:.1f}" for p, s in sorted(curve.items())

@@ -3,8 +3,17 @@
 Benchmarks regenerate the paper's tables/figures; they are *macro*
 benchmarks, so every one runs a single round (the results are
 deterministic — there is no noise to average away).
+
+``--json PATH`` collects every benchmark's machine-readable result dict
+(each test publishes through the ``json_out`` fixture) and writes one
+JSON document at session end — the artifact CI uploads next to the
+Perfetto trace.
 """
 
+import dataclasses
+import json
+
+import numpy as np
 import pytest
 
 from repro.experiments.harness import ExperimentSettings
@@ -13,6 +22,9 @@ from repro.experiments.harness import ExperimentSettings
 #: constants are scaled to preserve the paper's geometry, see
 #: repro.experiments.harness._scaled_params)
 BENCH_N = 128
+
+#: results registered by the ``json_out`` fixture, keyed by bench name
+_JSON_RESULTS: dict = {}
 
 
 def pytest_addoption(parser):
@@ -24,6 +36,64 @@ def pytest_addoption(parser):
         "relaxed win-margin assertions (keeps benchmarks from rotting "
         "without paying full-sweep cost)",
     )
+    parser.addoption(
+        "--json",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help="write every benchmark's machine-readable result dict to "
+        "PATH as one JSON document at session end",
+    )
+
+
+def _sanitize(obj):
+    """Make a benchmark result JSON-serializable: numpy scalars/arrays,
+    dataclasses and ``to_dict()`` carriers, tuple keys, sets."""
+    if isinstance(obj, dict):
+        return {
+            k if isinstance(k, str) else repr(k): _sanitize(v)
+            for k, v in obj.items()
+        }
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [_sanitize(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if hasattr(obj, "to_dict"):
+        return _sanitize(obj.to_dict())
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return _sanitize(dataclasses.asdict(obj))
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return repr(obj)
+
+
+@pytest.fixture(scope="session")
+def json_out(request):
+    """``json_out(name, payload)`` registers one bench's result dict for
+    the ``--json`` artifact (collected regardless, written only when the
+    option is given — so call sites need no conditional)."""
+
+    def emit(name: str, payload) -> None:
+        _JSON_RESULTS[name] = _sanitize(payload)
+
+    return emit
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = session.config.getoption("--json")
+    if not path or not _JSON_RESULTS:
+        return
+    doc = {
+        "smoke": bool(session.config.getoption("--smoke")),
+        "results": dict(sorted(_JSON_RESULTS.items())),
+    }
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=1, sort_keys=True)
+    print(f"\nwrote {len(_JSON_RESULTS)} benchmark result(s) to {path}")
 
 
 @pytest.fixture(scope="session")

@@ -73,6 +73,8 @@ from .runtime import IOStats, MachineParams, OutOfCoreArray, ParallelFileSystem
 from .cache import CacheConfig, CacheMetrics, TileCache
 from .collective import CollectiveConfig, event_makespan, plan_nest_collective
 from .engine import OOCExecutor, generate_tiled_code, interpret_program
+from .obs import ObsConfig, Observability
+from .optimizer import ReportEvent
 from .parallel import run_version_parallel, speedup_curve
 from .workloads import WORKLOADS, build_workload
 
@@ -129,6 +131,10 @@ __all__ = [
     "OOCExecutor",
     "generate_tiled_code",
     "interpret_program",
+    # observability
+    "ObsConfig",
+    "Observability",
+    "ReportEvent",
     # parallel & workloads
     "run_version_parallel",
     "speedup_curve",

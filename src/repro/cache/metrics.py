@@ -16,7 +16,11 @@ weight repetitions; it is attached to the run's final
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs.metrics import MetricsRegistry
 
 
 @dataclass
@@ -74,6 +78,24 @@ class CacheMetrics:
             self.overlapped_io_s + other.overlapped_io_s,
             self.exposed_prefetch_io_s + other.exposed_prefetch_io_s,
         )
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict — nests inside :meth:`IOStats.to_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CacheMetrics":
+        """Inverse of :meth:`to_dict` (exact round-trip)."""
+        return cls(**d)
+
+    def publish(
+        self, registry: "MetricsRegistry", prefix: str = "cache"
+    ) -> None:
+        """Snapshot every counter into an observability registry as
+        gauges (the instance itself stays cumulative over the cache's
+        life, so gauges — not counters — carry the current totals)."""
+        for name, value in asdict(self).items():
+            registry.gauge(f"{prefix}.{name}").set(value)
 
     def __str__(self) -> str:
         s = (

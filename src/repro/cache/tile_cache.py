@@ -148,6 +148,14 @@ class TileCache:
 
     # -- introspection ------------------------------------------------------
 
+    def publish_metrics(self, registry, prefix: str = "cache") -> None:
+        """Publish the current counters plus occupancy into an
+        observability registry (:class:`repro.obs.MetricsRegistry`)."""
+        self.metrics.publish(registry, prefix)
+        registry.gauge(f"{prefix}.resident_tiles").set(len(self._entries))
+        registry.gauge(f"{prefix}.in_use_elements").set(self.in_use)
+        registry.gauge(f"{prefix}.budget_elements").set(self.budget)
+
     def __len__(self) -> int:
         return len(self._entries)
 

@@ -65,6 +65,27 @@ class NodeTimeline:
     overlap_credit_s: float = 0.0
 
 
+@dataclass(frozen=True)
+class SimEvent:
+    """One simulated request, fully timed: it arrived at the resource at
+    ``arrival_s``, started service at ``start_s`` (the difference is
+    queueing delay) and finished at ``end_s``.  ``compute`` events have
+    zero wait by construction.  Only recorded when the caller passes an
+    ``events`` list — the observability layer's simulated-time timeline
+    (:meth:`repro.obs.Observability.add_sim_events`)."""
+
+    node: int
+    kind: str          # "compute" | "io" | "net"
+    resource: int      # I/O node index; 0 for compute, NET for net
+    arrival_s: float
+    start_s: float
+    end_s: float
+
+    @property
+    def wait_s(self) -> float:
+        return self.start_s - self.arrival_s
+
+
 @dataclass
 class SimResult:
     makespan_s: float
@@ -85,9 +106,20 @@ class SimResult:
 
 
 def simulate(
-    params: MachineParams, timelines: Sequence[NodeTimeline]
+    params: MachineParams,
+    timelines: Sequence[NodeTimeline],
+    *,
+    events: list[SimEvent] | None = None,
+    metrics=None,
 ) -> SimResult:
-    """Run the event simulation over per-node timelines."""
+    """Run the event simulation over per-node timelines.
+
+    ``events`` (a list to append to) records every request as a fully
+    timed :class:`SimEvent`; ``metrics`` (a
+    :class:`repro.obs.MetricsRegistry`) receives queue-wait and
+    service-time histograms.  Both default to ``None`` — no recording,
+    identical results.
+    """
     n = len(timelines)
     io_free = np.zeros(params.n_io_nodes)
     io_busy = np.zeros(params.n_io_nodes)
@@ -107,7 +139,10 @@ def simulate(
         tl = timelines[i]
         t, j = clock[i], ptr[i]
         while j < len(tl.ops) and tl.ops[j].kind == "compute":
-            t += tl.ops[j].duration_s
+            d = tl.ops[j].duration_s
+            if events is not None and d > 0.0:
+                events.append(SimEvent(i, "compute", 0, t, t, t + d))
+            t += d
             j += 1
         clock[i], ptr[i] = t, j
         if j < len(tl.ops):
@@ -133,6 +168,23 @@ def simulate(
         if start > arrival:
             waited += 1
             wait_time += start - arrival
+        if events is not None:
+            events.append(
+                SimEvent(
+                    i,
+                    op.kind,
+                    op.resource if op.kind == "io" else NET,
+                    arrival,
+                    start,
+                    done,
+                )
+            )
+        if metrics is not None:
+            metrics.histogram("sim.queue_wait_us").observe(
+                (start - arrival) * 1e6
+            )
+            metrics.histogram("sim.service_us").observe(op.service_s * 1e6)
+            metrics.counter(f"sim.{op.kind}_requests").inc()
         # double-buffered prefetch: spend overlap credit to hide blocked
         # time under the preceding compute (the data was fetched early)
         use = min(credit[i], done - arrival)

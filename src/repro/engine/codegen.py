@@ -74,10 +74,22 @@ def generate_tiled_code(
     layouts: Mapping[str, Layout],
     specs: Mapping[str, TilingSpec] | None = None,
     plans: Mapping[str, NestPlan] | None = None,
+    obs=None,
 ) -> str:
-    """Full-program listing with layout declarations per array."""
+    """Full-program listing with layout declarations per array.
+
+    ``obs`` (a :class:`repro.obs.Observability`) wraps the emission in a
+    ``codegen`` span; ``None`` records nothing.
+    """
+    from ..obs import active
     from ..transforms.tiling import ooc_tiling
 
+    obs = active(obs)
+    span = (
+        obs.tracer.begin("codegen", "compile", program=program.name)
+        if obs is not None
+        else None
+    )
     parts = [f"! out-of-core code for program {program.name}"]
     for a in program.arrays:
         lay = layouts.get(a.name)
@@ -92,4 +104,7 @@ def generate_tiled_code(
             spec = (specs or {}).get(nest.name) or ooc_tiling(nest)
             parts.append(f"\n! nest {nest.name}")
         parts.append(generate_nest_code(nest, spec, layouts))
-    return "\n".join(parts)
+    out = "\n".join(parts)
+    if obs is not None:
+        obs.tracer.end(span, n_lines=out.count("\n") + 1)
+    return out

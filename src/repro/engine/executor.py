@@ -24,6 +24,7 @@ from ..cache.tile_cache import CacheEntry
 from ..ir.nest import LoopNest
 from ..ir.program import Program
 from ..layout import Layout, row_major
+from ..obs import NestIORecord, Observability, active as obs_active
 from ..runtime import (
     InterleavedChunkedStore,
     IOContext,
@@ -193,13 +194,22 @@ class OOCExecutor:
         vectorize: bool = True,
         cache: CacheConfig | None = None,
         trace: bool = False,
+        obs: Observability | None = None,
     ):
         if node_slice is not None:
             rank, n_nodes = node_slice
             if not (0 <= rank < n_nodes):
                 raise ValueError(f"bad node slice {node_slice}")
         self.node_slice = node_slice
-        self._trace = trace
+        # observability (repro.obs): spans, metrics and per-nest I/O
+        # records.  With obs=None (the default) no instrumentation path
+        # is taken and accounting is bit-identical to pre-obs behavior.
+        # Per-array attribution needs the call trace, so an enabled obs
+        # turns tracing on (stats are unaffected by tracing).
+        self._obs = obs_active(obs)
+        self._trace = trace or (
+            self._obs is not None and self._obs.config.per_array
+        )
         self.program = program
         self.params = params or MachineParams()
         self.binding = program.binding(binding)
@@ -302,10 +312,30 @@ class OOCExecutor:
             raise RuntimeError("array contents unavailable in simulate mode")
         return self._stores[name].to_ndarray(name)
 
+    def file_names(self) -> dict[int, str]:
+        """Map file base offsets to display names (array name for linear
+        stores, ``group:<g>`` for interleaved files) — the attribution
+        key for per-array I/O reports from call traces."""
+        return {base: name for name, base in self.pfs.files.items()}
+
     def run(self) -> RunResult:
+        obs = self._obs
+        run_span = (
+            obs.tracer.begin(
+                "executor.run", "execute", program=self.program.name
+            )
+            if obs is not None and obs.config.wall_time
+            else None
+        )
+        reg = obs.metrics if obs is not None and obs.config.metrics else None
         ctx = IOContext(self.params)
         nest_runs: list[NestRun] = []
         for nest in self.program.nests:
+            nest_span = (
+                obs.tracer.begin(f"nest {nest.name}", "execute", nest=nest.name)
+                if obs is not None and obs.config.wall_time
+                else None
+            )
             spec = self._tiling_for(nest)
             plan = plan_nest(
                 nest, spec, self._plan_budget, self.binding, self.shapes
@@ -318,7 +348,7 @@ class OOCExecutor:
                 tiles = 0
                 nest_trace: list | None = [] if self._trace else None
                 for _ in range(nest.weight):
-                    local = IOContext(self.params, trace=self._trace)
+                    local = IOContext(self.params, trace=self._trace, metrics=reg)
                     tiles = self._run_nest(nest, plan, local)
                     total = total.merge(local.stats)
                     ctx.stats = ctx.stats.merge(local.stats)
@@ -329,7 +359,7 @@ class OOCExecutor:
                     NestRun(nest.name, plan, total, tiles, nest_trace)
                 )
             else:
-                local = IOContext(self.params, trace=self._trace)
+                local = IOContext(self.params, trace=self._trace, metrics=reg)
                 tiles = self._run_nest(nest, plan, local)
                 w = nest.weight
                 scaled = IOStats(
@@ -348,6 +378,15 @@ class OOCExecutor:
                         trace_weight=w,
                     )
                 )
+            if nest_span is not None:
+                nr = nest_runs[-1]
+                obs.tracer.end(
+                    nest_span,
+                    tiles=nr.tiles_executed,
+                    calls=nr.stats.calls,
+                    elements=nr.stats.elements_moved,
+                    tile_size=plan.tile_size,
+                )
         # snapshot the counters: the cache (and its live metrics) outlives
         # this run, so the result must not mutate retroactively if run()
         # is called again; counters stay cumulative over the cache's life
@@ -356,6 +395,8 @@ class OOCExecutor:
         )
         if metrics is not None:
             ctx.stats.cache = metrics
+        if obs is not None:
+            self._finish_obs(obs, run_span, ctx, nest_runs)
         return RunResult(
             ctx.stats,
             ctx.io_node_load,
@@ -364,6 +405,39 @@ class OOCExecutor:
             self._over_budget_tiles,
             metrics,
         )
+
+    def _finish_obs(
+        self,
+        obs: Observability,
+        run_span,
+        ctx: IOContext,
+        nest_runs: list[NestRun],
+    ) -> None:
+        """Close out one run's telemetry: per-nest × per-array records
+        from the call traces, cache counters, run-level gauges."""
+        if obs.config.per_array:
+            rank = self.node_slice[0] if self.node_slice else 0
+            for rec in nest_records(
+                self.params, nest_runs, self.file_names(), node=rank
+            ):
+                obs.record_nest_io(rec)
+        if obs.config.metrics:
+            if self._cache is not None:
+                self._cache.publish_metrics(obs.metrics)
+            obs.metrics.gauge("executor.peak_memory_elements").set(
+                self.memory.peak
+            )
+            obs.metrics.gauge("executor.over_budget_tiles").set(
+                self._over_budget_tiles
+            )
+        obs.note_stats(ctx.stats)
+        if run_span is not None:
+            obs.tracer.end(
+                run_span,
+                calls=ctx.stats.calls,
+                elements=ctx.stats.elements_moved,
+                io_time_s=ctx.stats.io_time_s,
+            )
 
     # -- internals -----------------------------------------------------------
 
@@ -830,3 +904,49 @@ class OOCExecutor:
         for reqs in by_store.values():
             store = self._stores[reqs[0][0]]
             store.write_many(reqs, ctx)
+
+
+def nest_records(
+    params: MachineParams,
+    nest_runs: list[NestRun],
+    file_names: Mapping[int, str],
+    *,
+    node: int = 0,
+    path: str = "direct",
+) -> list[NestIORecord]:
+    """Per-nest × per-array I/O records from recorded call traces.
+
+    Each trace entry is one accounted I/O call, so grouping by
+    ``(file_base, direction)`` and scaling by ``trace_weight``
+    reproduces the nest's :class:`IOStats` call/element counters
+    *exactly* — the invariant the obs report's cross-check relies on.
+    ``io_time_s`` is recomputed from the cost model (informational)."""
+    out: list[NestIORecord] = []
+    for nr in nest_runs:
+        if nr.trace is None:
+            continue
+        w = max(1, nr.trace_weight)
+        by_file: dict[int, NestIORecord] = {}
+        for base, _off, ln, is_write in nr.trace:
+            rec = by_file.get(base)
+            if rec is None:
+                rec = by_file[base] = NestIORecord(
+                    nr.nest_name,
+                    file_names.get(base, f"file@{base}"),
+                    node=node,
+                    path=path,
+                )
+            if is_write:
+                rec.write_calls += w
+                rec.elements_written += ln * w
+            else:
+                rec.read_calls += w
+                rec.elements_read += ln * w
+        for rec in by_file.values():
+            rec.io_time_s = (
+                rec.read_calls + rec.write_calls
+            ) * params.io_latency_s + (
+                rec.elements_read + rec.elements_written
+            ) * params.element_size / params.io_bandwidth_bps
+            out.append(rec)
+    return out

@@ -1,0 +1,212 @@
+"""Unified observability: tracing, metrics and profiling (``repro.obs``).
+
+The paper's argument is quantitative — per-nest, per-array I/O calls and
+seconds are the whole evidence.  This package is the structured substrate
+for that evidence:
+
+- :class:`Tracer` (:mod:`~repro.obs.tracer`) — span-based tracing of the
+  compiler pipeline (normalize → interference → per-nest optimize →
+  tiling → codegen) and the runtime (nest execution, cache activity,
+  collective phases), in wall time, plus *virtual-time* spans carrying
+  the event simulator's per-I/O-node queues at simulated timestamps;
+- :class:`MetricsRegistry` (:mod:`~repro.obs.metrics`) — counters,
+  gauges and histograms (I/O call sizes, queue waits) that
+  :class:`~repro.runtime.stats.IOContext`, the tile cache and the event
+  simulator publish into;
+- exporters (:mod:`~repro.obs.export`) — Chrome trace-event JSON
+  loadable in Perfetto / ``chrome://tracing``, both clocks in one file;
+- per-nest × per-array I/O reports (:mod:`~repro.obs.report`) whose
+  totals equal the run's folded :class:`~repro.runtime.stats.IOStats`
+  exactly, rendered by ``python -m repro.obs report <trace.json>``.
+
+Observability is **off by default** and bit-identical when off: every
+instrumented call site takes an ``obs=None`` parameter and records
+nothing — stats, timings and printed lines are unchanged (the same
+contract as :class:`~repro.cache.tile_cache.CacheConfig` and
+:class:`~repro.collective.planner.CollectiveConfig`).  Enable it by
+passing an :class:`Observability`::
+
+    from repro.obs import Observability
+
+    obs = Observability()
+    decision = optimize_program(program, obs=obs)
+    ex = OOCExecutor(decision.program, decision.layout_objects(), obs=obs)
+    result = ex.run()
+    obs.note_stats(result.stats)
+    obs.export("trace.json")      # open in https://ui.perfetto.dev
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import IO, TYPE_CHECKING, Iterable, Mapping
+
+from .export import (
+    REQUIRED_EVENT_KEYS,
+    chrome_trace_events,
+    load_trace,
+    validate_trace_events,
+    write_trace,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .report import (
+    IOReport,
+    NestIORecord,
+    RedistRecord,
+    render_report,
+    report_totals,
+)
+from .tracer import Instant, Span, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..runtime.stats import IOStats
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """Switches for the observability layer.
+
+    ``enabled``
+        master switch; a disabled config behaves exactly like passing
+        ``obs=None`` everywhere.
+    ``wall_time``
+        record wall-clock spans of the pipeline and executor.
+    ``metrics``
+        publish counters/histograms into the registry.
+    ``sim_events``
+        record the event simulator's per-request timeline (virtual-time
+        spans on per-node and per-I/O-node tracks).
+    ``per_array``
+        emit per-nest × per-array I/O records (forces per-call tracing
+        in the executor; stats are unaffected).
+    """
+
+    enabled: bool = True
+    wall_time: bool = True
+    metrics: bool = True
+    sim_events: bool = True
+    per_array: bool = True
+
+
+class Observability:
+    """One run's collected telemetry: tracer + registry + I/O report."""
+
+    def __init__(self, config: ObsConfig | None = None, *, clock=None):
+        self.config = config or ObsConfig()
+        self.tracer = Tracer(**({"clock": clock} if clock is not None else {}))
+        self.metrics = MetricsRegistry()
+        self.report = IOReport()
+        self.run_stats: dict[str, object] | None = None
+        self.sim_summary: dict[str, object] | None = None
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.enabled
+
+    # -- convenience proxies ----------------------------------------------
+
+    def span(self, name: str, cat: str = "", **args: object):
+        return self.tracer.span(name, cat, **args)
+
+    def instant(self, name: str, cat: str = "", **args: object) -> None:
+        self.tracer.instant(name, cat, **args)
+
+    def record_nest_io(self, record: NestIORecord) -> None:
+        self.report.records.append(record)
+
+    def record_redist(self, record: RedistRecord) -> None:
+        self.report.redist.append(record)
+
+    def note_stats(self, stats: "IOStats") -> None:
+        """Attach the run's folded stats (the report's ground truth)."""
+        self.run_stats = stats.to_dict()
+
+    # -- simulated-time ingestion -----------------------------------------
+
+    def add_sim_events(self, events: Iterable[object]) -> None:
+        """Convert the event simulator's request log into virtual-time
+        spans: one blocked-interval span per request on its compute
+        node's track, one service span on the resource's queue track.
+        ``events`` duck-types :class:`repro.collective.sim.SimEvent`."""
+        t = self.tracer
+        for ev in events:
+            kind = ev.kind
+            node_track = f"node {ev.node}"
+            if kind == "compute":
+                t.add_virtual_span(
+                    "compute", ev.start_s, ev.end_s - ev.start_s,
+                    track=node_track, cat="sim.compute",
+                )
+                continue
+            res_track = "net" if kind == "net" else f"io {ev.resource}"
+            wait = ev.start_s - ev.arrival_s
+            t.add_virtual_span(
+                kind, ev.arrival_s, ev.end_s - ev.arrival_s,
+                track=node_track, cat=f"sim.{kind}",
+                wait_s=wait, resource=res_track,
+            )
+            t.add_virtual_span(
+                f"serve node {ev.node}", ev.start_s, ev.end_s - ev.start_s,
+                track=res_track, cat=f"sim.{kind}",
+            )
+
+    # -- export ------------------------------------------------------------
+
+    def to_payload(self) -> dict[str, object]:
+        payload: dict[str, object] = {
+            "traceEvents": chrome_trace_events(self.tracer),
+            "displayTimeUnit": "ms",
+            "otherData": {"tool": "repro.obs"},
+            "metrics": self.metrics.to_dict(),
+            "io_report": self.report.to_dict(),
+        }
+        if self.run_stats is not None:
+            payload["stats"] = self.run_stats
+        if self.sim_summary is not None:
+            payload["sim"] = self.sim_summary
+        return payload
+
+    def export(self, path_or_file: str | IO[str]) -> dict[str, object]:
+        """Write the Perfetto-loadable trace JSON; returns the payload."""
+        payload = self.to_payload()
+        write_trace(path_or_file, payload)
+        return payload
+
+
+def active(obs: "Observability | None") -> "Observability | None":
+    """The instrumentation guard: the obs instance if it is live, else
+    ``None`` — call sites do ``obs = active(obs)`` once and then a plain
+    ``if obs is not None`` per instrumentation point."""
+    return obs if obs is not None and obs.config.enabled else None
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instant",
+    "IOReport",
+    "MetricsRegistry",
+    "NestIORecord",
+    "ObsConfig",
+    "Observability",
+    "RedistRecord",
+    "REQUIRED_EVENT_KEYS",
+    "Span",
+    "Tracer",
+    "active",
+    "chrome_trace_events",
+    "load_trace",
+    "render_report",
+    "report_totals",
+    "validate_trace_events",
+    "write_trace",
+]
+
+
+def _payload_report(payload: Mapping[str, object]) -> str:
+    """Render ``python -m repro.obs report``'s text from a loaded trace
+    payload (exposed for the CLI and tests)."""
+    report = IOReport.from_dict(payload.get("io_report", {}))
+    stats = payload.get("stats")
+    return render_report(report, stats)

@@ -1,0 +1,121 @@
+"""Command-line interface: ``python -m repro.obs <command>``.
+
+``report <trace.json>``
+    Print the per-nest × per-array I/O breakdown table of an exported
+    trace, the redistribution lines, and the cross-check against the
+    run's folded :class:`~repro.runtime.stats.IOStats`.
+
+``capture``
+    Run one workload version on the simulated machine with observability
+    enabled and export the trace — the quickest way to get a
+    Perfetto-loadable file (and the file CI uploads as an artifact)::
+
+        python -m repro.obs capture --workload adi --collective \\
+            --out trace.json
+        python -m repro.obs report trace.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import Observability, _payload_report, load_trace
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    payload = load_trace(args.trace)
+    print(_payload_report(payload))
+    sim = payload.get("sim")
+    if sim:
+        print(
+            f"event sim: makespan={sim['makespan_s']:.3f}s "
+            f"waited={sim['waited_requests']} "
+            f"(queue delay {sim['wait_time_s']:.3f}s)"
+        )
+    if args.metrics:
+        for key, inst in sorted(payload.get("metrics", {}).items()):
+            if inst["type"] == "histogram":
+                print(
+                    f"metric {key}: count={inst['count']} "
+                    f"mean={inst['mean']:.3g} min={inst['min']} "
+                    f"max={inst['max']}"
+                )
+            else:
+                print(f"metric {key}: {inst['value']}")
+    return 0
+
+
+def cmd_capture(args: argparse.Namespace) -> int:
+    # local imports: the CLI must not drag the whole system into every
+    # `python -m repro.obs report` invocation
+    from ..collective import CollectiveConfig
+    from ..experiments.harness import _scaled_params
+    from ..optimizer import build_version
+    from ..parallel import run_version_parallel
+    from ..workloads import build_workload
+
+    obs = Observability()
+    program = build_workload(args.workload, args.n)
+    cfg = build_version(args.version, program)
+    collective = (
+        CollectiveConfig(mode=args.mode) if args.collective else None
+    )
+    run = run_version_parallel(
+        cfg,
+        args.nodes,
+        params=_scaled_params(args.n),
+        collective=collective,
+        obs=obs,
+    )
+    obs.export(args.out)
+    print(
+        f"{args.workload}/{args.version} on {args.nodes} node(s): "
+        f"time={run.time_s:.3f}s calls={run.total_io_calls} -> {args.out}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="tracing / metrics / profiling for the repro system",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_report = sub.add_parser(
+        "report", help="per-nest x per-array I/O table from a trace file"
+    )
+    p_report.add_argument("trace", help="trace JSON written by obs.export()")
+    p_report.add_argument(
+        "--metrics", action="store_true", help="also dump the metrics registry"
+    )
+    p_report.set_defaults(func=cmd_report)
+
+    p_cap = sub.add_parser(
+        "capture", help="run a workload with observability on, export trace"
+    )
+    p_cap.add_argument("--workload", default="adi")
+    p_cap.add_argument("--version", default="c-opt")
+    p_cap.add_argument("--n", type=int, default=24)
+    p_cap.add_argument("--nodes", type=int, default=4)
+    p_cap.add_argument(
+        "--collective", action="store_true",
+        help="run through the two-phase collective layer + event sim",
+    )
+    p_cap.add_argument(
+        "--mode", default="auto", choices=("auto", "always", "never"),
+        help="collective mode (with --collective)",
+    )
+    p_cap.add_argument("--out", default="trace.json")
+    p_cap.set_defaults(func=cmd_capture)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

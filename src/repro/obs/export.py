@@ -1,0 +1,132 @@
+"""Exporters: Chrome trace-event JSON (Perfetto / chrome://tracing).
+
+One exported file carries both clocks as separate trace processes:
+
+- ``pid 0`` — *wall time*: the compiler pipeline and executor spans as
+  actually measured on the host;
+- ``pid 1`` — *simulated time*: the discrete-event simulator's per-node
+  execution and per-I/O-node queue occupancy, placed at the cost
+  model's deterministic timestamps.
+
+The file is the standard JSON-object form (``{"traceEvents": [...]}``)
+so Perfetto and ``chrome://tracing`` load it directly; the extra
+top-level keys (``metrics``, ``io_report``, ``stats``) are ignored by
+the viewers and consumed by ``python -m repro.obs report``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Mapping
+
+from .tracer import Tracer
+
+#: trace-event process ids for the two clocks
+WALL_PID = 0
+SIM_PID = 1
+
+#: keys every emitted event must carry (the trace-event schema's
+#: required subset; asserted by the unit tests)
+REQUIRED_EVENT_KEYS = ("ph", "ts", "pid", "tid", "name")
+
+
+def _us(seconds: float) -> float:
+    return round(seconds * 1e6, 3)
+
+
+def _meta(pid: int, tid: int, name: str, kind: str) -> dict[str, object]:
+    return {
+        "ph": "M",
+        "ts": 0,
+        "pid": pid,
+        "tid": tid,
+        "name": kind,
+        "args": {"name": name},
+    }
+
+
+def chrome_trace_events(tracer: Tracer) -> list[dict[str, object]]:
+    """Render a tracer's spans and instants as trace-event dicts."""
+    events: list[dict[str, object]] = [
+        _meta(WALL_PID, 0, "wall time (compiler + runtime)", "process_name"),
+        _meta(WALL_PID, 0, "pipeline", "thread_name"),
+    ]
+    tracks: dict[str, int] = {}
+    have_sim = False
+    for span in tracer.spans:
+        if span.track is None:
+            events.append(
+                {
+                    "ph": "X",
+                    "ts": _us(span.start_s),
+                    "dur": _us(span.duration_s),
+                    "pid": WALL_PID,
+                    "tid": 0,
+                    "name": span.name,
+                    "cat": span.cat or "span",
+                    "args": dict(span.args),
+                }
+            )
+        else:
+            if not have_sim:
+                events.append(
+                    _meta(SIM_PID, 0, "simulated time (event sim)",
+                          "process_name")
+                )
+                have_sim = True
+            tid = tracks.get(span.track)
+            if tid is None:
+                tid = len(tracks)
+                tracks[span.track] = tid
+                events.append(_meta(SIM_PID, tid, span.track, "thread_name"))
+            events.append(
+                {
+                    "ph": "X",
+                    "ts": _us(span.start_s),
+                    "dur": _us(span.duration_s),
+                    "pid": SIM_PID,
+                    "tid": tid,
+                    "name": span.name,
+                    "cat": span.cat or "sim",
+                    "args": dict(span.args),
+                }
+            )
+    for inst in tracer.instants:
+        events.append(
+            {
+                "ph": "i",
+                "ts": _us(inst.ts_s),
+                "pid": WALL_PID,
+                "tid": 0,
+                "name": inst.name,
+                "cat": inst.cat or "instant",
+                "s": "t",
+                "args": dict(inst.args),
+            }
+        )
+    return events
+
+
+def validate_trace_events(events: list[Mapping[str, object]]) -> None:
+    """Raise if any event misses the schema's required keys."""
+    for i, ev in enumerate(events):
+        missing = [k for k in REQUIRED_EVENT_KEYS if k not in ev]
+        if missing:
+            raise ValueError(
+                f"trace event {i} ({ev.get('name')!r}) missing {missing}"
+            )
+
+
+def write_trace(path_or_file: str | IO[str], payload: Mapping[str, object]) -> None:
+    """Write a trace payload (``{"traceEvents": [...], ...}``) as JSON."""
+    validate_trace_events(payload.get("traceEvents", []))
+    if hasattr(path_or_file, "write"):
+        json.dump(payload, path_or_file, indent=1)
+    else:
+        with open(path_or_file, "w") as f:
+            json.dump(payload, f, indent=1)
+
+
+def load_trace(path: str) -> dict[str, object]:
+    with open(path) as f:
+        return json.load(f)

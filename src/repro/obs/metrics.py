@@ -1,0 +1,159 @@
+"""A small metrics registry: counters, gauges and histograms.
+
+The runtime's exact accounting lives in
+:class:`~repro.runtime.stats.IOStats` — that is the *result* of a run.
+The registry complements it with *distributions and live counters* the
+flat stats cannot carry: I/O call-size histograms, simulator queue-wait
+distributions, cache counter snapshots.  :class:`~repro.runtime.stats
+.IOContext`, :class:`~repro.cache.tile_cache.TileCache` and the
+discrete-event simulator all publish into one registry when
+observability is enabled; ``to_dict()`` serializes everything for the
+JSON trace artifact.
+
+Instruments are keyed by name plus optional labels
+(``registry.counter("io.read_calls", node=3)``); the label set becomes
+part of the key, Prometheus-style.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterable
+
+
+def _key(name: str, labels: dict[str, object]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def to_dict(self) -> dict[str, object]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-set value (peaks, snapshots, configuration)."""
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def to_dict(self) -> dict[str, object]:
+        return {"type": "gauge", "value": self.value}
+
+
+#: default bucket bounds: powers of two — wide enough for element counts
+#: and fine enough for second-scale durations once scaled
+_POW2 = tuple(2.0**e for e in range(0, 31))
+
+
+class Histogram:
+    """Fixed-bound bucket histogram with exact count/sum/min/max.
+
+    ``bucket_counts[i]`` counts observations ``<= bounds[i]``; the last
+    slot is the overflow bucket.
+    """
+
+    def __init__(self, bounds: Iterable[float] = _POW2):
+        self.bounds: tuple[float, ...] = tuple(sorted(bounds))
+        if not self.bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.observe(float(v))
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self.bucket_counts),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create instrument store with JSON export."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, labels: dict[str, object], factory):
+        key = _key(name, labels)
+        inst = self._instruments.get(key)
+        if inst is None:
+            inst = factory()
+            self._instruments[key] = inst
+        elif not isinstance(inst, factory):
+            raise TypeError(
+                f"metric {key!r} already registered as "
+                f"{type(inst).__name__}"
+            )
+        return inst
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._get(name, labels, Counter)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._get(name, labels, Gauge)
+
+    def histogram(
+        self, name: str, bounds: Iterable[float] | None = None, **labels: object
+    ) -> Histogram:
+        key = _key(name, labels)
+        inst = self._instruments.get(key)
+        if inst is None:
+            inst = Histogram(bounds) if bounds is not None else Histogram()
+            self._instruments[key] = inst
+        elif not isinstance(inst, Histogram):
+            raise TypeError(f"metric {key!r} already registered")
+        return inst
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._instruments
+
+    def items(self):
+        return self._instruments.items()
+
+    def to_dict(self) -> dict[str, dict[str, object]]:
+        return {
+            key: inst.to_dict()
+            for key, inst in sorted(self._instruments.items())
+        }

@@ -1,0 +1,163 @@
+"""Span-based tracing for the compiler pipeline and the runtime.
+
+Two kinds of time coexist in this system and the tracer records both:
+
+- **wall time** — what the host actually spends compiling (normalize,
+  interference, per-nest optimization, tiling, codegen) and driving the
+  simulated runtime.  Wall spans nest: ``span()`` is a context manager,
+  ``begin()``/``end()`` the explicit form for code that cannot scope a
+  ``with`` block.
+- **simulated time** — the deterministic clock of the cost model and the
+  discrete-event simulator.  ``add_virtual_span`` places a span at an
+  explicit ``(start_s, duration_s)`` on a named *track* (a compute node,
+  an I/O node queue, the interconnect); nothing is measured.
+
+Every span carries a name, a category and a flat dict of structured
+attributes (nest name, array, call counts, ...).  The Chrome
+trace-event exporter in :mod:`repro.obs.export` renders wall spans and
+virtual spans as separate processes of one Perfetto-loadable file.
+
+The tracer is deliberately clock-injectable (``Tracer(clock=...)``) so
+tests are deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Mapping
+
+
+@dataclass
+class Span:
+    """One traced interval.  Times are seconds relative to the tracer's
+    epoch (wall spans) or to the simulation's t=0 (virtual spans)."""
+
+    name: str
+    cat: str = ""
+    start_s: float = 0.0
+    end_s: float | None = None
+    #: attributes rendered into the trace event's ``args``
+    args: dict[str, object] = field(default_factory=dict)
+    span_id: int = 0
+    parent_id: int | None = None
+    #: track label; ``None`` for wall-time spans (they live on the
+    #: tracer's single wall track), a string for virtual-time spans
+    track: str | None = None
+
+    @property
+    def duration_s(self) -> float:
+        return 0.0 if self.end_s is None else self.end_s - self.start_s
+
+    @property
+    def closed(self) -> bool:
+        return self.end_s is not None
+
+
+@dataclass(frozen=True)
+class Instant:
+    """A point event (a decision, a marker) on the wall track."""
+
+    name: str
+    cat: str
+    ts_s: float
+    args: Mapping[str, object]
+
+
+class Tracer:
+    """Collects :class:`Span` and :class:`Instant` records.
+
+    Not thread-safe — the whole system is single-threaded by design
+    (the parallelism is simulated).
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        self._epoch = clock()
+        self._next_id = 1
+        self._stack: list[Span] = []
+        self.spans: list[Span] = []
+        self.instants: list[Instant] = []
+
+    # -- wall-time spans --------------------------------------------------
+
+    def _now(self) -> float:
+        return self._clock() - self._epoch
+
+    def begin(self, name: str, cat: str = "", **args: object) -> Span:
+        """Open a span explicitly; pair with :meth:`end`."""
+        span = Span(
+            name,
+            cat,
+            start_s=self._now(),
+            args=dict(args),
+            span_id=self._next_id,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+        )
+        self._next_id += 1
+        self._stack.append(span)
+        self.spans.append(span)
+        return span
+
+    def end(self, span: Span, **args: object) -> Span:
+        """Close a span (and any forgotten children still open)."""
+        while self._stack:
+            top = self._stack.pop()
+            top.end_s = self._now()
+            if top is span:
+                break
+        else:
+            span.end_s = self._now()
+        span.args.update(args)
+        return span
+
+    @contextmanager
+    def span(self, name: str, cat: str = "", **args: object) -> Iterator[Span]:
+        s = self.begin(name, cat, **args)
+        try:
+            yield s
+        finally:
+            self.end(s)
+
+    def instant(self, name: str, cat: str = "", **args: object) -> None:
+        self.instants.append(Instant(name, cat, self._now(), dict(args)))
+
+    # -- virtual (simulated) time -----------------------------------------
+
+    def add_virtual_span(
+        self,
+        name: str,
+        start_s: float,
+        duration_s: float,
+        *,
+        track: str,
+        cat: str = "sim",
+        **args: object,
+    ) -> Span:
+        """Place a span at an explicit simulated time on ``track``."""
+        span = Span(
+            name,
+            cat,
+            start_s=start_s,
+            end_s=start_s + duration_s,
+            args=dict(args),
+            span_id=self._next_id,
+            track=track,
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        return span
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def wall_spans(self) -> list[Span]:
+        return [s for s in self.spans if s.track is None]
+
+    @property
+    def virtual_spans(self) -> list[Span]:
+        return [s for s in self.spans if s.track is not None]
+
+    def find(self, name: str) -> list[Span]:
+        return [s for s in self.spans if s.name == name]

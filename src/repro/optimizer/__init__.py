@@ -20,7 +20,7 @@ from .locality import (
     choose_direction_for_array,
     hyperplane_from_direction,
 )
-from .global_opt import GlobalDecision, optimize_program
+from .global_opt import GlobalDecision, ReportEvent, optimize_program
 from .ilp import optimize_program_ilp
 from .strategies import VersionConfig, build_version, VERSION_NAMES
 
@@ -35,6 +35,7 @@ __all__ = [
     "choose_direction_for_array",
     "hyperplane_from_direction",
     "GlobalDecision",
+    "ReportEvent",
     "optimize_program",
     "optimize_program_ilp",
     "VersionConfig",

@@ -14,8 +14,22 @@ from ..collective.planner import (
     io_node_loads,
     plan_nest_collective,
 )
-from ..collective.sim import NET, NodeTimeline, SimOp, io_node_of, nest_ops, simulate
-from ..engine.executor import NestRun, OOCExecutor, RunResult
+from ..collective.sim import (
+    NET,
+    NodeTimeline,
+    SimEvent,
+    SimOp,
+    io_node_of,
+    nest_ops,
+    simulate,
+)
+from ..engine.executor import NestRun, OOCExecutor, RunResult, nest_records
+from ..obs import (
+    NestIORecord,
+    Observability,
+    RedistRecord,
+    active as obs_active,
+)
 from ..optimizer.strategies import VersionConfig
 from ..runtime import IOStats, MachineParams, ParallelFileSystem
 from .model import makespan
@@ -48,6 +62,7 @@ def run_version_parallel(
     binding: Mapping[str, int] | None = None,
     memory_per_node: int | None = None,
     collective: CollectiveConfig | None = None,
+    obs: Observability | None = None,
 ) -> ParallelRun:
     """Execute a version on ``n_nodes`` (simulate mode, no data).
 
@@ -63,8 +78,15 @@ def run_version_parallel(
     the event-driven simulator (``simulator="event"``) instead of the
     closed-form aggregate max.  Without it the behavior — stats and
     makespan — is exactly the independent model.
+
+    ``obs`` (a :class:`repro.obs.Observability`) traces per-rank
+    execution, emits per-nest × per-array I/O records matching the
+    run's folded stats exactly, and — for event-simulated collective
+    runs — records the simulated-time timeline.  ``None`` (default)
+    records nothing and is bit-identical.
     """
     params = params or MachineParams()
+    obs = obs_active(obs)
     b = cfg.program.binding(binding)
     total_elements = sum(
         int(np.prod(a.shape(b))) for a in cfg.program.arrays
@@ -73,10 +95,21 @@ def run_version_parallel(
         64, total_elements // params.memory_fraction
     )
     results: list[RunResult] = []
+    file_maps: list[dict[int, str]] = []
+    # per-array attribution works off the executors' call traces, so an
+    # enabled obs forces tracing like the collective planner does
+    trace = collective is not None or (
+        obs is not None and obs.config.per_array
+    )
     stagger = max(1, total_elements // max(1, n_nodes))
     for rank in range(n_nodes):
         pfs = ParallelFileSystem(params)
         pfs.advance(rank * stagger)
+        span = (
+            obs.tracer.begin(f"rank {rank}", "execute", rank=rank)
+            if obs is not None and obs.config.wall_time
+            else None
+        )
         ex = OOCExecutor(
             cfg.program,
             cfg.layouts,
@@ -88,12 +121,29 @@ def run_version_parallel(
             storage_spec=cfg.storage_spec,
             pfs=pfs,
             node_slice=(rank, n_nodes) if n_nodes > 1 else None,
-            trace=collective is not None,
+            trace=trace,
         )
         results.append(ex.run())
+        if span is not None:
+            obs.tracer.end(span, calls=results[-1].stats.calls)
+        if obs is not None:
+            file_maps.append(ex.file_names())
     if collective is None:
-        return ParallelRun(cfg.name, n_nodes, makespan(results), results)
-    return _collective_run(cfg.name, n_nodes, params, results, collective)
+        run = ParallelRun(cfg.name, n_nodes, makespan(results), results)
+        if obs is not None:
+            if obs.config.per_array:
+                for rank, r in enumerate(results):
+                    for rec in nest_records(
+                        params, r.nest_runs, file_maps[rank],
+                        node=rank, path="independent",
+                    ):
+                        obs.record_nest_io(rec)
+            obs.note_stats(run.total_stats)
+        return run
+    return _collective_run(
+        cfg.name, n_nodes, params, results, collective,
+        obs=obs, file_maps=file_maps,
+    )
 
 
 def speedup_curve(
@@ -129,6 +179,8 @@ def _collective_run(
     params: MachineParams,
     results: list[RunResult],
     config: CollectiveConfig,
+    obs: Observability | None = None,
+    file_maps: list[dict[int, str]] | None = None,
 ) -> ParallelRun:
     """Re-price a traced run nest by nest: keep the recorded independent
     accounting where independent wins, substitute the two-phase plan's
@@ -137,11 +189,18 @@ def _collective_run(
     stats = [IOStats() for _ in range(n_nodes)]
     loads = [np.zeros(params.n_io_nodes) for _ in range(n_nodes)]
     timelines = [NodeTimeline(i) for i in range(n_nodes)]
+    # merged file_base -> array name map across the staggered per-rank
+    # file systems (rank 0 first; labels only, totals unaffected)
+    names: dict[int, str] = {}
+    for fm in file_maps or []:
+        for base, nm in fm.items():
+            names.setdefault(base, nm)
     for j in range(len(results[0].nest_runs)):
         nrs = [r.nest_runs[j] for r in results]
+        nest_name = nrs[0].nest_name
         plan = plan_nest_collective(
             params,
-            nrs[0].nest_name,
+            nest_name,
             [nr.trace or [] for nr in nrs],
             weight=max(nr.trace_weight for nr in nrs),
             cb_nodes=config.cb_nodes,
@@ -151,11 +210,26 @@ def _collective_run(
         )
         if plan is not None:
             report.nest_plans.append(plan)
-        report.chosen[nrs[0].nest_name] = two_phase
+        report.chosen[nest_name] = two_phase
+        if obs is not None:
+            obs.instant(
+                f"collective {nest_name}",
+                "collective",
+                two_phase=two_phase,
+                has_plan=plan is not None,
+            )
         if two_phase:
             _account_two_phase(params, plan, nrs, stats, loads, timelines)
+            if obs is not None and obs.config.per_array:
+                _emit_two_phase_records(obs, params, nest_name, plan, names)
         else:
             _account_independent(params, nrs, stats, loads, timelines)
+            if obs is not None and obs.config.per_array:
+                for rank, nr in enumerate(nrs):
+                    for rec in nest_records(
+                        params, [nr], names, node=rank, path="independent"
+                    ):
+                        obs.record_nest_io(rec)
     if any(report.chosen.values()):
         node_results = [
             dc_replace(r, stats=s, io_node_load=l)
@@ -166,12 +240,83 @@ def _collective_run(
         # accounting verbatim (bit-identical to collective=None)
         node_results = results
     if config.simulator == "event":
-        sim = simulate(params, timelines)
+        events: list[SimEvent] | None = None
+        reg = None
+        if obs is not None:
+            if obs.config.sim_events:
+                events = []
+            if obs.config.metrics:
+                reg = obs.metrics
+        sim = simulate(params, timelines, events=events, metrics=reg)
         report.sim = sim
         time_s = sim.makespan_s
+        if obs is not None:
+            if events:
+                obs.add_sim_events(events)
+            obs.sim_summary = {
+                "makespan_s": sim.makespan_s,
+                "waited_requests": sim.waited_requests,
+                "wait_time_s": sim.wait_time_s,
+                "net_busy_s": sim.net_busy_s,
+                "n_events": sim.n_events,
+            }
     else:
         time_s = makespan(node_results)
-    return ParallelRun(name, n_nodes, time_s, node_results, collective=report)
+    run = ParallelRun(name, n_nodes, time_s, node_results, collective=report)
+    if obs is not None:
+        obs.note_stats(run.total_stats)
+    return run
+
+
+def _emit_two_phase_records(
+    obs: Observability,
+    params: MachineParams,
+    nest_name: str,
+    plan: NestCollectivePlan,
+    names: dict[int, str],
+) -> None:
+    """Per-array records for a two-phase nest, mirroring
+    :func:`_account_two_phase`'s arithmetic exactly: every aggregator's
+    planned calls × weight, attributed to the aggregator's rank."""
+    w = plan.weight
+    esz = params.element_size
+    for access in plan.accesses:
+        array = names.get(access.file_base, f"file@{access.file_base}")
+        for a_idx, (off, ln) in enumerate(
+            zip(access.agg_offsets, access.agg_lengths)
+        ):
+            n_calls = int(off.size)
+            if n_calls == 0:
+                continue
+            elems = int(ln.sum())
+            io_t = (
+                n_calls * params.io_latency_s
+                + elems * esz / params.io_bandwidth_bps
+            ) * w
+            obs.record_nest_io(
+                NestIORecord(
+                    nest=nest_name,
+                    array=array,
+                    read_calls=0 if access.is_write else n_calls * w,
+                    write_calls=n_calls * w if access.is_write else 0,
+                    elements_read=0 if access.is_write else elems * w,
+                    elements_written=elems * w if access.is_write else 0,
+                    io_time_s=io_t,
+                    node=plan.aggregators[a_idx],
+                    path="two-phase",
+                )
+            )
+    n_msgs = sum(len(a.messages) for a in plan.accesses)
+    if n_msgs:
+        vols = [v for a in plan.accesses for _, _, v in a.messages]
+        obs.record_redist(
+            RedistRecord(
+                nest=nest_name,
+                messages=n_msgs * w,
+                elements=sum(vols) * w,
+                time_s=sum(params.net_time(v * esz) for v in vols) * w,
+            )
+        )
 
 
 def _account_independent(

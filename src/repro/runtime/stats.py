@@ -17,6 +17,7 @@ from .params import MachineParams
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cache → stats)
     from ..cache.metrics import CacheMetrics
+    from ..obs.metrics import MetricsRegistry
 
 
 def _sieve(
@@ -150,6 +151,43 @@ class IOStats:
                 )
         return total
 
+    def to_dict(self) -> dict:
+        """JSON-ready dict, nested ``cache`` included — the serialized
+        form used by traces (:mod:`repro.obs`) and ``BENCH_*.json``."""
+        d = {
+            "read_calls": self.read_calls,
+            "write_calls": self.write_calls,
+            "elements_read": self.elements_read,
+            "elements_written": self.elements_written,
+            "io_time_s": self.io_time_s,
+            "compute_time_s": self.compute_time_s,
+            "redist_messages": self.redist_messages,
+            "redist_elements": self.redist_elements,
+            "redist_time_s": self.redist_time_s,
+        }
+        if self.cache is not None:
+            d["cache"] = self.cache.to_dict()
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "IOStats":
+        """Inverse of :meth:`to_dict` (exact round-trip)."""
+        from ..cache.metrics import CacheMetrics
+
+        cache_d = d.get("cache")
+        return cls(
+            read_calls=d.get("read_calls", 0),
+            write_calls=d.get("write_calls", 0),
+            elements_read=d.get("elements_read", 0),
+            elements_written=d.get("elements_written", 0),
+            io_time_s=d.get("io_time_s", 0.0),
+            compute_time_s=d.get("compute_time_s", 0.0),
+            cache=None if cache_d is None else CacheMetrics.from_dict(cache_d),
+            redist_messages=d.get("redist_messages", 0),
+            redist_elements=d.get("redist_elements", 0),
+            redist_time_s=d.get("redist_time_s", 0.0),
+        )
+
     def __str__(self) -> str:
         base = (
             f"calls={self.calls} (r{self.read_calls}/w{self.write_calls}) "
@@ -176,7 +214,11 @@ class IOContext:
     """
 
     def __init__(
-        self, params: MachineParams, node_id: int = 0, trace: bool = False
+        self,
+        params: MachineParams,
+        node_id: int = 0,
+        trace: bool = False,
+        metrics: "MetricsRegistry | None" = None,
     ):
         self.params = params
         self.node_id = node_id
@@ -186,6 +228,19 @@ class IOContext:
         #: I/O call, in issue order — used by the Figure-3 renderer and
         #: by debugging tools; off by default (it is per-call overhead)
         self.trace: list[tuple[int, int, int, bool]] | None = [] if trace else None
+        #: optional :class:`repro.obs.MetricsRegistry` this context
+        #: publishes per-call counters and call-size histograms into;
+        #: ``None`` (the default) records nothing — accounting is
+        #: bit-identical with observability off
+        self.metrics = metrics
+
+    def _publish_calls(self, n_calls: int, n_elems: int, is_write: bool) -> None:
+        m = self.metrics
+        direction = "write" if is_write else "read"
+        m.counter(f"io.{direction}_calls").inc(n_calls)
+        m.counter(f"io.elements_{'written' if is_write else 'read'}").inc(
+            n_elems
+        )
 
     def record_call(self, file_base_elem: int, offset_elem: int, n_elems: int, is_write: bool) -> None:
         """Account one I/O call for ``n_elems`` contiguous elements starting
@@ -200,6 +255,9 @@ class IOContext:
             self.stats.read_calls += 1
             self.stats.elements_read += n_elems
         self.stats.io_time_s += p.call_time(nbytes)
+        if self.metrics is not None:
+            self._publish_calls(1, n_elems, is_write)
+            self.metrics.histogram("io.call_elements").observe(n_elems)
         if self.trace is not None:
             self.trace.append((file_base_elem, offset_elem, n_elems, is_write))
         # distribute the transfer across the stripes the call covers
@@ -244,6 +302,9 @@ class IOContext:
         self.stats.io_time_s += n_calls * p.io_latency_s + float(
             nbytes.sum()
         ) / p.io_bandwidth_bps
+        if self.metrics is not None:
+            self._publish_calls(n_calls, n_elems, is_write)
+            self.metrics.histogram("io.call_elements").observe_many(lengths)
         if self.trace is not None:
             self.trace.extend(
                 (file_base_elem, int(o), int(l), is_write)

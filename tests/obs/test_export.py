@@ -1,0 +1,117 @@
+"""Chrome trace-event export: schema, the two clocks, file round-trip."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    REQUIRED_EVENT_KEYS,
+    Observability,
+    Tracer,
+    chrome_trace_events,
+    load_trace,
+    validate_trace_events,
+    write_trace,
+)
+from repro.obs.export import SIM_PID, WALL_PID
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+def _tracer_with_both_clocks():
+    clock = FakeClock()
+    t = Tracer(clock=clock)
+    with t.span("compile", "pipeline"):
+        clock.t += 0.001
+    t.instant("decision", "collective", two_phase=False)
+    t.add_virtual_span("io", 0.5, 0.25, track="node 0", cat="sim.io")
+    t.add_virtual_span("serve", 0.5, 0.25, track="io 2", cat="sim.io")
+    return t
+
+
+class TestSchema:
+    def test_every_event_has_required_keys(self):
+        events = chrome_trace_events(_tracer_with_both_clocks())
+        for ev in events:
+            for key in REQUIRED_EVENT_KEYS:
+                assert key in ev, f"{ev['name']} missing {key}"
+        validate_trace_events(events)  # must not raise
+
+    def test_validate_rejects_missing_keys(self):
+        with pytest.raises(ValueError, match="missing"):
+            validate_trace_events([{"ph": "X", "name": "bad"}])
+
+    def test_timestamps_are_microseconds(self):
+        events = chrome_trace_events(_tracer_with_both_clocks())
+        wall = [
+            e for e in events if e["ph"] == "X" and e["pid"] == WALL_PID
+        ]
+        assert wall[0]["dur"] == pytest.approx(1000.0)  # 1 ms -> 1000 us
+
+    def test_instants_marked_thread_scoped(self):
+        events = chrome_trace_events(_tracer_with_both_clocks())
+        (inst,) = [e for e in events if e["ph"] == "i"]
+        assert inst["s"] == "t"
+
+
+class TestTwoClocks:
+    def test_wall_and_sim_processes_separated(self):
+        events = chrome_trace_events(_tracer_with_both_clocks())
+        spans = [e for e in events if e["ph"] == "X"]
+        assert {e["pid"] for e in spans} == {WALL_PID, SIM_PID}
+
+    def test_virtual_tracks_get_thread_names(self):
+        events = chrome_trace_events(_tracer_with_both_clocks())
+        names = {
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+            and e["pid"] == SIM_PID
+        }
+        assert names == {"node 0", "io 2"}
+
+    def test_sim_spans_at_virtual_timestamps(self):
+        events = chrome_trace_events(_tracer_with_both_clocks())
+        sim = [e for e in events if e["ph"] == "X" and e["pid"] == SIM_PID]
+        assert all(e["ts"] == pytest.approx(0.5e6) for e in sim)
+
+    def test_no_sim_process_without_virtual_spans(self):
+        t = Tracer(clock=FakeClock())
+        with t.span("only-wall"):
+            pass
+        events = chrome_trace_events(t)
+        assert all(e["pid"] == WALL_PID for e in events)
+
+
+class TestFileRoundTrip:
+    def test_write_validates_then_loads(self, tmp_path):
+        obs = Observability()
+        with obs.span("s"):
+            pass
+        path = tmp_path / "trace.json"
+        payload = obs.export(str(path))
+        loaded = load_trace(str(path))
+        assert loaded["traceEvents"] == json.loads(
+            json.dumps(payload["traceEvents"])
+        )
+        assert loaded["displayTimeUnit"] == "ms"
+
+    def test_write_rejects_bad_payload(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_trace(
+                str(tmp_path / "bad.json"),
+                {"traceEvents": [{"ph": "X"}]},
+            )
+
+    def test_payload_is_json_object_form(self):
+        """Perfetto needs the JSON-object form with a traceEvents list."""
+        obs = Observability()
+        payload = obs.to_payload()
+        assert isinstance(payload["traceEvents"], list)
+        assert "metrics" in payload and "io_report" in payload

@@ -1,0 +1,98 @@
+"""Metrics registry: counters, gauges, histograms, labeled keys."""
+
+import pytest
+
+from repro.obs import Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("io.read_calls").inc()
+        reg.counter("io.read_calls").inc(4)
+        assert reg.counter("io.read_calls").value == 5
+
+    def test_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("c").inc(-1)
+
+    def test_to_dict(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        assert reg.to_dict()["c"] == {"type": "counter", "value": 3}
+
+
+class TestGauge:
+    def test_last_set_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("peak").set(10)
+        reg.gauge("peak").set(7)
+        assert reg.gauge("peak").value == 7
+
+
+class TestHistogram:
+    def test_exact_bucket_boundaries(self):
+        """A value equal to a bound lands in that bound's bucket
+        (bucket i counts values <= bounds[i])."""
+        h = Histogram(bounds=[1, 2, 4])
+        for v in (1, 2, 2, 4, 5):
+            h.observe(v)
+        assert h.bucket_counts == [1, 2, 1, 1]
+
+    def test_summary_stats(self):
+        h = Histogram(bounds=[10])
+        h.observe_many([2, 4, 6])
+        assert h.count == 3
+        assert h.total == 12
+        assert h.min == 2 and h.max == 6
+        assert h.mean == pytest.approx(4.0)
+
+    def test_default_bounds_cover_large_values(self):
+        h = Histogram()
+        h.observe(2**40)  # beyond the last bound -> overflow bucket
+        assert h.bucket_counts[-1] == 1
+
+    def test_empty_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=[])
+
+    def test_registry_custom_bounds_first_call(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", bounds=[1.0, 2.0])
+        assert h.bounds == (1.0, 2.0)
+        assert reg.histogram("lat") is h
+
+
+class TestRegistryKeys:
+    def test_labels_become_key(self):
+        reg = MetricsRegistry()
+        reg.counter("io.calls", node=3).inc()
+        reg.counter("io.calls", node=4).inc(2)
+        assert "io.calls{node=3}" in reg
+        assert "io.calls{node=4}" in reg
+        assert reg.counter("io.calls", node=3).value == 1
+
+    def test_label_order_canonical(self):
+        reg = MetricsRegistry()
+        reg.counter("c", b=1, a=2).inc()
+        assert "c{a=2,b=1}" in reg
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+        with pytest.raises(TypeError):
+            reg.histogram("x")
+
+    def test_to_dict_sorted_and_json_ready(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.gauge("a").set(1)
+        reg.histogram("c").observe(3)
+        d = reg.to_dict()
+        assert list(d) == sorted(d)
+        json.dumps(d)  # must not raise

@@ -1,0 +1,109 @@
+"""Span tracer: nesting, explicit begin/end, virtual time, instants."""
+
+import pytest
+
+from repro.obs import Tracer
+
+
+class FakeClock:
+    """Deterministic injectable clock: advances on demand."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def tracer(clock):
+    return Tracer(clock=clock)
+
+
+class TestWallSpans:
+    def test_span_times_relative_to_epoch(self, tracer, clock):
+        clock.advance(1.0)
+        with tracer.span("work") as s:
+            clock.advance(0.5)
+        assert s.start_s == pytest.approx(1.0)
+        assert s.end_s == pytest.approx(1.5)
+        assert s.duration_s == pytest.approx(0.5)
+        assert s.closed
+
+    def test_nesting_assigns_parent(self, tracer):
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_explicit_begin_end(self, tracer, clock):
+        s = tracer.begin("phase", "compile", nest="n1")
+        clock.advance(2.0)
+        tracer.end(s, calls=7)
+        assert s.duration_s == pytest.approx(2.0)
+        assert s.args == {"nest": "n1", "calls": 7}
+
+    def test_end_closes_forgotten_children(self, tracer):
+        outer = tracer.begin("outer")
+        child = tracer.begin("child")
+        tracer.end(outer)
+        assert outer.closed and child.closed
+
+    def test_find_by_name(self, tracer):
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        with tracer.span("a"):
+            pass
+        assert len(tracer.find("a")) == 2
+
+    def test_sibling_spans_share_parent(self, tracer):
+        with tracer.span("outer") as outer:
+            with tracer.span("one") as one:
+                pass
+            with tracer.span("two") as two:
+                pass
+        assert one.parent_id == outer.span_id
+        assert two.parent_id == outer.span_id
+
+
+class TestVirtualSpans:
+    def test_placed_at_explicit_time(self, tracer):
+        s = tracer.add_virtual_span(
+            "io", 3.0, 0.25, track="node 0", cat="sim.io", wait_s=0.1
+        )
+        assert s.start_s == 3.0 and s.end_s == 3.25
+        assert s.track == "node 0"
+        assert s.args["wait_s"] == 0.1
+
+    def test_partitioned_from_wall_spans(self, tracer):
+        with tracer.span("wall"):
+            pass
+        tracer.add_virtual_span("sim", 0.0, 1.0, track="net")
+        assert [s.name for s in tracer.wall_spans] == ["wall"]
+        assert [s.name for s in tracer.virtual_spans] == ["sim"]
+
+    def test_no_stack_interaction(self, tracer):
+        """Virtual spans never capture the wall-span stack as parent."""
+        with tracer.span("outer"):
+            v = tracer.add_virtual_span("sim", 0.0, 1.0, track="x")
+        assert v.parent_id is None
+
+
+class TestInstants:
+    def test_recorded_with_timestamp(self, tracer, clock):
+        clock.advance(4.0)
+        tracer.instant("decision", "collective", two_phase=True)
+        (inst,) = tracer.instants
+        assert inst.ts_s == pytest.approx(4.0)
+        assert inst.args == {"two_phase": True}
