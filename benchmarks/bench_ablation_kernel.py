@@ -30,10 +30,12 @@ def test_min_gcd_choice(benchmark, json_out):
         return {g: _tile_cost(g) for g in [(1, 0), (2, 1), (3, 1), (7, 4)]}
 
     results = run_once(benchmark, sweep)
+    # hyperplanes as native tuple keys — the shared sanitizer encodes
+    # them stably ('[1, 0]') and decode_key recovers the tuples
     json_out("ablation_kernel", {
-        str(g): {"calls": calls, "slots": slots}
+        g: {"calls": calls, "slots": slots}
         for g, (calls, slots) in results.items()
-    })
+    }, n=128, rows=16)
     print()
     for g, (calls, slots) in results.items():
         print(f"  g={g}: {calls} calls, file of {slots} slots")

@@ -52,6 +52,6 @@ def test_latency_sweep(benchmark, settings, json_out):
     assert all(r >= 1.0 for r in ratios.values())
     assert ratios[10.0] >= ratios[0.1]
     json_out("ablation_latency", {
-        str(factor): {**row, "gain": ratios[factor]}
+        factor: {**row, "gain": ratios[factor]}
         for factor, row in sorted(results.items())
-    })
+    }, n=settings.n, factors=(0.1, 1.0, 10.0))

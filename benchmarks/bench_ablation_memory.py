@@ -34,8 +34,8 @@ def test_memory_sweep(benchmark, settings, workload, json_out):
 
     results = run_once(benchmark, sweep)
     json_out(f"ablation_memory.{workload}", {
-        str(fraction): row for fraction, row in results.items()
-    })
+        fraction: row for fraction, row in results.items()
+    }, n=settings.n, fractions=(8, 16, 32, 64))
     print()
     for fraction, row in results.items():
         ratio = row["col"] / row["c-opt"]

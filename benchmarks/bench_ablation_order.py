@@ -54,7 +54,7 @@ def test_cost_order_wins(benchmark, json_out):
     json_out("ablation_order", {
         order: {"io_time_s": t, "layouts": {k: list(v) for k, v in lay.items()}}
         for order, (t, lay) in results.items()
-    })
+    }, n=96)
     print()
     for order, (t, layouts) in results.items():
         print(f"  {order}-ordered: {t:.3f}s, layouts {layouts}")

@@ -48,7 +48,7 @@ def test_tiling_rule(benchmark, settings, workload, json_out):
         }
 
     stats = run_once(benchmark, sweep)
-    json_out(f"ablation_tiling.{workload}", stats)
+    json_out(f"ablation_tiling.{workload}", stats, n=settings.n)
     print(
         f"\n{workload}: "
         + "  ".join(f"{k}={v.calls} calls" for k, v in stats.items())

@@ -76,7 +76,7 @@ def test_cache_disabled_is_bit_identical(benchmark, smoke, json_out):
         assert disabled.cache is None
     json_out("cache_disabled_identical", {
         workload: off.to_dict() for workload, (off, _) in results.items()
-    })
+    }, n=n)
 
 
 def test_cache_ablation(benchmark, smoke, json_out):
@@ -132,19 +132,22 @@ def test_cache_ablation(benchmark, smoke, json_out):
                 )
             print(line)
 
+    # grid points keyed by their native (policy, mult, prefetch) tuples;
+    # the shared sanitizer encodes them stably and reversibly
     json_out("cache_ablation", {
         workload: {
             "off": off.stats.to_dict(),
             "grid": {
-                f"{policy}.C{mult}M.{'pf' if prefetch else 'nopf'}": {
+                key: {
                     "stats": res.stats.to_dict(),
                     "cache": res.cache_metrics.to_dict(),
                 }
-                for (policy, mult, prefetch), res in sorted(rows.items())
+                for key, res in sorted(rows.items())
             },
         }
         for workload, (off, rows) in results.items()
-    })
+    }, n=n, workloads=WORKLOAD_GRID, policies=POLICY_GRID,
+       budgets=BUDGET_GRID)
 
     # acceptance: an LRU cache with prefetch measurably reduces both
     # read calls and read volume on at least two workloads
@@ -192,7 +195,7 @@ def test_cache_write_modes_account_identically_for_reads(
     results = run_once(benchmark, sweep)
     json_out(f"cache_write_modes.{workload}", {
         mode: res.stats.to_dict() for mode, res in results.items()
-    })
+    }, n=n)
     wb, wt = results["write-back"], results["write-through"]
     print()
     for mode, res in results.items():

@@ -102,14 +102,15 @@ def test_collective_sweep(benchmark, smoke, json_out):
         return rows
 
     rows = run_once(benchmark, sweep)
-    json_out("collective_sweep", {
-        "n": n,
-        "rows": [
-            {"workload": w, "version": v, "n_io_nodes": nio,
-             "n_nodes": p, **r}
-            for (w, v, nio, p), r in sorted(rows.items())
-        ],
-    })
+    # rows keyed by their native (workload, version, nio, p) tuples —
+    # the sanitizer's stable key encoding makes each grid point an
+    # addressable leaf in baseline diffs
+    json_out(
+        "collective_sweep",
+        {"rows": {k: r for k, r in sorted(rows.items())}},
+        n=n, workloads=WORKLOAD_GRID, versions=VERSION_GRID,
+        node_grid=node_grid, io_node_grid=io_node_grid,
+    )
 
     print()
     print(
@@ -236,7 +237,7 @@ def test_event_sim_reduces_to_closed_form(benchmark, smoke, json_out):
     results = run_once(benchmark, measure)
     json_out("event_sim_vs_closed_form", {
         w: {"closed_s": c, "event_s": e} for w, (c, e) in results.items()
-    })
+    }, n=n, workloads=WORKLOAD_GRID)
     print()
     for workload, (closed, event) in results.items():
         delta = abs(event - closed) / closed

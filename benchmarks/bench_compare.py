@@ -13,7 +13,7 @@ from repro.experiments.compare import table2_scorecard, table3_scorecard
 def test_scorecard(benchmark, settings, json_out):
     text, summary = run_once(benchmark, table2_scorecard, settings)
     print("\n" + text)
-    json_out("scorecard.table2", summary)
+    json_out("scorecard.table2", summary, n=settings.n)
     # the global conclusion of the paper, reproduced exactly
     assert summary["average_order_matches"], summary
     # per-cell direction agreement: at least 70% (documented deviations
@@ -31,6 +31,9 @@ def test_scorecard(benchmark, settings, json_out):
 def test_table3_scalability_scorecard(benchmark, settings, json_out):
     text, summary = run_once(benchmark, table3_scorecard, settings)
     print("\n" + text)
-    json_out("scorecard.table3", summary)
+    json_out(
+        "scorecard.table3", summary,
+        n=settings.n, node_grid=settings.table3_nodes,
+    )
     # the paper's scalability conclusion holds for at least 8 of 10 codes
     assert summary["agreement"] >= 0.8, text

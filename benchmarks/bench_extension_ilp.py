@@ -45,7 +45,7 @@ def test_ilp_vs_greedy(benchmark, settings, workload, json_out):
         }
 
     results = run_once(benchmark, sweep)
-    json_out(f"ilp_vs_greedy.{workload}", results)
+    json_out(f"ilp_vs_greedy.{workload}", results, n=settings.n)
     print(f"\n{workload}: greedy {results['greedy']:.3f}s, "
           f"ilp {results['ilp']:.3f}s")
     # The ILP is optimal in the *per-iteration locality* model; executed

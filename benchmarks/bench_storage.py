@@ -31,7 +31,7 @@ def test_storage_reduction(benchmark, json_out):
         {"access": [a, b, c], "declared_before": before,
          "declared_after": after, "E": repr(e)}
         for a, b, c, before, after, e in results
-    ])
+    ], extent=64, n_cases=len(results))
     print()
     for a, b, c, before, after, e in results:
         print(

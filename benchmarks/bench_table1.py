@@ -21,4 +21,4 @@ def test_table1(benchmark, json_out):
             for name, meta in sorted(WORKLOADS.items())
         },
         "text": text,
-    })
+    }, n_workloads=len(WORKLOADS))

@@ -18,7 +18,11 @@ from repro.workloads import workload_names
 def test_table2_row(benchmark, settings, workload, json_out):
     times = run_once(benchmark, run_table2_row, workload, settings)
     norm = normalize_row(times)
-    json_out(f"table2_row.{workload}", {"times_s": times, "normalized": norm})
+    json_out(
+        f"table2_row.{workload}",
+        {"times_s": times, "normalized": norm},
+        n=settings.n, n_nodes=settings.table2_nodes,
+    )
     # universal sanity: the combined version never loses to the
     # unoptimized default by more than noise
     assert norm["c-opt"] <= 101.0, norm
@@ -29,7 +33,10 @@ def test_table2_row(benchmark, settings, workload, json_out):
 def test_table2_full(benchmark, settings, json_out):
     text, data = run_once(benchmark, table2, settings)
     print("\n" + text)
-    json_out("table2_full", {"normalized": data, "text": text})
+    json_out(
+        "table2_full", {"normalized": data, "text": text},
+        n=settings.n, n_nodes=settings.table2_nodes,
+    )
 
     def avg(version):
         return sum(data[w][version] for w in data) / len(data)

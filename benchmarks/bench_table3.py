@@ -15,9 +15,13 @@ from repro.experiments.harness import run_table3_block
 @pytest.mark.parametrize("workload", ["mat", "adi", "trans", "emit"])
 def test_table3_block(benchmark, settings, workload, json_out):
     block = run_once(benchmark, run_table3_block, workload, settings)
-    json_out(f"table3_block.{workload}", {
-        v: {str(p): s for p, s in curve.items()} for v, curve in block.items()
-    })
+    # node counts are native int keys: the shared sanitizer's stable key
+    # encoding keeps them diffable (and decode_key recovers the ints)
+    json_out(
+        f"table3_block.{workload}",
+        {v: dict(curve) for v, curve in block.items()},
+        n=settings.n, node_grid=settings.table3_nodes,
+    )
     for version, curve in block.items():
         print(f"\n{workload}.{version}: " + "  ".join(
             f"p={p}:{s:.1f}" for p, s in sorted(curve.items())

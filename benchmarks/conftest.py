@@ -6,17 +6,17 @@ deterministic — there is no noise to average away).
 
 ``--json PATH`` collects every benchmark's machine-readable result dict
 (each test publishes through the ``json_out`` fixture) and writes one
-JSON document at session end — the artifact CI uploads next to the
-Perfetto trace.
+schema-versioned baseline document (:mod:`repro.obs.baselines`) at
+session end — the artifact CI uploads next to the Perfetto trace, and
+the document ``python -m repro.obs regress check`` diffs against a
+committed baseline.
 """
 
-import dataclasses
-import json
-
-import numpy as np
 import pytest
 
 from repro.experiments.harness import ExperimentSettings
+from repro.obs.baselines import make_envelope, write_baseline
+from repro.obs.export import sanitize
 
 #: array extent used by the benchmark harness (paper: 4096; the machine
 #: constants are scaled to preserve the paper's geometry, see
@@ -25,6 +25,11 @@ BENCH_N = 128
 
 #: results registered by the ``json_out`` fixture, keyed by bench name
 _JSON_RESULTS: dict = {}
+
+#: per-bench capture configuration (problem sizes, sweep grids) —
+#: compared exactly by the regression gate so a config drift fails as
+#: "config changed", never as a fake perf delta
+_JSON_META: dict = {}
 
 
 def pytest_addoption(parser):
@@ -42,43 +47,22 @@ def pytest_addoption(parser):
         default=None,
         metavar="PATH",
         help="write every benchmark's machine-readable result dict to "
-        "PATH as one JSON document at session end",
+        "PATH as one baseline document at session end",
     )
-
-
-def _sanitize(obj):
-    """Make a benchmark result JSON-serializable: numpy scalars/arrays,
-    dataclasses and ``to_dict()`` carriers, tuple keys, sets."""
-    if isinstance(obj, dict):
-        return {
-            k if isinstance(k, str) else repr(k): _sanitize(v)
-            for k, v in obj.items()
-        }
-    if isinstance(obj, (list, tuple, set, frozenset)):
-        return [_sanitize(v) for v in obj]
-    if isinstance(obj, np.ndarray):
-        return obj.tolist()
-    if isinstance(obj, np.integer):
-        return int(obj)
-    if isinstance(obj, np.floating):
-        return float(obj)
-    if hasattr(obj, "to_dict"):
-        return _sanitize(obj.to_dict())
-    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
-        return _sanitize(dataclasses.asdict(obj))
-    if isinstance(obj, (str, int, float, bool)) or obj is None:
-        return obj
-    return repr(obj)
 
 
 @pytest.fixture(scope="session")
 def json_out(request):
-    """``json_out(name, payload)`` registers one bench's result dict for
-    the ``--json`` artifact (collected regardless, written only when the
-    option is given — so call sites need no conditional)."""
+    """``json_out(name, payload, **meta)`` registers one bench's result
+    dict for the ``--json`` baseline (collected regardless, written only
+    when the option is given — so call sites need no conditional).
+    Keyword ``meta`` records the configuration the payload was measured
+    under; the regression gate holds it to exact equality."""
 
-    def emit(name: str, payload) -> None:
-        _JSON_RESULTS[name] = _sanitize(payload)
+    def emit(name: str, payload, **meta) -> None:
+        _JSON_RESULTS[name] = sanitize(payload)
+        if meta:
+            _JSON_META[name] = sanitize(meta)
 
     return emit
 
@@ -87,12 +71,12 @@ def pytest_sessionfinish(session, exitstatus):
     path = session.config.getoption("--json")
     if not path or not _JSON_RESULTS:
         return
-    doc = {
-        "smoke": bool(session.config.getoption("--smoke")),
-        "results": dict(sorted(_JSON_RESULTS.items())),
-    }
-    with open(path, "w") as f:
-        json.dump(doc, f, indent=1, sort_keys=True)
+    doc = make_envelope(
+        _JSON_RESULTS,
+        _JSON_META,
+        smoke=bool(session.config.getoption("--smoke")),
+    )
+    write_baseline(path, doc)
     print(f"\nwrote {len(_JSON_RESULTS)} benchmark result(s) to {path}")
 
 

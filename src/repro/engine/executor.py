@@ -250,6 +250,13 @@ class OOCExecutor:
         linear_store = _LinearStore(linear_arrays)
         for name in linear_arrays:
             self._stores[name] = linear_store
+        # concrete linear layouts, kept for the cost-model drift
+        # telemetry (predicted I/O needs each array's fast direction)
+        self._layouts: dict[str, Layout] = {
+            name: spec.layout
+            for name, spec in spec_map.items()
+            if isinstance(spec, LinearStoreSpec)
+        }
         for group, members in groups.items():
             names = [n for n, _ in members]
             shapes = {self.shapes[n] for n in names}
@@ -317,6 +324,16 @@ class OOCExecutor:
         stores, ``group:<g>`` for interleaved files) — the attribution
         key for per-array I/O reports from call traces."""
         return {base: name for name, base in self.pfs.files.items()}
+
+    def predicted_io(self) -> dict[str, dict[str, float]]:
+        """The optimizer's predicted I/O calls per (nest, array) for this
+        program as configured — the prediction side of the cost-model
+        drift telemetry (:meth:`repro.obs.Observability.note_predictions`)."""
+        # local import: repro.optimizer pulls in strategy modules that
+        # import this executor
+        from ..optimizer.cost import predict_program_io
+
+        return predict_program_io(self.program, self._layouts, self.binding)
 
     def run(self) -> RunResult:
         obs = self._obs
@@ -421,6 +438,8 @@ class OOCExecutor:
                 self.params, nest_runs, self.file_names(), node=rank
             ):
                 obs.record_nest_io(rec)
+            obs.note_predictions(self.predicted_io())
+            obs.finalize_drift()
         if obs.config.metrics:
             if self._cache is not None:
                 self._cache.publish_metrics(obs.metrics)

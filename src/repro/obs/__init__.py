@@ -44,15 +44,21 @@ from typing import IO, TYPE_CHECKING, Iterable, Mapping
 from .export import (
     REQUIRED_EVENT_KEYS,
     chrome_trace_events,
+    decode_key,
+    encode_key,
     load_trace,
+    sanitize,
     validate_trace_events,
     write_trace,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .report import (
+    CostDriftRecord,
     IOReport,
     NestIORecord,
     RedistRecord,
+    build_drift,
+    drift_totals,
     render_report,
     report_totals,
 )
@@ -98,6 +104,10 @@ class Observability:
         self.report = IOReport()
         self.run_stats: dict[str, object] | None = None
         self.sim_summary: dict[str, object] | None = None
+        #: cost-model predictions per nest → array → estimated calls,
+        #: registered by the executor / parallel driver before the run's
+        #: drift table is built (:meth:`finalize_drift`)
+        self.predictions: dict[str, dict[str, float]] = {}
 
     @property
     def enabled(self) -> bool:
@@ -120,6 +130,40 @@ class Observability:
     def note_stats(self, stats: "IOStats") -> None:
         """Attach the run's folded stats (the report's ground truth)."""
         self.run_stats = stats.to_dict()
+
+    # -- cost-model drift ---------------------------------------------------
+
+    def note_predictions(
+        self, predictions: Mapping[str, Mapping[str, float]]
+    ) -> None:
+        """Register the optimizer's predicted I/O per (nest, array) —
+        typically :func:`repro.optimizer.cost.predict_program_io` of the
+        program about to run."""
+        for nest, per_array in predictions.items():
+            self.predictions.setdefault(nest, {}).update(per_array)
+
+    def finalize_drift(self) -> None:
+        """(Re)build the report's cost-model drift table from the
+        collected records and registered predictions, and publish the
+        per-(nest, array) model-error metrics.  Idempotent — callers
+        invoke it whenever a run's records are complete."""
+        if not self.predictions and not self.report.records:
+            return
+        self.report.drift = build_drift(self.report.records, self.predictions)
+        if self.config.metrics:
+            for r in self.report.drift:
+                labels = {"nest": r.nest, "array": r.array}
+                self.metrics.gauge(
+                    "cost_model.measured_calls", **labels
+                ).set(r.measured_calls)
+                if r.predicted_calls is not None:
+                    self.metrics.gauge(
+                        "cost_model.predicted_calls", **labels
+                    ).set(r.predicted_calls)
+                if r.error is not None:
+                    self.metrics.gauge(
+                        "cost_model.call_error", **labels
+                    ).set(r.error)
 
     # -- simulated-time ingestion -----------------------------------------
 
@@ -181,6 +225,7 @@ def active(obs: "Observability | None") -> "Observability | None":
 
 
 __all__ = [
+    "CostDriftRecord",
     "Counter",
     "Gauge",
     "Histogram",
@@ -195,18 +240,26 @@ __all__ = [
     "Span",
     "Tracer",
     "active",
+    "build_drift",
     "chrome_trace_events",
+    "decode_key",
+    "drift_totals",
+    "encode_key",
     "load_trace",
     "render_report",
     "report_totals",
+    "sanitize",
     "validate_trace_events",
     "write_trace",
 ]
 
 
-def _payload_report(payload: Mapping[str, object]) -> str:
+def _payload_report(
+    payload: Mapping[str, object], *, include_metrics: bool = False
+) -> str:
     """Render ``python -m repro.obs report``'s text from a loaded trace
     payload (exposed for the CLI and tests)."""
     report = IOReport.from_dict(payload.get("io_report", {}))
     stats = payload.get("stats")
-    return render_report(report, stats)
+    metrics = payload.get("metrics") if include_metrics else None
+    return render_report(report, stats, metrics)

@@ -1,0 +1,159 @@
+"""Schema-versioned baseline store for benchmark results.
+
+A *baseline* is one frozen ``pytest benchmarks --json`` document wrapped
+in a small envelope: schema version, capture provenance (git revision,
+capture command), the simulated machine model's parameters, and the
+smoke flag.  Everything the benchmarks measure is deterministic — the
+machine is simulated, the inputs are fixed — so a baseline is an exact
+contract, not a statistical snapshot: the regression gate
+(:mod:`repro.obs.regress`) can hold integer counters to equality and
+modeled times to a tight relative tolerance.
+
+Committed baselines live next to the benchmarks:
+
+- ``BENCH_cache.json`` / ``BENCH_tables.json`` — full-size runs,
+  refreshed manually (or by the CI ``workflow_dispatch`` sweep) when a
+  change *intends* to move the numbers;
+- ``benchmarks/baselines/BENCH_smoke.json`` — the ``--smoke`` capture
+  the CI bench job diffs every push against.
+
+Capture them with ``python -m repro.obs regress capture``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import subprocess
+import sys
+
+#: bump when the envelope layout changes incompatibly; the loader
+#: refuses documents from a different major scheme
+SCHEMA_VERSION = 1
+
+#: envelope discriminator (trace JSONs and bench docs share a directory)
+KIND = "bench-baseline"
+
+
+class BaselineError(Exception):
+    """A baseline file is missing, malformed, or from another schema."""
+
+
+def machine_fingerprint() -> dict[str, object]:
+    """The simulated machine model's default parameters.
+
+    Benchmarks derive their per-size params from these defaults
+    (:func:`repro.experiments.harness._scaled_params`), so two baselines
+    captured under different fingerprints are measuring different
+    machines — the gate treats that as a configuration mismatch that
+    needs an intentional refresh, not a pass or a regression.
+    """
+    from ..runtime import MachineParams
+
+    return dataclasses.asdict(MachineParams())
+
+
+def git_rev() -> str:
+    """Current git revision (provenance only — never compared)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except OSError:
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def make_envelope(
+    results: dict[str, object],
+    meta: dict[str, object] | None = None,
+    *,
+    smoke: bool,
+) -> dict[str, object]:
+    """Wrap one benchmark session's results as a baseline document.
+
+    ``results`` maps bench name → sanitized result payload; ``meta``
+    maps bench name → the configuration the payload was measured under
+    (problem size, sweep grid, node counts).  The gate compares ``meta``
+    exactly: a config drift must fail as *config changed*, not be
+    silently diffed value against incomparable value.
+    """
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": KIND,
+        "smoke": bool(smoke),
+        "git_rev": git_rev(),
+        "machine": machine_fingerprint(),
+        "meta": dict(sorted((meta or {}).items())),
+        "results": dict(sorted(results.items())),
+    }
+
+
+def write_baseline(path: str, doc: dict[str, object]) -> None:
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=1, sort_keys=True)
+        f.write("\n")
+
+
+def load_baseline(path: str) -> dict[str, object]:
+    """Load and validate one baseline document.
+
+    Raises :class:`BaselineError` — with a message naming the file and
+    the problem — for a missing file, non-JSON content, a non-baseline
+    JSON (wrong ``kind``), or an incompatible ``schema_version``.
+    """
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except FileNotFoundError:
+        raise BaselineError(f"baseline file not found: {path}") from None
+    except (json.JSONDecodeError, UnicodeDecodeError) as e:
+        raise BaselineError(f"malformed baseline JSON in {path}: {e}") from None
+    if not isinstance(doc, dict):
+        raise BaselineError(
+            f"{path} is not a bench baseline (top level is not an object)"
+        )
+    if doc.get("kind") != KIND:
+        raise BaselineError(
+            f"{path} is not a bench baseline (kind={doc.get('kind')!r})"
+        )
+    version = doc.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise BaselineError(
+            f"{path} has schema_version {version!r}; "
+            f"this tool reads version {SCHEMA_VERSION} — re-capture it"
+        )
+    if not isinstance(doc.get("results"), dict):
+        raise BaselineError(f"{path} carries no results mapping")
+    return doc
+
+
+def capture(
+    out: str,
+    bench_args: list[str] | None = None,
+    *,
+    smoke: bool = False,
+    python: str = sys.executable,
+) -> dict[str, object]:
+    """Run the benchmark suite in a subprocess and write a baseline.
+
+    ``bench_args`` selects what to run (defaults to the whole
+    ``benchmarks/`` directory; pass file paths or ``-k`` expressions).
+    The benchmarks' session hook writes the envelope itself
+    (:func:`make_envelope` via ``benchmarks/conftest.py``), so ``out``
+    receives a ready baseline document, which is then re-loaded,
+    validated and returned.
+    """
+    cmd = [python, "-m", "pytest", "-q", "-p", "no:cacheprovider"]
+    cmd += list(bench_args) if bench_args else ["benchmarks"]
+    if smoke:
+        cmd.append("--smoke")
+    cmd += ["--json", out]
+    proc = subprocess.run(cmd)
+    if proc.returncode != 0:
+        raise BaselineError(
+            f"benchmark run failed (exit {proc.returncode}); no baseline "
+            f"written — command: {' '.join(cmd)}"
+        )
+    return load_baseline(out)

@@ -2,8 +2,9 @@
 
 ``report <trace.json>``
     Print the per-nest × per-array I/O breakdown table of an exported
-    trace, the redistribution lines, and the cross-check against the
-    run's folded :class:`~repro.runtime.stats.IOStats`.
+    trace, the redistribution lines, the cost-model drift section, and
+    the cross-check against the run's folded
+    :class:`~repro.runtime.stats.IOStats`.
 
 ``capture``
     Run one workload version on the simulated machine with observability
@@ -13,6 +14,22 @@
         python -m repro.obs capture --workload adi --collective \\
             --out trace.json
         python -m repro.obs report trace.json
+
+``regress capture|check|report``
+    The benchmark regression observatory (:mod:`repro.obs.baselines`,
+    :mod:`repro.obs.regress`): snapshot the benchmark suite's
+    deterministic results into a schema-versioned baseline, diff a
+    later run against it with per-metric tolerance policies, and
+    summarize stored baselines.  ``check`` is CI's perf gate::
+
+        python -m repro.obs regress capture --smoke \\
+            --out benchmarks/baselines/BENCH_smoke.json
+        python -m pytest benchmarks -q --smoke --json current.json
+        python -m repro.obs regress check \\
+            benchmarks/baselines/BENCH_smoke.json current.json
+
+    Exit codes: 0 pass, 1 regression detected, 2 usage / missing file /
+    malformed document.
 """
 
 from __future__ import annotations
@@ -24,8 +41,27 @@ from . import Observability, _payload_report, load_trace
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    payload = load_trace(args.trace)
-    print(_payload_report(payload))
+    import json
+
+    try:
+        payload = load_trace(args.trace)
+    except FileNotFoundError:
+        print(f"error: trace file not found: {args.trace}", file=sys.stderr)
+        return 2
+    except (json.JSONDecodeError, UnicodeDecodeError) as e:
+        print(
+            f"error: malformed trace JSON in {args.trace}: {e}",
+            file=sys.stderr,
+        )
+        return 2
+    if not isinstance(payload, dict):
+        print(
+            f"error: {args.trace} is not a trace payload "
+            "(top level is not an object)",
+            file=sys.stderr,
+        )
+        return 2
+    print(_payload_report(payload, include_metrics=args.metrics))
     sim = payload.get("sim")
     if sim:
         print(
@@ -33,16 +69,6 @@ def cmd_report(args: argparse.Namespace) -> int:
             f"waited={sim['waited_requests']} "
             f"(queue delay {sim['wait_time_s']:.3f}s)"
         )
-    if args.metrics:
-        for key, inst in sorted(payload.get("metrics", {}).items()):
-            if inst["type"] == "histogram":
-                print(
-                    f"metric {key}: count={inst['count']} "
-                    f"mean={inst['mean']:.3g} min={inst['min']} "
-                    f"max={inst['max']}"
-                )
-            else:
-                print(f"metric {key}: {inst['value']}")
     return 0
 
 
@@ -73,6 +99,51 @@ def cmd_capture(args: argparse.Namespace) -> int:
         f"{args.workload}/{args.version} on {args.nodes} node(s): "
         f"time={run.time_s:.3f}s calls={run.total_io_calls} -> {args.out}"
     )
+    return 0
+
+
+def cmd_regress_capture(args: argparse.Namespace) -> int:
+    from .baselines import BaselineError, capture
+
+    try:
+        doc = capture(args.out, args.bench or None, smoke=args.smoke)
+    except BaselineError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    print(
+        f"captured {len(doc['results'])} benchmark result(s) "
+        f"(smoke={doc['smoke']}, rev={str(doc['git_rev'])[:12]}) "
+        f"-> {args.out}"
+    )
+    return 0
+
+
+def cmd_regress_check(args: argparse.Namespace) -> int:
+    from .baselines import BaselineError
+    from .regress import TolerancePolicy, check_paths, render_regress
+
+    try:
+        report = check_paths(
+            args.baseline, args.current,
+            TolerancePolicy(rel_tol=args.rel_tol),
+        )
+    except BaselineError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    print(render_regress(report))
+    return 0 if report.ok else 1
+
+
+def cmd_regress_report(args: argparse.Namespace) -> int:
+    from .baselines import BaselineError, load_baseline
+    from .regress import summarize_baseline
+
+    try:
+        doc = load_baseline(args.baseline)
+    except BaselineError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    print(summarize_baseline(doc))
     return 0
 
 
@@ -109,6 +180,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_cap.add_argument("--out", default="trace.json")
     p_cap.set_defaults(func=cmd_capture)
+
+    p_reg = sub.add_parser(
+        "regress",
+        help="benchmark baseline store + regression gate",
+    )
+    reg_sub = p_reg.add_subparsers(dest="regress_command", required=True)
+
+    p_rc = reg_sub.add_parser(
+        "capture", help="run the benchmark suite, snapshot a baseline"
+    )
+    p_rc.add_argument(
+        "--out", required=True, metavar="PATH",
+        help="baseline JSON to write (e.g. BENCH_tables.json)",
+    )
+    p_rc.add_argument(
+        "--smoke", action="store_true",
+        help="capture in --smoke mode (CI gate baselines)",
+    )
+    p_rc.add_argument(
+        "--bench", action="append", default=[], metavar="ARG",
+        help="pytest selection arg (repeatable; default: benchmarks/)",
+    )
+    p_rc.set_defaults(func=cmd_regress_capture)
+
+    p_rk = reg_sub.add_parser(
+        "check", help="diff current results against a baseline (CI gate)"
+    )
+    p_rk.add_argument("baseline", help="stored baseline JSON")
+    p_rk.add_argument(
+        "current", help="current results (pytest --json doc or baseline)"
+    )
+    p_rk.add_argument(
+        "--rel-tol", type=float, default=0.01, metavar="FRAC",
+        help="relative tolerance for modeled float values (default 0.01)",
+    )
+    p_rk.set_defaults(func=cmd_regress_check)
+
+    p_rr = reg_sub.add_parser(
+        "report", help="summarize a stored baseline file"
+    )
+    p_rr.add_argument("baseline", help="stored baseline JSON")
+    p_rr.set_defaults(func=cmd_regress_report)
     return parser
 
 

@@ -1,4 +1,5 @@
-"""Exporters: Chrome trace-event JSON (Perfetto / chrome://tracing).
+"""Exporters: Chrome trace-event JSON (Perfetto / chrome://tracing),
+plus the shared result sanitizer every JSON artifact goes through.
 
 One exported file carries both clocks as separate trace processes:
 
@@ -12,12 +13,24 @@ The file is the standard JSON-object form (``{"traceEvents": [...]}``)
 so Perfetto and ``chrome://tracing`` load it directly; the extra
 top-level keys (``metrics``, ``io_report``, ``stats``) are ignored by
 the viewers and consumed by ``python -m repro.obs report``.
+
+:func:`sanitize` converts benchmark/experiment results (numpy scalars
+and arrays, dataclasses, ``to_dict()`` carriers, tuple dict keys, sets)
+into plain JSON values.  Non-string dict keys are encoded with
+:func:`encode_key` — a stable, *reversible* encoding (the key's JSON
+text), so ``("adi", "col", 4, 8)`` becomes ``'["adi", "col", 4, 8]'``
+and :func:`decode_key` recovers the tuple exactly.  Baseline diffs key
+on these strings; the old ``repr()`` encoding was neither stable across
+value types nor decodable.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from typing import IO, Mapping
+
+import numpy as np
 
 from .tracer import Tracer
 
@@ -130,3 +143,65 @@ def write_trace(path_or_file: str | IO[str], payload: Mapping[str, object]) -> N
 def load_trace(path: str) -> dict[str, object]:
     with open(path) as f:
         return json.load(f)
+
+
+# -- result sanitization ----------------------------------------------------
+
+
+def encode_key(key: object) -> str:
+    """Encode one dict key as a stable string.
+
+    Strings pass through unchanged; everything else becomes the JSON
+    text of its sanitized value (``(1, 0)`` → ``'[1, 0]'``, ``2.5`` →
+    ``'2.5'``).  The encoding is deterministic — equal keys always
+    produce equal strings — and reversible via :func:`decode_key`.
+    """
+    if isinstance(key, str):
+        return key
+    return json.dumps(sanitize(key))
+
+
+def decode_key(encoded: str) -> object:
+    """Inverse of :func:`encode_key`: JSON-decode the key text, turning
+    lists back into tuples (dict keys were hashable, so any sequence
+    key was a tuple).  Plain strings come back unchanged."""
+    try:
+        value = json.loads(encoded)
+    except (json.JSONDecodeError, TypeError):
+        return encoded
+
+    def tuplify(v: object) -> object:
+        if isinstance(v, list):
+            return tuple(tuplify(x) for x in v)
+        return v
+
+    return tuplify(value)
+
+
+def sanitize(obj: object) -> object:
+    """Make a result JSON-serializable: numpy scalars/arrays,
+    dataclasses and ``to_dict()`` carriers, tuple dict keys, sets."""
+    if isinstance(obj, dict):
+        return {encode_key(k): sanitize(v) for k, v in obj.items()}
+    if isinstance(obj, (set, frozenset)):
+        # iteration order is arbitrary: sort by JSON text so equal sets
+        # always serialize identically (baselines diff on the output)
+        return sorted(
+            (sanitize(v) for v in obj),
+            key=lambda v: json.dumps(v, sort_keys=True),
+        )
+    if isinstance(obj, (list, tuple)):
+        return [sanitize(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if hasattr(obj, "to_dict"):
+        return sanitize(obj.to_dict())
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return sanitize(dataclasses.asdict(obj))
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return repr(obj)

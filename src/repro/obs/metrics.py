@@ -93,6 +93,44 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float | None:
+        """Bucket-interpolated percentile (``q`` in [0, 1]), Prometheus
+        ``histogram_quantile`` style: find the bucket holding the target
+        rank and interpolate linearly inside it.  Results are clamped to
+        the observed ``[min, max]`` so degenerate single-value
+        distributions report that value exactly.  ``None`` when empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"percentile q must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        target = q * self.count
+        cumulative = 0
+        for i, n in enumerate(self.bucket_counts):
+            if n == 0:
+                continue
+            if cumulative + n >= target:
+                lo = self.min if i == 0 else self.bounds[i - 1]
+                hi = self.max if i >= len(self.bounds) else self.bounds[i]
+                lo = max(lo, self.min)
+                hi = min(hi, self.max)
+                if hi <= lo:
+                    return float(lo)
+                frac = (target - cumulative) / n
+                return float(lo + (hi - lo) * frac)
+            cumulative += n
+        return float(self.max)
+
+    @property
+    def percentiles(self) -> dict[str, float | None]:
+        """The summary quantiles the regression gate compares (stable
+        under bucket-layout changes, unlike raw bucket counts)."""
+        return {
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
     def to_dict(self) -> dict[str, object]:
         return {
             "type": "histogram",
@@ -101,6 +139,7 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            **self.percentiles,
             "bounds": list(self.bounds),
             "bucket_counts": list(self.bucket_counts),
         }

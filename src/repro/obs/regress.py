@@ -1,0 +1,359 @@
+"""The regression gate: diff a benchmark run against a stored baseline.
+
+Everything the benchmarks measure comes from a *simulated* machine, so
+the diff policy can be far stricter than wall-clock benchmarking ever
+allows:
+
+- **deterministic counters** (ints: I/O calls, elements, message
+  counts, node counts, booleans, strings) must match **exactly** — one
+  extra read call is a real behavior change, not noise;
+- **modeled values** (floats: estimated seconds, speedups, gains) get a
+  small relative tolerance (float summation order may legitimately
+  shift across refactors) and a *direction*: a change beyond tolerance
+  is classified **better** or **worse** by what the metric means —
+  times/latencies regress upward, speedups/savings regress downward,
+  direction-free values regress on any drift;
+- **histograms** are compared on their percentile summary (p50/p95/p99,
+  count, sum) — raw ``bucket_counts``/``bounds`` are skipped so a
+  bucket-layout change doesn't masquerade as a perf change;
+- **configuration** (the envelope's machine fingerprint, smoke flag and
+  per-bench meta) must match exactly; a mismatch means baseline and
+  run measured different experiments, which is neither a pass nor a
+  regression but a *config* failure demanding an intentional refresh.
+
+``python -m repro.obs regress check`` renders the surviving diffs and
+exits 1 — the CI perf gate is exactly that exit code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+#: histogram internals the gate never compares (percentiles carry the
+#: stable signal; bucket layout is an implementation detail)
+SKIPPED_KEYS = frozenset({"bucket_counts", "bounds"})
+
+#: key fragments marking a float metric where *smaller* is better
+LOWER_BETTER = (
+    "time", "_s", "latency", "makespan", "wait", "miss", "evict",
+    "over_budget", "peak", "error", "cost",
+)
+
+#: key fragments marking a float metric where *bigger* is better
+HIGHER_BETTER = (
+    "gain", "speedup", "saved", "saving", "hit", "reduction", "win",
+    "bandwidth", "overlap",
+)
+
+
+def direction_of(path: str) -> int:
+    """-1 when smaller is better, +1 when bigger is better, 0 unknown.
+
+    Decided by the *last* path component that matches either fragment
+    list — the leaf names the metric; outer components name the bench.
+    """
+    for comp in reversed(path.lower().split("/")):
+        if any(f in comp for f in HIGHER_BETTER):
+            return 1
+        if any(f in comp for f in LOWER_BETTER):
+            return -1
+    return 0
+
+
+@dataclass(frozen=True)
+class TolerancePolicy:
+    """Per-metric-class tolerances for the diff walk."""
+
+    #: relative tolerance for modeled float values
+    rel_tol: float = 0.01
+    #: absolute floor: floats this close to zero compare by abs delta
+    abs_tol: float = 1e-9
+
+
+@dataclass
+class MetricDiff:
+    """One leaf-level difference between baseline and current run."""
+
+    path: str
+    baseline: object
+    current: object
+    #: "worse" | "better" | "changed" | "missing" | "added" | "config"
+    status: str
+    note: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return self.status in ("worse", "changed", "missing", "config")
+
+    def describe(self) -> str:
+        def fmt(v: object) -> str:
+            if isinstance(v, float):
+                return f"{v:.6g}"
+            s = repr(v)
+            return s if len(s) <= 40 else s[:37] + "..."
+
+        line = (
+            f"{self.status.upper():<8} {self.path}: "
+            f"{fmt(self.baseline)} -> {fmt(self.current)}"
+        )
+        return f"{line}  ({self.note})" if self.note else line
+
+
+@dataclass
+class RegressReport:
+    """The gate's verdict: every non-identical leaf, classified."""
+
+    diffs: list[MetricDiff] = field(default_factory=list)
+    compared: int = 0
+
+    @property
+    def failures(self) -> list[MetricDiff]:
+        return [d for d in self.diffs if d.failed]
+
+    @property
+    def improvements(self) -> list[MetricDiff]:
+        return [d for d in self.diffs if d.status == "better"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _rel_close(old: float, new: float, policy: TolerancePolicy) -> bool:
+    scale = max(abs(old), abs(new))
+    if scale <= policy.abs_tol:
+        return True
+    return abs(new - old) <= policy.rel_tol * scale
+
+
+def _diff_leaf(
+    path: str, old: object, new: object, policy: TolerancePolicy,
+    out: RegressReport,
+) -> None:
+    out.compared += 1
+    # bool is an int subclass: test it first so flags stay exact-match
+    if isinstance(old, bool) or isinstance(new, bool):
+        if old != new:
+            out.diffs.append(MetricDiff(path, old, new, "changed",
+                                        "boolean flag flipped"))
+        return
+    if isinstance(old, int) and isinstance(new, int):
+        if old == new:
+            return
+        # deterministic counters are exact-match: any drift fails the
+        # gate (an intentional improvement is ratified by refreshing the
+        # baseline); the direction only flavors the message
+        d = direction_of(path)
+        rel = (new - old) / old if old else float("inf")
+        note = f"{rel:+.1%}, deterministic counter (exact-match metric)"
+        status = "changed"
+        if d != 0 and (new > old) != (d > 0):
+            status = "worse"
+        out.diffs.append(MetricDiff(path, old, new, status, note))
+        return
+    if isinstance(old, (int, float)) and isinstance(new, (int, float)):
+        if old == new or _rel_close(float(old), float(new), policy):
+            return
+        d = direction_of(path)
+        rel = (new - old) / abs(old) if old else float("inf")
+        if d == 0:
+            out.diffs.append(
+                MetricDiff(path, old, new, "changed",
+                           f"{rel:+.1%} beyond ±{policy.rel_tol:.1%} "
+                           "(direction-free metric)")
+            )
+        else:
+            better = (new > old) == (d > 0)
+            out.diffs.append(
+                MetricDiff(path, old, new, "better" if better else "worse",
+                           f"{rel:+.1%} beyond ±{policy.rel_tol:.1%}")
+            )
+        return
+    if old != new:
+        out.diffs.append(MetricDiff(path, old, new, "changed",
+                                    f"{type(old).__name__} vs "
+                                    f"{type(new).__name__}"))
+
+
+def _diff_value(
+    path: str, old: object, new: object, policy: TolerancePolicy,
+    out: RegressReport,
+) -> None:
+    if isinstance(old, dict) and isinstance(new, dict):
+        for key in sorted(set(old) | set(new)):
+            if key in SKIPPED_KEYS:
+                continue
+            sub = f"{path}/{key}" if path else str(key)
+            if key not in new:
+                out.diffs.append(
+                    MetricDiff(sub, old[key], None, "missing",
+                               "metric disappeared from the run")
+                )
+            elif key not in old:
+                out.diffs.append(
+                    MetricDiff(sub, None, new[key], "added",
+                               "new metric (not in baseline; refresh to track)")
+                )
+            else:
+                _diff_value(sub, old[key], new[key], policy, out)
+        return
+    if isinstance(old, list) and isinstance(new, list):
+        if len(old) != len(new):
+            out.diffs.append(
+                MetricDiff(f"{path}/len", len(old), len(new), "changed",
+                           "sequence length changed")
+            )
+            return
+        for i, (o, n) in enumerate(zip(old, new)):
+            _diff_value(f"{path}[{i}]", o, n, policy, out)
+        return
+    _diff_leaf(path, old, new, policy, out)
+
+
+def diff_docs(
+    baseline: Mapping[str, object],
+    current: Mapping[str, object],
+    policy: TolerancePolicy | None = None,
+) -> RegressReport:
+    """Diff two baseline documents (or a baseline against a fresh
+    ``--json`` capture).  Configuration first — machine fingerprint,
+    smoke flag, per-bench meta — then every result leaf."""
+    policy = policy or TolerancePolicy()
+    out = RegressReport()
+    if bool(baseline.get("smoke")) != bool(current.get("smoke")):
+        out.diffs.append(
+            MetricDiff("smoke", baseline.get("smoke"), current.get("smoke"),
+                       "config", "smoke and full runs are not comparable")
+        )
+        return out
+    b_machine = baseline.get("machine")
+    c_machine = current.get("machine")
+    if b_machine is not None and c_machine is not None \
+            and b_machine != c_machine:
+        out.diffs.append(
+            MetricDiff("machine", b_machine, c_machine, "config",
+                       "simulated machine model changed; refresh baselines")
+        )
+        return out
+    b_meta = baseline.get("meta") or {}
+    c_meta = current.get("meta") or {}
+    for name in sorted(set(b_meta) & set(c_meta)):
+        if b_meta[name] != c_meta[name]:
+            out.diffs.append(
+                MetricDiff(f"meta/{name}", b_meta[name], c_meta[name],
+                           "config",
+                           "bench configuration changed; refresh baselines")
+            )
+    if out.failures:
+        return out
+    b_res = baseline.get("results", {})
+    c_res = current.get("results", {})
+    for name in sorted(set(b_res) | set(c_res)):
+        if name not in c_res:
+            out.diffs.append(
+                MetricDiff(name, "<bench>", None, "missing",
+                           "benchmark disappeared from the run")
+            )
+        elif name not in b_res:
+            out.diffs.append(
+                MetricDiff(name, None, "<bench>", "added",
+                           "new benchmark (not in baseline; refresh to gate)")
+            )
+        else:
+            _diff_value(name, b_res[name], c_res[name], policy, out)
+    return out
+
+
+def render_regress(
+    report: RegressReport, *, max_lines: int = 60
+) -> str:
+    """Human-readable gate verdict: failures first, then improvements
+    and additions, then the one-line summary CI logs end on."""
+    lines: list[str] = []
+    shown = 0
+    for group, title in (
+        (report.failures, "regressions / config failures"),
+        (report.improvements, "improvements"),
+        ([d for d in report.diffs if d.status == "added"], "new metrics"),
+    ):
+        if not group:
+            continue
+        lines.append(f"{title} ({len(group)}):")
+        for d in group:
+            if shown >= max_lines:
+                lines.append(f"  ... ({len(group)} in group; output capped)")
+                break
+            lines.append("  " + d.describe())
+            shown += 1
+    n_fail = len(report.failures)
+    n_better = len(report.improvements)
+    verdict = "PASS" if report.ok else "FAIL"
+    lines.append(
+        f"regress: {verdict} — {report.compared} leaf value(s) compared, "
+        f"{n_fail} failure(s), {n_better} improvement(s)"
+    )
+    return "\n".join(lines)
+
+
+def summarize_baseline(doc: Mapping[str, object]) -> str:
+    """One-screen description of a baseline file (``regress report``)."""
+    results = doc.get("results", {})
+    meta = doc.get("meta", {})
+    lines = [
+        f"kind={doc.get('kind')} schema_version={doc.get('schema_version')} "
+        f"smoke={doc.get('smoke')} git_rev={str(doc.get('git_rev'))[:12]}",
+        f"{len(results)} benchmark result(s):",
+    ]
+    for name in sorted(results):
+        m = meta.get(name)
+        suffix = f"  [{_fmt_meta(m)}]" if m else ""
+        lines.append(f"  {name}: {_count_leaves(results[name])} leaf value(s)"
+                     f"{suffix}")
+    return "\n".join(lines)
+
+
+def _fmt_meta(meta: object) -> str:
+    if isinstance(meta, Mapping):
+        return " ".join(f"{k}={meta[k]}" for k in sorted(meta))
+    return str(meta)
+
+
+def _count_leaves(value: object) -> int:
+    if isinstance(value, Mapping):
+        return sum(_count_leaves(v) for k, v in value.items()
+                   if k not in SKIPPED_KEYS)
+    if isinstance(value, (list, tuple)):
+        return sum(_count_leaves(v) for v in value)
+    return 1
+
+
+def check_paths(
+    baseline_path: str, current_path: str,
+    policy: TolerancePolicy | None = None,
+) -> RegressReport:
+    """Load both documents and diff them (the ``regress check`` core).
+    The current side may be a bare ``pytest --json`` doc or a full
+    baseline envelope; the baseline side must be a valid envelope."""
+    import json
+
+    from .baselines import BaselineError, load_baseline
+
+    baseline = load_baseline(baseline_path)
+    try:
+        with open(current_path) as f:
+            current = json.load(f)
+    except FileNotFoundError:
+        raise BaselineError(
+            f"current results file not found: {current_path}"
+        ) from None
+    except (json.JSONDecodeError, UnicodeDecodeError) as e:
+        raise BaselineError(
+            f"malformed current results JSON in {current_path}: {e}"
+        ) from None
+    if not isinstance(current, dict) or "results" not in current:
+        raise BaselineError(
+            f"{current_path} carries no results mapping "
+            "(expected a pytest --json document or a baseline)"
+        )
+    return diff_docs(baseline, current, policy)

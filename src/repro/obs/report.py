@@ -63,16 +63,66 @@ class RedistRecord:
 
 
 @dataclass
+class CostDriftRecord:
+    """Predicted-vs-measured I/O for one (nest, array) pair.
+
+    ``predicted_calls`` is the optimizer's relative I/O estimate
+    (:func:`repro.optimizer.cost.estimate_nest_io_breakdown`) for the
+    nest *as executed* — transformed iteration space, concrete file
+    layouts.  The measured side is the exact aggregation of the run's
+    :class:`NestIORecord` entries, so summing drift records reproduces
+    the folded :class:`~repro.runtime.stats.IOStats` call for call.
+    ``predicted_calls`` is ``None`` when the cost model has no estimate
+    for the pair (e.g. chunked group files the linear model cannot
+    attribute) — such rows still carry their measured totals.
+    """
+
+    nest: str
+    array: str
+    predicted_calls: float | None
+    read_calls: int = 0
+    write_calls: int = 0
+    elements_read: int = 0
+    elements_written: int = 0
+    io_time_s: float = 0.0
+    path: str = "direct"
+
+    @property
+    def measured_calls(self) -> int:
+        return self.read_calls + self.write_calls
+
+    @property
+    def error(self) -> float | None:
+        """Signed relative model error, ``(predicted - measured) /
+        measured`` — negative when the model under-predicts.  ``None``
+        without a prediction or without measured calls to compare to."""
+        if self.predicted_calls is None or self.measured_calls == 0:
+            return None
+        return (self.predicted_calls - self.measured_calls) / self.measured_calls
+
+    def to_dict(self) -> dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, object]) -> "CostDriftRecord":
+        return cls(**d)
+
+
+@dataclass
 class IOReport:
     """The report section of an exported trace."""
 
     records: list[NestIORecord] = field(default_factory=list)
     redist: list[RedistRecord] = field(default_factory=list)
+    #: cost-model validation: one row per (nest, array), built by
+    #: :func:`build_drift` once the run's records are complete
+    drift: list[CostDriftRecord] = field(default_factory=list)
 
     def to_dict(self) -> dict[str, object]:
         return {
             "records": [r.to_dict() for r in self.records],
             "redist": [r.to_dict() for r in self.redist],
+            "drift": [r.to_dict() for r in self.drift],
         }
 
     @classmethod
@@ -80,12 +130,18 @@ class IOReport:
         return cls(
             [NestIORecord.from_dict(r) for r in d.get("records", [])],
             [RedistRecord.from_dict(r) for r in d.get("redist", [])],
+            [CostDriftRecord.from_dict(r) for r in d.get("drift", [])],
         )
 
 
-def report_totals(records: Iterable[NestIORecord]) -> dict[str, int]:
+def report_totals(records: Iterable[object]) -> dict[str, int]:
     """Exact call/element totals over the records — must equal the run's
-    folded :class:`IOStats` counters."""
+    folded :class:`IOStats` counters.
+
+    Accepts mixed iterables: anything without the call counters (e.g. a
+    :class:`RedistRecord` — redistribution traffic is interconnect
+    messages, not file I/O) is skipped rather than crashing, so callers
+    can pass a report's full record soup."""
     out = {
         "read_calls": 0,
         "write_calls": 0,
@@ -93,11 +149,64 @@ def report_totals(records: Iterable[NestIORecord]) -> dict[str, int]:
         "elements_written": 0,
     }
     for r in records:
+        if not hasattr(r, "read_calls"):
+            continue
         out["read_calls"] += r.read_calls
         out["write_calls"] += r.write_calls
         out["elements_read"] += r.elements_read
         out["elements_written"] += r.elements_written
     return out
+
+
+def build_drift(
+    records: Sequence[NestIORecord],
+    predictions: Mapping[str, Mapping[str, float]],
+) -> list[CostDriftRecord]:
+    """Pair the run's measured per-(nest, array) I/O with the cost
+    model's predictions.
+
+    Every aggregated (nest, array) row of ``records`` yields exactly one
+    drift record — predicted or not — so the drift table's measured
+    totals equal :func:`report_totals` (and hence the folded stats)
+    *exactly* on every path.  Predictions with no measured counterpart
+    (a nest the run never executed) are appended with zero measured
+    I/O so the divergence is visible rather than silently dropped.
+    """
+    rows = _aggregate(records)
+    out: list[CostDriftRecord] = []
+    seen: set[tuple[str, str]] = set()
+    for (nest, array), row in rows.items():
+        predicted = predictions.get(nest, {}).get(array)
+        seen.add((nest, array))
+        out.append(
+            CostDriftRecord(
+                nest=nest,
+                array=array,
+                predicted_calls=predicted,
+                read_calls=row.read_calls,
+                write_calls=row.write_calls,
+                elements_read=row.elements_read,
+                elements_written=row.elements_written,
+                io_time_s=row.io_time_s,
+                path=row.path,
+            )
+        )
+    for nest, per_array in predictions.items():
+        for array, predicted in per_array.items():
+            if (nest, array) not in seen:
+                out.append(
+                    CostDriftRecord(
+                        nest=nest, array=array,
+                        predicted_calls=predicted, path="unexecuted",
+                    )
+                )
+    return out
+
+
+def drift_totals(drift: Iterable[CostDriftRecord]) -> dict[str, int]:
+    """Measured call/element totals of the drift table — the acceptance
+    contract pins these equal to the run's folded :class:`IOStats`."""
+    return report_totals(drift)
 
 
 def _aggregate(
@@ -126,11 +235,15 @@ def _aggregate(
 
 
 def render_report(
-    report: IOReport, stats: Mapping[str, object] | None = None
+    report: IOReport,
+    stats: Mapping[str, object] | None = None,
+    metrics: Mapping[str, Mapping[str, object]] | None = None,
 ) -> str:
     """The per-nest × per-array breakdown table, plus the redistribution
-    lines and — when the run's folded stats are available — an explicit
-    totals cross-check."""
+    lines, the cost-model drift section (when the report carries drift
+    records), an optional metrics dump with percentile summaries, and —
+    when the run's folded stats are available — an explicit totals
+    cross-check."""
     rows = _aggregate(report.records)
     header = (
         f"{'nest':<16} {'array':<12} {'path':<11} "
@@ -163,4 +276,71 @@ def render_report(
             "cross-check vs folded IOStats: "
             + ("exact match" if match else f"MISMATCH (stats={stats})")
         )
+    if report.drift:
+        lines.append("")
+        lines.extend(_render_drift(report.drift, stats))
+    if metrics:
+        lines.append("")
+        lines.extend(_render_metrics(metrics))
     return "\n".join(lines)
+
+
+def _render_drift(
+    drift: Sequence[CostDriftRecord], stats: Mapping[str, object] | None
+) -> list[str]:
+    """The cost-model validation table: predicted vs measured calls per
+    (nest, array) with the signed relative model error, plus the exact
+    measured-totals cross-check the acceptance contract pins."""
+    header = (
+        f"{'nest':<16} {'array':<12} {'path':<11} "
+        f"{'predicted':>10} {'measured':>9} {'error':>8}"
+    )
+    lines = ["cost-model drift (predicted vs measured I/O calls)", header,
+             "-" * len(header)]
+    errors: list[float] = []
+    for r in drift:
+        pred = "-" if r.predicted_calls is None else f"{r.predicted_calls:.1f}"
+        err = r.error
+        if err is None:
+            err_s = "-"
+        else:
+            errors.append(abs(err))
+            err_s = f"{100.0 * err:+.1f}%"
+        lines.append(
+            f"{r.nest:<16} {r.array:<12} {r.path:<11} "
+            f"{pred:>10} {r.measured_calls:>9} {err_s:>8}"
+        )
+    if errors:
+        lines.append(
+            f"model error: mean |e|={100.0 * sum(errors) / len(errors):.1f}% "
+            f"max |e|={100.0 * max(errors):.1f}% over {len(errors)} pair(s)"
+        )
+    totals = drift_totals(drift)
+    if stats is not None:
+        match = all(totals[k] == stats.get(k) for k in totals)
+        lines.append(
+            "drift measured totals vs folded IOStats: "
+            + ("exact match" if match else f"MISMATCH (stats={stats})")
+        )
+    return lines
+
+
+def _render_metrics(metrics: Mapping[str, Mapping[str, object]]) -> list[str]:
+    """One line per instrument; histograms show the percentile summary
+    (the values the regression gate compares, not raw buckets)."""
+    lines = []
+    for key, inst in sorted(metrics.items()):
+        if inst.get("type") == "histogram":
+            pct = "".join(
+                f" {p}={inst[p]:.3g}"
+                for p in ("p50", "p95", "p99")
+                if inst.get(p) is not None
+            )
+            lines.append(
+                f"metric {key}: count={inst['count']} "
+                f"mean={inst['mean']:.3g} min={inst['min']} "
+                f"max={inst['max']}{pct}"
+            )
+        else:
+            lines.append(f"metric {key}: {inst['value']}")
+    return lines

@@ -12,7 +12,13 @@ Entry points:
 """
 
 from .interference import interference_graph, connected_components
-from .cost import nest_cost, estimate_nest_io
+from .cost import (
+    estimate_nest_io,
+    estimate_nest_io_breakdown,
+    layout_directions,
+    nest_cost,
+    predict_program_io,
+)
 from .locality import (
     NestDecision,
     optimize_nest,
@@ -29,6 +35,9 @@ __all__ = [
     "connected_components",
     "nest_cost",
     "estimate_nest_io",
+    "estimate_nest_io_breakdown",
+    "layout_directions",
+    "predict_program_io",
     "NestDecision",
     "optimize_nest",
     "choose_layout_for_array",

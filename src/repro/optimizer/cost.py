@@ -48,6 +48,43 @@ def access_is_spatial(
     return primitive(v) == primitive(direction)
 
 
+def _ref_io_terms(
+    nest: LoopNest,
+    directions: Mapping[str, Sequence[int] | None],
+    q_last: Sequence[int],
+    binding: Mapping[str, int],
+    run_cap: int,
+) -> list[tuple[str, float]]:
+    """Per-reference (array name, unweighted estimated calls) in textual
+    reference order — the shared core of :func:`estimate_nest_io` and
+    :func:`estimate_nest_io_breakdown`."""
+    iters = max(1, nest.estimated_iterations(binding))
+    env = dict(binding)
+    inner_trip = 1
+    for loop in nest.loops:
+        lo, hi = loop.eval_range(env)
+        env[loop.var] = (lo + hi) // 2
+        inner_trip = max(1, hi - lo + 1)
+    run = min(inner_trip, run_cap)
+    terms: list[tuple[str, float]] = []
+    for _, ref, _ in nest.refs():
+        l = nest.access_matrix(ref)
+        if temporal_locality_ok(l, q_last):
+            terms.append((ref.array.name, iters / (inner_trip * run)))
+            continue
+        if ref.rank == 1:
+            stride = l.matvec(q_last)[0]
+            spatial = abs(stride) == 1
+        else:
+            spatial = access_is_spatial(
+                l, q_last, directions.get(ref.array.name)
+            )
+        terms.append(
+            (ref.array.name, iters / run if spatial else float(iters))
+        )
+    return terms
+
+
 def estimate_nest_io(
     nest: LoopNest,
     directions: Mapping[str, Sequence[int] | None],
@@ -58,26 +95,70 @@ def estimate_nest_io(
 ) -> float:
     """Estimated I/O calls for one pass of the nest under a candidate
     ``q_last`` and per-array fast directions.  Relative, not absolute."""
-    iters = max(1, nest.estimated_iterations(binding))
-    env = dict(binding)
-    inner_trip = 1
-    for loop in nest.loops:
-        lo, hi = loop.eval_range(env)
-        env[loop.var] = (lo + hi) // 2
-        inner_trip = max(1, hi - lo + 1)
-    run = min(inner_trip, run_cap)
     total = 0.0
-    for _, ref, _ in nest.refs():
-        l = nest.access_matrix(ref)
-        if temporal_locality_ok(l, q_last):
-            total += iters / (inner_trip * run)
-            continue
-        if ref.rank == 1:
-            stride = l.matvec(q_last)[0]
-            spatial = abs(stride) == 1
-        else:
-            spatial = access_is_spatial(
-                l, q_last, directions.get(ref.array.name)
-            )
-        total += iters / run if spatial else float(iters)
+    for _, term in _ref_io_terms(nest, directions, q_last, binding, run_cap):
+        total += term
     return total * nest.weight
+
+
+def estimate_nest_io_breakdown(
+    nest: LoopNest,
+    directions: Mapping[str, Sequence[int] | None],
+    q_last: Sequence[int],
+    binding: Mapping[str, int],
+    *,
+    run_cap: int = 4096,
+) -> dict[str, float]:
+    """Per-array split of :func:`estimate_nest_io` — same model, same
+    weight scaling, grouped by referenced array.  The values sum to the
+    scalar estimate (up to float addition order); the drift telemetry
+    compares each against the array's measured I/O calls."""
+    out: dict[str, float] = {}
+    for name, term in _ref_io_terms(nest, directions, q_last, binding, run_cap):
+        out[name] = out.get(name, 0.0) + term
+    return {name: v * nest.weight for name, v in out.items()}
+
+
+def layout_directions(
+    layouts: Mapping[str, object],
+) -> dict[str, tuple[int, ...] | None]:
+    """File-fastest direction per array from concrete layout objects —
+    the inverse of :func:`repro.layout.layout_from_direction`.  Linear
+    layouts yield their :meth:`~repro.layout.LinearLayout.unit_step`;
+    blocked/chunked layouts have no single fast direction (``None``,
+    which the model scores as non-spatial)."""
+    from ..layout import LinearLayout
+
+    return {
+        name: layout.unit_step() if isinstance(layout, LinearLayout) else None
+        for name, layout in layouts.items()
+    }
+
+
+def predict_program_io(
+    program,
+    layouts: Mapping[str, object],
+    binding: Mapping[str, int] | None = None,
+    *,
+    run_cap: int = 4096,
+) -> dict[str, dict[str, float]]:
+    """The optimizer's predicted I/O per (nest, array) for a program *as
+    executed*: the program is already transformed, so every nest's
+    effective ``q_last`` is the innermost unit vector, and the per-array
+    fast directions come from the concrete file layouts.
+
+    This is the prediction side of the cost-model drift telemetry
+    (:class:`repro.obs.report.CostDriftRecord`): the same
+    :func:`estimate_nest_io` arithmetic the optimizer ranked candidates
+    with, evaluated at the choice it made, so measured divergence is
+    model error — not bookkeeping skew.
+    """
+    b = program.binding(binding)
+    directions = layout_directions(layouts)
+    out: dict[str, dict[str, float]] = {}
+    for nest in program.nests:
+        q_last = (0,) * (nest.depth - 1) + (1,)
+        out[nest.name] = estimate_nest_io_breakdown(
+            nest, directions, q_last, b, run_cap=run_cap
+        )
+    return out

@@ -128,6 +128,10 @@ def run_version_parallel(
             obs.tracer.end(span, calls=results[-1].stats.calls)
         if obs is not None:
             file_maps.append(ex.file_names())
+            if obs.config.per_array and rank == 0:
+                # the prediction is per-program, identical on every rank;
+                # the drift table compares it to the *summed* measured I/O
+                obs.note_predictions(ex.predicted_io())
     if collective is None:
         run = ParallelRun(cfg.name, n_nodes, makespan(results), results)
         if obs is not None:
@@ -138,6 +142,7 @@ def run_version_parallel(
                         node=rank, path="independent",
                     ):
                         obs.record_nest_io(rec)
+                obs.finalize_drift()
             obs.note_stats(run.total_stats)
         return run
     return _collective_run(
@@ -264,6 +269,8 @@ def _collective_run(
         time_s = makespan(node_results)
     run = ParallelRun(name, n_nodes, time_s, node_results, collective=report)
     if obs is not None:
+        if obs.config.per_array:
+            obs.finalize_drift()
         obs.note_stats(run.total_stats)
     return run
 

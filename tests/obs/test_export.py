@@ -115,3 +115,62 @@ class TestFileRoundTrip:
         payload = obs.to_payload()
         assert isinstance(payload["traceEvents"], list)
         assert "metrics" in payload and "io_report" in payload
+
+
+class TestKeyEncoding:
+    """Tuple/scalar dict keys survive the baseline JSON round trip."""
+
+    @pytest.mark.parametrize("key", [
+        "plain",
+        ("c-opt", 2, True),
+        (1, 0),
+        2.5,
+        7,
+        ("nested", (1, 2)),
+    ])
+    def test_round_trip(self, key):
+        from repro.obs import decode_key, encode_key
+
+        encoded = encode_key(key)
+        assert isinstance(encoded, str)
+        assert decode_key(encoded) == key
+
+    def test_equal_keys_encode_identically(self):
+        from repro.obs import encode_key
+
+        assert encode_key((1, 0)) == encode_key((1, 0))
+        assert encode_key((1, 0)) != encode_key((0, 1))
+
+    def test_sanitize_encodes_keys_and_survives_json(self):
+        from repro.obs import sanitize
+
+        doc = sanitize({
+            ("adi", 4): {"io_time_s": 1.5},
+            16: [1, 2],
+            "s": {True, False},
+        })
+        json.dumps(doc)  # must not raise
+        assert doc["[\"adi\", 4]"] == {"io_time_s": 1.5}
+        assert doc["16"] == [1, 2]
+        assert doc["s"] == [False, True]  # sets serialize sorted
+
+    def test_sanitize_handles_numpy_and_dataclasses(self):
+        import numpy as np
+
+        from dataclasses import dataclass
+
+        from repro.obs import sanitize
+
+        @dataclass
+        class Row:
+            n: int
+
+        out = sanitize({
+            "a": np.int64(3),
+            "b": np.array([1.0, 2.0]),
+            "c": Row(5),
+        })
+        json.dumps(out)
+        assert out["a"] == 3
+        assert out["b"] == [1.0, 2.0]
+        assert out["c"] == {"n": 5}

@@ -96,3 +96,54 @@ class TestRegistryKeys:
         d = reg.to_dict()
         assert list(d) == sorted(d)
         json.dumps(d)  # must not raise
+
+
+class TestPercentiles:
+    def test_empty_is_none(self):
+        h = Histogram()
+        assert h.percentile(0.5) is None
+        assert h.percentiles == {"p50": None, "p95": None, "p99": None}
+
+    def test_q_outside_unit_interval_raises(self):
+        h = Histogram()
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(-0.1)
+        with pytest.raises(ValueError):
+            h.percentile(1.5)
+
+    def test_single_value_reports_that_value(self):
+        h = Histogram()
+        h.observe(42.0)
+        assert h.percentile(0.5) == 42.0
+        assert h.percentile(0.99) == 42.0
+
+    def test_monotone_and_clamped_to_observed_range(self):
+        h = Histogram()
+        h.observe_many(float(v) for v in range(1, 101))
+        p50, p95, p99 = (h.percentile(q) for q in (0.5, 0.95, 0.99))
+        assert p50 <= p95 <= p99
+        assert h.min <= p50 and p99 <= h.max
+        # the median of 1..100 interpolates near the middle
+        assert 30.0 <= p50 <= 70.0
+        assert p95 >= 80.0
+
+    def test_to_dict_carries_percentiles(self):
+        h = Histogram()
+        h.observe_many([1.0, 2.0, 3.0])
+        d = h.to_dict()
+        for p in ("p50", "p95", "p99"):
+            assert d[p] == h.percentiles[p]
+
+    def test_stable_under_bucket_layout_change(self):
+        """The regression gate compares percentiles, not buckets: two
+        layouts over the same data must agree to bucket resolution."""
+        data = [float(v) for v in range(1, 65)]
+        coarse = Histogram(bounds=[8.0, 32.0])
+        fine = Histogram(bounds=[4.0, 8.0, 16.0, 32.0, 48.0])
+        coarse.observe_many(data)
+        fine.observe_many(data)
+        assert coarse.percentile(0.5) == pytest.approx(
+            fine.percentile(0.5), rel=0.3
+        )
+        assert coarse.percentile(0.5) == pytest.approx(32.5, rel=0.3)

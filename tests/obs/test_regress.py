@@ -1,0 +1,362 @@
+"""Regression gate: the baseline envelope store, the tolerance-policy
+diff engine, and the ``regress`` CLI's exit-code contract (0 pass,
+1 regression, 2 usage/missing/malformed)."""
+
+import json
+
+import pytest
+
+from repro.obs.baselines import (
+    KIND,
+    SCHEMA_VERSION,
+    BaselineError,
+    capture,
+    load_baseline,
+    make_envelope,
+    write_baseline,
+)
+from repro.obs.cli import main
+from repro.obs.regress import (
+    MetricDiff,
+    TolerancePolicy,
+    check_paths,
+    diff_docs,
+    direction_of,
+    render_regress,
+    summarize_baseline,
+)
+
+
+def _doc(results, meta=None, smoke=False):
+    return make_envelope(results, meta, smoke=smoke)
+
+
+def _results():
+    """A plausible bench payload: counters, modeled times, a histogram."""
+    return {
+        "bench_a": {
+            "read_calls": 100,
+            "write_calls": 40,
+            "io_time_s": 2.5,
+            "speedup": 3.0,
+            "two_phase": True,
+            "hist": {
+                "type": "histogram",
+                "count": 10, "sum": 55.0, "min": 1.0, "max": 10.0,
+                "p50": 5.0, "p95": 9.5, "p99": 9.9,
+                "bucket_counts": [4, 6], "bounds": [5.0],
+            },
+        },
+    }
+
+
+class TestEnvelope:
+    def test_round_trip(self, tmp_path):
+        doc = _doc(_results(), {"bench_a": {"n": 64}}, smoke=True)
+        path = tmp_path / "b.json"
+        write_baseline(str(path), doc)
+        loaded = load_baseline(str(path))
+        assert loaded == json.loads(json.dumps(doc))
+        assert loaded["kind"] == KIND
+        assert loaded["schema_version"] == SCHEMA_VERSION
+        assert loaded["smoke"] is True
+        assert loaded["meta"]["bench_a"] == {"n": 64}
+
+    def test_envelope_carries_machine_and_rev(self):
+        doc = _doc(_results())
+        assert "n_io_nodes" in doc["machine"]
+        assert "io_latency_s" in doc["machine"]
+        assert isinstance(doc["git_rev"], str) and doc["git_rev"]
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(BaselineError, match="not found"):
+            load_baseline(str(tmp_path / "absent.json"))
+
+    def test_malformed_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(BaselineError, match="malformed"):
+            load_baseline(str(path))
+
+    def test_wrong_kind(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps({"traceEvents": []}))
+        with pytest.raises(BaselineError, match="kind"):
+            load_baseline(str(path))
+
+    def test_wrong_schema_version(self, tmp_path):
+        doc = _doc(_results())
+        doc["schema_version"] = 99
+        path = tmp_path / "v99.json"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(BaselineError, match="schema_version 99"):
+            load_baseline(str(path))
+
+    def test_non_object_top_level(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(BaselineError, match="not an object"):
+            load_baseline(str(path))
+
+    def test_capture_failure_writes_nothing(self, tmp_path):
+        out = tmp_path / "cap.json"
+        # "false" stands in for a python whose bench run exits nonzero
+        with pytest.raises(BaselineError, match="benchmark run failed"):
+            capture(str(out), python="false")
+        assert not out.exists()
+
+
+class TestDirection:
+    @pytest.mark.parametrize("path, d", [
+        ("bench_a/io_time_s", -1),
+        ("bench_a/latency", -1),
+        ("bench_a/cache/miss_rate", -1),
+        ("bench_a/speedup", 1),
+        ("bench_a/gain", 1),
+        ("bench_a/cache/hit_rate", 1),
+        ("bench_a/read_calls", 0),
+        ("bench_a/elements", 0),
+    ])
+    def test_leaf_names_the_metric(self, path, d):
+        assert direction_of(path) == d
+
+    def test_inner_components_do_not_override_leaf(self):
+        # the bench is named after a time but the leaf is a speedup
+        assert direction_of("bench_time_sweep/speedup") == 1
+
+
+class TestDiffEngine:
+    def test_identical_docs_pass(self):
+        report = diff_docs(_doc(_results()), _doc(_results()))
+        assert report.ok
+        assert report.diffs == []
+        assert report.compared > 0
+
+    def test_synthetic_io_call_regression_fails_readably(self):
+        """The acceptance gate: +10% I/O calls must FAIL with a diff a
+        human can read — metric path, both values, the drift."""
+        current = _results()
+        current["bench_a"]["read_calls"] = 110  # +10%
+        current["bench_a"]["io_time_s"] = 2.9   # +16%
+        report = diff_docs(_doc(_results()), _doc(current))
+        assert not report.ok
+        assert len(report.failures) == 2
+        text = render_regress(report)
+        assert "FAIL" in text
+        assert "bench_a/read_calls: 100 -> 110" in text
+        assert "+10.0%" in text
+        assert "bench_a/io_time_s: 2.5 -> 2.9" in text
+        assert "WORSE" in text
+
+    def test_int_counters_are_exact_match_even_when_fewer(self):
+        current = _results()
+        current["bench_a"]["read_calls"] = 90  # "improvement" still fails
+        report = diff_docs(_doc(_results()), _doc(current))
+        assert not report.ok
+        (d,) = report.failures
+        assert d.status == "changed"
+        assert "deterministic counter" in d.note
+
+    def test_float_within_tolerance_passes(self):
+        current = _results()
+        current["bench_a"]["io_time_s"] = 2.52  # +0.8% < 1%
+        assert diff_docs(_doc(_results()), _doc(current)).ok
+
+    def test_float_improvement_passes_as_better(self):
+        current = _results()
+        current["bench_a"]["io_time_s"] = 2.0
+        current["bench_a"]["speedup"] = 4.0
+        report = diff_docs(_doc(_results()), _doc(current))
+        assert report.ok
+        assert {d.status for d in report.diffs} == {"better"}
+
+    def test_bool_flip_fails(self):
+        current = _results()
+        current["bench_a"]["two_phase"] = False
+        report = diff_docs(_doc(_results()), _doc(current))
+        (d,) = report.failures
+        assert d.status == "changed" and "boolean" in d.note
+
+    def test_bucket_layout_ignored_percentiles_compared(self):
+        current = _results()
+        # re-bucketing alone must not trip the gate...
+        current["bench_a"]["hist"]["bucket_counts"] = [2, 2, 6]
+        current["bench_a"]["hist"]["bounds"] = [2.0, 5.0]
+        assert diff_docs(_doc(_results()), _doc(current)).ok
+        # ...but a shifted percentile must
+        current["bench_a"]["hist"]["p95"] = 12.0
+        report = diff_docs(_doc(_results()), _doc(current))
+        assert not report.ok
+        assert report.failures[0].path == "bench_a/hist/p95"
+
+    def test_missing_metric_fails_added_passes(self):
+        current = _results()
+        del current["bench_a"]["speedup"]
+        current["bench_a"]["extra"] = 7
+        report = diff_docs(_doc(_results()), _doc(current))
+        assert [d.status for d in report.failures] == ["missing"]
+        assert [d.status for d in report.diffs if not d.failed] == ["added"]
+
+    def test_missing_benchmark_fails(self):
+        report = diff_docs(_doc(_results()), _doc({}))
+        (d,) = report.failures
+        assert d.status == "missing" and d.path == "bench_a"
+
+    def test_smoke_mismatch_is_config_failure(self):
+        report = diff_docs(_doc(_results(), smoke=True), _doc(_results()))
+        (d,) = report.failures
+        assert d.status == "config" and d.path == "smoke"
+
+    def test_machine_mismatch_is_config_failure(self):
+        base = _doc(_results())
+        current = _doc(_results())
+        current["machine"] = dict(current["machine"], n_io_nodes=8)
+        report = diff_docs(base, current)
+        (d,) = report.failures
+        assert d.status == "config" and d.path == "machine"
+
+    def test_meta_mismatch_is_config_failure(self):
+        base = _doc(_results(), {"bench_a": {"n": 64}})
+        current = _doc(_results(), {"bench_a": {"n": 128}})
+        report = diff_docs(base, current)
+        (d,) = report.failures
+        assert d.status == "config" and d.path == "meta/bench_a"
+
+    def test_list_length_change_fails(self):
+        base = _doc({"b": {"curve": [1.0, 2.0, 3.0]}})
+        current = _doc({"b": {"curve": [1.0, 2.0]}})
+        report = diff_docs(base, current)
+        (d,) = report.failures
+        assert d.path == "b/curve/len"
+
+    def test_wider_tolerance_passes_what_default_fails(self):
+        current = _results()
+        current["bench_a"]["io_time_s"] = 2.6  # +4%
+        assert not diff_docs(_doc(_results()), _doc(current)).ok
+        assert diff_docs(
+            _doc(_results()), _doc(current), TolerancePolicy(rel_tol=0.05)
+        ).ok
+
+    def test_describe_is_one_readable_line(self):
+        d = MetricDiff("b/io_time_s", 2.5, 2.9, "worse", "+16.0%")
+        assert d.describe() == "WORSE    b/io_time_s: 2.5 -> 2.9  (+16.0%)"
+
+
+class TestSummarize:
+    def test_one_line_per_bench_with_meta(self):
+        text = summarize_baseline(_doc(_results(), {"bench_a": {"n": 64}}))
+        assert f"kind={KIND}" in text
+        assert "1 benchmark result(s)" in text
+        assert "bench_a" in text and "[n=64]" in text
+
+
+class TestCLI:
+    def _write(self, tmp_path, name, doc):
+        path = tmp_path / name
+        write_baseline(str(path), doc)
+        return str(path)
+
+    def test_check_pass_exit_0(self, tmp_path, capsys):
+        b = self._write(tmp_path, "b.json", _doc(_results()))
+        c = self._write(tmp_path, "c.json", _doc(_results()))
+        assert main(["regress", "check", b, c]) == 0
+        assert "regress: PASS" in capsys.readouterr().out
+
+    def test_check_regression_exit_1(self, tmp_path, capsys):
+        current = _results()
+        current["bench_a"]["read_calls"] = 110
+        b = self._write(tmp_path, "b.json", _doc(_results()))
+        c = self._write(tmp_path, "c.json", _doc(current))
+        assert main(["regress", "check", b, c]) == 1
+        out = capsys.readouterr().out
+        assert "regress: FAIL" in out and "read_calls" in out
+
+    def test_check_accepts_bare_results_doc(self, tmp_path, capsys):
+        """A raw ``pytest --json`` doc (no envelope) gates fine."""
+        b = self._write(tmp_path, "b.json", _doc(_results()))
+        c = tmp_path / "bare.json"
+        c.write_text(json.dumps({"results": _results()}))
+        assert main(["regress", "check", b, str(c)]) == 0
+
+    def test_check_missing_baseline_exit_2(self, tmp_path, capsys):
+        c = self._write(tmp_path, "c.json", _doc(_results()))
+        assert main(["regress", "check",
+                     str(tmp_path / "absent.json"), c]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_check_malformed_baseline_exit_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{oops")
+        c = self._write(tmp_path, "c.json", _doc(_results()))
+        assert main(["regress", "check", str(bad), c]) == 2
+        assert "malformed" in capsys.readouterr().err
+
+    def test_check_current_without_results_exit_2(self, tmp_path, capsys):
+        b = self._write(tmp_path, "b.json", _doc(_results()))
+        c = tmp_path / "norescults.json"
+        c.write_text(json.dumps({"hello": 1}))
+        assert main(["regress", "check", b, str(c)]) == 2
+        assert "no results" in capsys.readouterr().err
+
+    def test_report_exit_0(self, tmp_path, capsys):
+        b = self._write(tmp_path, "b.json", _doc(_results()))
+        assert main(["regress", "report", b]) == 0
+        assert f"kind={KIND}" in capsys.readouterr().out
+
+    def test_report_missing_exit_2(self, tmp_path, capsys):
+        assert main(["regress", "report", str(tmp_path / "no.json")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_unknown_subcommand_usage_exit_2(self):
+        with pytest.raises(SystemExit) as e:
+            main(["regress", "bogus"])
+        assert e.value.code == 2
+
+    def test_rel_tol_flag_widens_the_gate(self, tmp_path):
+        current = _results()
+        current["bench_a"]["io_time_s"] = 2.6  # +4%
+        b = self._write(tmp_path, "b.json", _doc(_results()))
+        c = self._write(tmp_path, "c.json", _doc(current))
+        assert main(["regress", "check", b, c]) == 1
+        assert main(["regress", "check", b, c, "--rel-tol", "0.05"]) == 0
+
+
+class TestTraceReportErrorPaths:
+    """``report`` (the trace renderer) hardening rides along."""
+
+    def test_missing_trace_exit_2(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "no.json")]) == 2
+        assert capsys.readouterr().err
+
+    def test_malformed_trace_exit_2(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        path.write_text("not json at all")
+        assert main(["report", str(path)]) == 2
+        assert capsys.readouterr().err
+
+    def test_non_object_trace_exit_2(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        path.write_text("[]")
+        assert main(["report", str(path)]) == 2
+        assert capsys.readouterr().err
+
+
+class TestCommittedBaselines:
+    """The baselines this repo ships must stay loadable and
+    self-consistent — the CI gate depends on them."""
+
+    @pytest.mark.parametrize("path", [
+        "benchmarks/baselines/BENCH_smoke.json",
+        "BENCH_cache.json",
+        "BENCH_tables.json",
+    ])
+    def test_loads_and_self_diffs_clean(self, path):
+        doc = load_baseline(path)
+        assert doc["results"]
+        report = diff_docs(doc, doc)
+        assert report.ok and report.diffs == []
+
+    def test_smoke_baseline_is_marked_smoke(self):
+        assert load_baseline(
+            "benchmarks/baselines/BENCH_smoke.json"
+        )["smoke"] is True
