@@ -1,0 +1,245 @@
+"""Fault injection & resilience sweep: fault rate x policy on adi/mxm,
+plus the seeded straggler scenario.
+
+Two findings, both asserted:
+
+- **Transient errors need a retry budget.**  With no policy a single
+  failed call aborts the run (`TransientIOError`); with retry +
+  backoff the run completes at a bounded overhead (the re-issued
+  attempts and backoff delay are exact, visible in the stats), and
+  hedging adds duplicate reads only when a straggler makes them pay.
+- **Hedged reads defeat stragglers.**  A persistent 8x straggler I/O
+  node inflates the no-policy makespan >=2x; hedging every read that
+  lands on it (waiting for the replica's nominal service instead)
+  recovers >=50% of the loss — the classic tail-tolerance trade of
+  extra I/O volume for latency.
+
+Everything is seeded and bit-deterministic, so the ``--json`` envelope
+is regression-gated like every other benchmark; outside ``--smoke`` the
+sweep also writes ``BENCH_faults.json`` at the repo root.
+"""
+
+import json
+import pathlib
+from dataclasses import asdict, replace
+
+from conftest import run_once
+
+from repro.experiments.harness import _scaled_params
+from repro.faults import (
+    FaultConfig,
+    FaultPlan,
+    ResiliencePolicy,
+    TransientIOError,
+)
+from repro.optimizer import build_version
+from repro.parallel import run_version_parallel
+from repro.workloads import build_workload
+
+SWEEP_N = 48
+SMOKE_N = 24
+
+WORKLOAD_GRID = ("adi", "mxm")
+VERSION = "c-opt"
+N_NODES = 4
+N_IO_NODES = 4
+SEED = 7
+
+RATE_GRID = (0.01, 0.05)
+SMOKE_RATE_GRID = (0.05,)
+
+#: policy grid of the rate sweep: the do-nothing baseline (dies on the
+#: first error), plain retry, and retry + hedged reads
+POLICY_GRID = (
+    ("none", ResiliencePolicy()),
+    ("retry", ResiliencePolicy(max_retries=4)),
+    ("retry+hedge", ResiliencePolicy(max_retries=4, hedge_reads=True)),
+)
+
+STRAGGLER_NODE = 0
+STRAGGLER_MULT = 8.0
+
+ARTIFACT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_faults.json"
+
+
+def _params(n):
+    return replace(_scaled_params(n), n_io_nodes=N_IO_NODES)
+
+
+def _row(run):
+    s = run.total_stats
+    return {
+        "completed": True,
+        "time_s": run.time_s,
+        "calls": s.calls,
+        "retries": s.retries,
+        "failed_calls": s.failed_calls,
+        "hedged_calls": s.hedged_calls,
+        "retry_delay_s": s.retry_delay_s,
+    }
+
+
+def test_fault_rate_policy_sweep(benchmark, smoke, json_out):
+    n = SMOKE_N if smoke else SWEEP_N
+    rates = SMOKE_RATE_GRID if smoke else RATE_GRID
+
+    def sweep():
+        rows = {}
+        for workload in WORKLOAD_GRID:
+            cfg = build_version(VERSION, build_workload(workload, n))
+            params = _params(n)
+            for rate in rates:
+                plan = FaultPlan(
+                    seed=SEED, read_error_rate=rate, write_error_rate=rate
+                )
+                for pname, policy in POLICY_GRID:
+                    try:
+                        run = run_version_parallel(
+                            cfg, N_NODES, params=params,
+                            faults=FaultConfig(plan, policy),
+                        )
+                        rows[(workload, rate, pname)] = _row(run)
+                    except TransientIOError as exc:
+                        # no retry budget: the first failed call aborts
+                        # the run — deterministically, at the same op
+                        rows[(workload, rate, pname)] = {
+                            "completed": False,
+                            "failed_op_index": exc.op_index,
+                            "failed_io_node": exc.io_node,
+                        }
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    json_out(
+        "fault_rate_policy_sweep",
+        {"rows": {k: r for k, r in sorted(rows.items())}},
+        n=n, workloads=WORKLOAD_GRID, version=VERSION, seed=SEED,
+        rates=rates, policies=[p for p, _ in POLICY_GRID],
+        n_nodes=N_NODES, n_io_nodes=N_IO_NODES,
+    )
+
+    print()
+    print(
+        "  workload rate  policy      | done |    time  retries"
+        "  failed hedged   delay"
+    )
+    for (w, rate, pname), r in sorted(rows.items()):
+        if r["completed"]:
+            print(
+                f"  {w:8s} {rate:.2f}  {pname:11s} |  yes |"
+                f" {r['time_s']:7.3f} {r['retries']:8d}"
+                f" {r['failed_calls']:7d} {r['hedged_calls']:6d}"
+                f" {r['retry_delay_s']:7.3f}"
+            )
+        else:
+            print(
+                f"  {w:8s} {rate:.2f}  {pname:11s} |   no |"
+                f" aborted at op {r['failed_op_index']}"
+                f" (io_node {r['failed_io_node']})"
+            )
+
+    # the do-nothing policy must die on every faulted config, the retry
+    # policies must complete every one — that asymmetry IS the subsystem
+    for (w, rate, pname), r in rows.items():
+        if pname == "none":
+            assert not r["completed"], (
+                f"no-policy run survived {rate:.0%} errors on {w}"
+            )
+        else:
+            assert r["completed"], (
+                f"policy {pname} failed to absorb {rate:.0%} errors on {w}"
+            )
+            assert r["retries"] > 0 and r["retries"] == r["failed_calls"], (
+                "every failed attempt must be retried exactly once "
+                f"({w}, {rate}, {pname}): {r}"
+            )
+
+    if not smoke:
+        _write_artifact(n, rates, rows)
+
+
+def test_straggler_hedging_recovery(benchmark, smoke, json_out):
+    """Acceptance scenario: on mxm, a seeded straggler I/O node costs
+    the no-policy run >=2x the fault-free makespan, and the hedged-read
+    policy recovers >=50% of the regression."""
+    n = SMOKE_N if smoke else SWEEP_N
+
+    def measure():
+        cfg = build_version(VERSION, build_workload("mxm", n))
+        params = _params(n)
+        # fault-free reference with the injector active (same per-call
+        # execution shape, empty plan) — the honest denominator
+        free = run_version_parallel(
+            cfg, N_NODES, params=params,
+            faults=FaultConfig(FaultPlan(seed=SEED)),
+        )
+        plan = FaultPlan(
+            seed=SEED, stragglers={STRAGGLER_NODE: STRAGGLER_MULT}
+        )
+        nopol = run_version_parallel(
+            cfg, N_NODES, params=params, faults=FaultConfig(plan)
+        )
+        hedged = run_version_parallel(
+            cfg, N_NODES, params=params,
+            faults=FaultConfig(
+                plan, ResiliencePolicy(hedge_reads=True, hedge_threshold=2.0)
+            ),
+        )
+        return free, nopol, hedged
+
+    free, nopol, hedged = run_once(benchmark, measure)
+    regression = nopol.time_s / free.time_s
+    recovered = (
+        (nopol.time_s - hedged.time_s) / (nopol.time_s - free.time_s)
+        if nopol.time_s > free.time_s
+        else 0.0
+    )
+    json_out(
+        "fault_straggler_recovery",
+        {
+            "fault_free": _row(free),
+            "straggler_no_policy": _row(nopol),
+            "straggler_hedged": _row(hedged),
+            "regression_x": regression,
+            "recovered_frac": recovered,
+        },
+        n=n, workload="mxm", version=VERSION, seed=SEED,
+        straggler_node=STRAGGLER_NODE, straggler_mult=STRAGGLER_MULT,
+        n_nodes=N_NODES, n_io_nodes=N_IO_NODES,
+    )
+
+    print()
+    print(f"  fault-free       : {free.time_s:8.3f}s")
+    print(
+        f"  straggler (none) : {nopol.time_s:8.3f}s"
+        f"  ({regression:.2f}x fault-free)"
+    )
+    print(
+        f"  straggler (hedge): {hedged.time_s:8.3f}s"
+        f"  (+{hedged.total_stats.hedged_calls} hedged reads,"
+        f" {100 * recovered:.1f}% recovered)"
+    )
+    assert regression >= 2.0, (
+        f"an {STRAGGLER_MULT:.0f}x straggler should cost >=2x makespan, "
+        f"got {regression:.2f}x"
+    )
+    assert recovered >= 0.5, (
+        f"hedged reads should recover >=50% of the straggler loss, "
+        f"got {100 * recovered:.1f}%"
+    )
+    assert hedged.total_stats.hedged_calls > 0
+
+
+def _write_artifact(n, rates, rows):
+    payload = {
+        "n": n,
+        "machine_params": asdict(_params(n)),
+        "seed": SEED,
+        "rates": list(rates),
+        "sweep": [
+            {"workload": w, "rate": rate, "policy": pname, **r}
+            for (w, rate, pname), r in sorted(rows.items())
+        ],
+    }
+    ARTIFACT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"  wrote {ARTIFACT.name}")

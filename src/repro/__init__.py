@@ -73,6 +73,7 @@ from .runtime import IOStats, MachineParams, OutOfCoreArray, ParallelFileSystem
 from .cache import CacheConfig, CacheMetrics, TileCache
 from .collective import CollectiveConfig, event_makespan, plan_nest_collective
 from .engine import OOCExecutor, generate_tiled_code, interpret_program
+from .faults import FaultConfig, FaultPlan, ResiliencePolicy
 from .obs import ObsConfig, Observability
 from .optimizer import ReportEvent
 from .parallel import run_version_parallel, speedup_curve
@@ -131,6 +132,10 @@ __all__ = [
     "OOCExecutor",
     "generate_tiled_code",
     "interpret_program",
+    # faults & resilience
+    "FaultConfig",
+    "FaultPlan",
+    "ResiliencePolicy",
     # observability
     "ObsConfig",
     "Observability",

@@ -149,6 +149,10 @@ class CollectiveReport:
     nest_plans: list[NestCollectivePlan] = field(default_factory=list)
     chosen: dict[str, bool] = field(default_factory=dict)
     sim: object | None = None  # SimResult when simulator == "event"
+    #: nests whose winning two-phase plan was demoted to independent
+    #: I/O because an aggregator rank is marked failed in the active
+    #: fault plan (:mod:`repro.faults`); empty without faults
+    degraded: list[str] = field(default_factory=list)
 
     @property
     def n_collective_nests(self) -> int:

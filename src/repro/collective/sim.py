@@ -54,6 +54,7 @@ class SimOp:
     duration_s: float = 0.0   # compute only
     resource: int = 0         # io: I/O node index (net uses the channel)
     service_s: float = 0.0    # io / net occupancy
+    is_write: bool = False    # io only: direction, for fault error draws
 
 
 @dataclass
@@ -95,14 +96,27 @@ class SimResult:
     waited_requests: int        # requests that queued behind another
     wait_time_s: float          # total queueing delay
     n_events: int
+    #: fault summary (:mod:`repro.faults`): failed attempts injected
+    #: during this simulation, retries issued, and backoff seconds —
+    #: all zero when no injector was passed (``faults=None``)
+    faults_injected: int = 0
+    fault_retries: int = 0
+    fault_retry_delay_s: float = 0.0
 
     def describe(self) -> str:
-        return (
+        out = (
             f"makespan={self.makespan_s:.3f}s events={self.n_events} "
             f"waited={self.waited_requests} "
             f"(queue delay {self.wait_time_s:.3f}s) "
             f"net_busy={self.net_busy_s:.3f}s"
         )
+        if self.faults_injected or self.fault_retries:
+            out += (
+                f" faults[injected={self.faults_injected} "
+                f"retries={self.fault_retries} "
+                f"delay={self.fault_retry_delay_s:.3f}s]"
+            )
+        return out
 
 
 def simulate(
@@ -111,16 +125,28 @@ def simulate(
     *,
     events: list[SimEvent] | None = None,
     metrics=None,
+    faults=None,
 ) -> SimResult:
     """Run the event simulation over per-node timelines.
 
     ``events`` (a list to append to) records every request as a fully
     timed :class:`SimEvent`; ``metrics`` (a
     :class:`repro.obs.MetricsRegistry`) receives queue-wait and
-    service-time histograms.  Both default to ``None`` — no recording,
-    identical results.
+    service-time histograms.  ``faults`` (a
+    :class:`repro.faults.FaultInjector`) perturbs ``io`` requests with
+    the plan's time-indexed faults — outage deferral, straggler and
+    latency-window multipliers at the request's start time — and draws
+    per-attempt transient failures, re-queueing failed attempts after
+    the policy's backoff (a request that exhausts its retry budget
+    raises :class:`~repro.faults.TransientIOError`).  All three default
+    to ``None`` — no recording, bit-identical results.
     """
     n = len(timelines)
+    inj = faults
+    inj_base = (
+        (inj.injected, inj.retries, inj.retry_delay_s)
+        if inj is not None else None
+    )
     io_free = np.zeros(params.n_io_nodes)
     io_busy = np.zeros(params.n_io_nodes)
     net_free = 0.0
@@ -160,11 +186,35 @@ def simulate(
             done = start + op.service_s
             net_free = done
             net_busy += op.service_s
-        else:
+        elif inj is None:
             start = max(arrival, io_free[op.resource])
             done = start + op.service_s
             io_free[op.resource] = done
             io_busy[op.resource] += op.service_s
+        else:
+            # perturbed, fallible request: each attempt waits for the
+            # queue and any outage covering it, occupies the I/O node
+            # for the multiplied service time, and a failed attempt
+            # backs off before re-queueing.  The recorded wait spans
+            # arrival to the *first* attempt's start; retries extend
+            # ``done`` (and the node's blocked time) instead.
+            res = op.resource
+            t, n_failed = arrival, 0
+            start = done = arrival
+            while True:
+                start_a = inj.sim_defer(res, max(t, io_free[res]))
+                svc = op.service_s * inj.sim_multiplier(res, start_a)
+                done = start_a + svc
+                io_free[res] = done
+                io_busy[res] += svc
+                if n_failed == 0:
+                    start = start_a
+                if not inj.sim_error(res, op.is_write, start_a):
+                    break
+                n_failed += 1
+                if n_failed > inj.policy.max_retries:
+                    inj.sim_give_up(res, op.is_write, done, n_failed)
+                t = done + inj.sim_retry_delay(n_failed, done)
         if start > arrival:
             waited += 1
             wait_time += start - arrival
@@ -194,7 +244,7 @@ def simulate(
         n_events += 1
         schedule(i)
 
-    return SimResult(
+    result = SimResult(
         max(finish) if finish else 0.0,
         finish,
         io_busy,
@@ -203,6 +253,11 @@ def simulate(
         wait_time,
         n_events,
     )
+    if inj is not None:
+        result.faults_injected = inj.injected - inj_base[0]
+        result.fault_retries = inj.retries - inj_base[1]
+        result.fault_retry_delay_s = inj.retry_delay_s - inj_base[2]
+    return result
 
 
 def io_node_of(params: MachineParams, global_elem: int) -> int:
@@ -235,7 +290,7 @@ def nest_ops(params: MachineParams, nest_run) -> list[SimOp]:
         return ops
     chunk = compute_rep / (n_calls + 1)
     for _ in range(reps):
-        for base, off, ln, _is_write in nest_run.trace:
+        for base, off, ln, is_write in nest_run.trace:
             if chunk > 0.0:
                 ops.append(SimOp("compute", duration_s=chunk))
             ops.append(
@@ -243,6 +298,7 @@ def nest_ops(params: MachineParams, nest_run) -> list[SimOp]:
                     "io",
                     resource=io_node_of(params, base + off),
                     service_s=params.call_time(ln * params.element_size),
+                    is_write=is_write,
                 )
             )
         if chunk > 0.0:

@@ -21,6 +21,7 @@ from ..cache import (
     make_policy,
 )
 from ..cache.tile_cache import CacheEntry
+from ..faults import FaultConfig, FaultInjector
 from ..ir.nest import LoopNest
 from ..ir.program import Program
 from ..layout import Layout, row_major
@@ -195,6 +196,7 @@ class OOCExecutor:
         cache: CacheConfig | None = None,
         trace: bool = False,
         obs: Observability | None = None,
+        faults: FaultConfig | None = None,
     ):
         if node_slice is not None:
             rank, n_nodes = node_slice
@@ -210,6 +212,15 @@ class OOCExecutor:
         self._trace = trace or (
             self._obs is not None and self._obs.config.per_array
         )
+        # fault injection (repro.faults): one injector per executor, its
+        # RNG stream seeded by plan.seed + rank.  With faults=None (the
+        # default) every IOContext takes its vectorized path untouched.
+        self._faults_cfg = faults
+        self._injector: FaultInjector | None = None
+        if faults is not None:
+            self._injector = faults.injector(
+                node_slice[0] if node_slice else 0
+            )
         self.program = program
         self.params = params or MachineParams()
         self.binding = program.binding(binding)
@@ -314,6 +325,13 @@ class OOCExecutor:
 
     # -- public API -------------------------------------------------------
 
+    @property
+    def injector(self) -> FaultInjector | None:
+        """This rank's fault injector (``None`` without ``faults``) —
+        the SPMD driver publishes its events and counters, since the
+        per-rank executors run without an observability handle."""
+        return self._injector
+
     def array_data(self, name: str) -> np.ndarray:
         if not self.real:
             raise RuntimeError("array contents unavailable in simulate mode")
@@ -359,13 +377,18 @@ class OOCExecutor:
             )
             # with a live cache, weight repetitions are executed (not
             # scaled): the cache warms across repetitions, so repetition
-            # stats are not multiples of the first pass
-            if self.real or self._cache is not None:
+            # stats are not multiples of the first pass.  A fault
+            # injector likewise draws per attempt — scaling one pass by
+            # the weight would multiply fault counts that never fired.
+            if self.real or self._cache is not None or self._injector is not None:
                 total = IOStats()
                 tiles = 0
                 nest_trace: list | None = [] if self._trace else None
                 for _ in range(nest.weight):
-                    local = IOContext(self.params, trace=self._trace, metrics=reg)
+                    local = IOContext(
+                        self.params, trace=self._trace, metrics=reg,
+                        faults=self._injector,
+                    )
                     tiles = self._run_nest(nest, plan, local)
                     total = total.merge(local.stats)
                     ctx.stats = ctx.stats.merge(local.stats)
@@ -449,6 +472,10 @@ class OOCExecutor:
             obs.metrics.gauge("executor.over_budget_tiles").set(
                 self._over_budget_tiles
             )
+            if self._injector is not None:
+                self._injector.publish_metrics(obs.metrics)
+        if self._injector is not None and self._injector.events:
+            obs.add_fault_events(self._injector.events)
         obs.note_stats(ctx.stats)
         if run_span is not None:
             obs.tracer.end(
@@ -583,47 +610,52 @@ class OOCExecutor:
                     )
                     self._over_budget_tiles += 1
 
-            # group by store and read every accessed array's tile (the
-            # paper's generated code reads tiles for all arrays, including
-            # write-only ones — read-modify-write of the bounding box)
-            by_store: dict[int, list[tuple[str, Region]]] = {}
-            for name, (region, _, _) in fps.items():
-                by_store.setdefault(id(self._stores[name]), []).append(
-                    (name, region)
-                )
-            tiles_data: dict[str, np.ndarray | None] = {}
-            for sid, requests in by_store.items():
-                store = self._stores[requests[0][0]]
-                tiles_data.update(store.read_many(requests, ctx))
-
-            if self.real:
-                regions = {name: region for name, (region, _, _) in fps.items()}
-                runner = (
-                    run_element_loops_vectorized
-                    if self._vectorizable.get(nest.name)
-                    else run_element_loops
-                )
-                count = runner(
-                    nest, self.binding, windows, tiles_data, regions
-                )
-                ctx.record_compute(count, len(nest.body))
-            else:
-                count = self._estimate_iterations(nest, windows)
-                ctx.record_compute(count, len(nest.body))
-
-            # write back modified arrays
-            by_store_w: dict[int, list[tuple[str, Region, np.ndarray | None]]] = {}
-            for name, (region, _, written) in fps.items():
-                if written:
-                    by_store_w.setdefault(id(self._stores[name]), []).append(
-                        (name, region, tiles_data.get(name))
+            # the tile's reservation must not outlive a failed transfer:
+            # an I/O call that raises (e.g. an injected TransientIOError
+            # with the retry budget exhausted) releases the allocation on
+            # the way out, so memory accounting never leaks
+            try:
+                # group by store and read every accessed array's tile (the
+                # paper's generated code reads tiles for all arrays, including
+                # write-only ones — read-modify-write of the bounding box)
+                by_store: dict[int, list[tuple[str, Region]]] = {}
+                for name, (region, _, _) in fps.items():
+                    by_store.setdefault(id(self._stores[name]), []).append(
+                        (name, region)
                     )
-            for sid, requests in by_store_w.items():
-                store = self._stores[requests[0][0]]
-                store.write_many(requests, ctx)
+                tiles_data: dict[str, np.ndarray | None] = {}
+                for sid, requests in by_store.items():
+                    store = self._stores[requests[0][0]]
+                    tiles_data.update(store.read_many(requests, ctx))
 
-            if allocated:
-                self.memory.free(total_fp)
+                if self.real:
+                    regions = {name: region for name, (region, _, _) in fps.items()}
+                    runner = (
+                        run_element_loops_vectorized
+                        if self._vectorizable.get(nest.name)
+                        else run_element_loops
+                    )
+                    count = runner(
+                        nest, self.binding, windows, tiles_data, regions
+                    )
+                    ctx.record_compute(count, len(nest.body))
+                else:
+                    count = self._estimate_iterations(nest, windows)
+                    ctx.record_compute(count, len(nest.body))
+
+                # write back modified arrays
+                by_store_w: dict[int, list[tuple[str, Region, np.ndarray | None]]] = {}
+                for name, (region, _, written) in fps.items():
+                    if written:
+                        by_store_w.setdefault(id(self._stores[name]), []).append(
+                            (name, region, tiles_data.get(name))
+                        )
+                for sid, requests in by_store_w.items():
+                    store = self._stores[requests[0][0]]
+                    store.write_many(requests, ctx)
+            finally:
+                if allocated:
+                    self.memory.free(total_fp)
             tiles_executed += 1
         return tiles_executed
 
@@ -681,35 +713,38 @@ class OOCExecutor:
                     )
                     self._over_budget_tiles += 1
 
-            tiles_data = self._read_tiles_cached(fps, ctx)
+            # as in the plain path: a read that raises mid-tile (injected
+            # fault with retries exhausted) must release the reservation
+            try:
+                tiles_data = self._read_tiles_cached(fps, ctx)
 
-            compute_before = ctx.stats.compute_time_s
-            if self.real:
-                regions = {name: region for name, (region, _, _) in fps.items()}
-                runner = (
-                    run_element_loops_vectorized
-                    if self._vectorizable.get(nest.name)
-                    else run_element_loops
-                )
-                count = runner(
-                    nest, self.binding, windows, tiles_data, regions
-                )
-                ctx.record_compute(count, len(nest.body))
-            else:
-                count = self._estimate_iterations(nest, windows)
-                ctx.record_compute(count, len(nest.body))
-            compute_s = ctx.stats.compute_time_s - compute_before
+                compute_before = ctx.stats.compute_time_s
+                if self.real:
+                    regions = {name: region for name, (region, _, _) in fps.items()}
+                    runner = (
+                        run_element_loops_vectorized
+                        if self._vectorizable.get(nest.name)
+                        else run_element_loops
+                    )
+                    count = runner(
+                        nest, self.binding, windows, tiles_data, regions
+                    )
+                    ctx.record_compute(count, len(nest.body))
+                else:
+                    count = self._estimate_iterations(nest, windows)
+                    ctx.record_compute(count, len(nest.body))
+                compute_s = ctx.stats.compute_time_s - compute_before
 
-            self._write_tiles_cached(fps, tiles_data, ctx)
+                self._write_tiles_cached(fps, tiles_data, ctx)
 
-            if self._prefetcher is not None:
-                prefetch_io = self._prefetch_tiles(
-                    self._prefetcher.requests_after(t), ctx
-                )
-                self._overlap.note_tile(compute_s, prefetch_io)
-
-            if allocated:
-                self.memory.free(total_fp)
+                if self._prefetcher is not None:
+                    prefetch_io = self._prefetch_tiles(
+                        self._prefetcher.requests_after(t), ctx
+                    )
+                    self._overlap.note_tile(compute_s, prefetch_io)
+            finally:
+                if allocated:
+                    self.memory.free(total_fp)
         # nest boundary: dirty tiles land on disk; clean data stays
         # resident for the next nest (or weight repetition)
         self._write_entries(cache.flush_all(), ctx)

@@ -1,0 +1,60 @@
+"""Fault injection & resilient I/O (``repro.faults``).
+
+Real parallel filesystems fail in ways the nominal cost model cannot
+see: transient call errors, latency spikes on individual I/O nodes,
+persistent stragglers, full node outages.  Collective two-phase I/O is
+*most* sensitive to exactly these — one slow aggregator stalls the whole
+exchange — so a reproduction arguing about I/O-dominated makespans needs
+a way to perturb the simulated I/O system deterministically and to price
+the standard defenses.
+
+Three pieces, mirroring the package's other opt-in subsystems
+(:class:`~repro.cache.CacheConfig`, :class:`~repro.collective
+.CollectiveConfig`, :class:`~repro.obs.Observability`):
+
+- :class:`FaultPlan` — seeded, reproducible fault specs (pure data;
+  all randomness flows through an explicit ``random.Random(seed)``);
+- :class:`ResiliencePolicy` — retry with exponential backoff + jitter,
+  per-call timeouts, hedged duplicate reads, collective degradation;
+- :class:`FaultInjector` — the stateful applier, threaded through
+  :class:`~repro.runtime.stats.IOContext`, the executor and
+  :func:`repro.collective.sim.simulate`.
+
+Everything is **off by default**: every call site takes
+``faults=None`` and is bit-identical without it — stats, printed lines
+and benchmark JSON are pinned unchanged by the regression tests.
+Enable it with::
+
+    from repro.faults import FaultConfig, FaultPlan, ResiliencePolicy
+
+    faults = FaultConfig(
+        FaultPlan(seed=7, stragglers={0: 8.0}),
+        ResiliencePolicy(max_retries=3, hedge_reads=True),
+    )
+    run = run_version_parallel(cfg, 4, params=params, faults=faults)
+    print(run.total_stats)   # ... faults[hedged=... ] section when active
+"""
+
+from .injector import CallOutcome, FaultConfig, FaultEvent, FaultInjector
+from .plan import (
+    FaultConfigError,
+    FaultPlan,
+    LatencyWindow,
+    Outage,
+    TransientIOError,
+)
+from .policy import NO_POLICY, ResiliencePolicy
+
+__all__ = [
+    "CallOutcome",
+    "FaultConfig",
+    "FaultConfigError",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "LatencyWindow",
+    "NO_POLICY",
+    "Outage",
+    "ResiliencePolicy",
+    "TransientIOError",
+]

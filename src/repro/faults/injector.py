@@ -1,0 +1,299 @@
+"""The fault injector: deterministic application of a fault plan.
+
+One :class:`FaultInjector` owns one private ``random.Random`` stream
+(``plan.seed + rank``) and a monotone op counter, so the sequence of
+injected faults is a pure function of (plan, policy, rank, issue order).
+It is consulted per *attempt* on two paths:
+
+- :meth:`serial_call` — the serial accounting path.
+  :class:`~repro.runtime.stats.IOContext` asks it to price one planned
+  I/O call; the returned :class:`CallOutcome` says how many attempts
+  were issued, the serial seconds spent, the backoff delay, and whether
+  a hedged duplicate went to the replica node.  Every attempt is a full
+  accounted call (the transfer ran, the call failed), which keeps the
+  per-nest trace/record invariant exact under faults.
+- :meth:`sim_multiplier` / :meth:`sim_defer` / :meth:`sim_error` — the
+  discrete-event simulator's hooks for time-indexed perturbation
+  (latency windows, outages) and per-request failure events.
+
+The injector also records every fault occurrence as a
+:class:`FaultEvent` so the observability layer can render them on a
+dedicated Perfetto track (:meth:`repro.obs.Observability
+.add_fault_events`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .plan import FaultPlan, TransientIOError
+from .policy import NO_POLICY, ResiliencePolicy
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault or resilience action, for the fault track.
+
+    ``kind`` is one of ``"error"``, ``"timeout"``, ``"retry"``,
+    ``"gave_up"``, ``"hedge"``, ``"outage"``, ``"degrade"``.
+    ``time_s`` is simulated seconds: the event-sim timestamp on the sim
+    path, the node's cumulative serial I/O seconds on the accounting
+    path (both deterministic).
+    """
+
+    kind: str
+    op_index: int
+    io_node: int
+    is_write: bool = False
+    time_s: float = 0.0
+    node: int = 0
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class CallOutcome:
+    """Serial-path pricing of one logical I/O call under faults."""
+
+    attempts: int           # issued attempts, including failures (>= 1)
+    failed_attempts: int    # attempts that errored or timed out
+    io_time_s: float        # serial seconds across all attempts
+    retry_delay_s: float    # backoff seconds (node idle, I/O node free)
+    hedged: bool = False
+    hedge_node: int = -1    # replica I/O node of the duplicate read
+    gave_up: bool = False   # retry budget exhausted — caller must raise
+
+    @property
+    def retries(self) -> int:
+        return self.attempts - 1
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """The single opt-in switch threaded through the execution stack:
+    ``faults=None`` (everywhere) is bit-identical to pre-fault behavior;
+    ``faults=FaultConfig(plan, policy)`` enables injection + resilience."""
+
+    plan: FaultPlan
+    policy: ResiliencePolicy = NO_POLICY
+
+    def injector(
+        self, rank: int = 0, *, record_events: bool = True
+    ) -> "FaultInjector":
+        return FaultInjector(
+            self.plan, self.policy, rank=rank, record_events=record_events
+        )
+
+
+class FaultInjector:
+    def __init__(
+        self,
+        plan: FaultPlan,
+        policy: ResiliencePolicy | None = None,
+        *,
+        rank: int = 0,
+        record_events: bool = True,
+    ):
+        self.plan = plan
+        self.policy = policy or NO_POLICY
+        self.rank = rank
+        self._rng = plan.rng(rank)
+        self.op_index = 0
+        self.events: list[FaultEvent] = [] if record_events else None
+        # cumulative counters (mirror the IOStats fields; the sim path
+        # has no IOStats so these are its accounting)
+        self.injected = 0
+        self.retries = 0
+        self.hedged_calls = 0
+        self.retry_delay_s = 0.0
+
+    # -- shared -------------------------------------------------------------
+
+    def _event(self, kind: str, op_index: int, io_node: int,
+               is_write: bool, time_s: float, detail: str = "") -> None:
+        if self.events is not None:
+            self.events.append(
+                FaultEvent(
+                    kind, op_index, io_node, is_write, time_s,
+                    node=self.rank, detail=detail,
+                )
+            )
+
+    def _draw_error(self, op_index: int, is_write: bool) -> bool:
+        """Whether this attempt fails: scheduled op index, else the
+        per-direction probability from the private RNG."""
+        if op_index in self.plan.error_ops:
+            return True
+        rate = (
+            self.plan.write_error_rate if is_write
+            else self.plan.read_error_rate
+        )
+        if rate <= 0.0:
+            return False
+        return self._rng.random() < rate
+
+    # -- serial accounting path (IOContext) ---------------------------------
+
+    def serial_call(
+        self,
+        io_node: int,
+        is_write: bool,
+        service_s: float,
+        *,
+        n_io_nodes: int,
+        at_s: float = 0.0,
+    ) -> CallOutcome:
+        """Price one logical I/O call whose nominal (unperturbed) serial
+        cost is ``service_s`` and whose first stripe lands on
+        ``io_node``.  Applies stragglers, hedging, transient errors,
+        timeouts and retry/backoff; the serial path has no timeline, so
+        latency windows and outages do not apply here (see
+        :class:`~repro.faults.plan.FaultPlan`)."""
+        pol = self.policy
+        mult = self.plan.straggler_multiplier(io_node)
+        hedged = pol.should_hedge(is_write, mult)
+        hedge_node = (io_node + 1) % n_io_nodes if hedged else -1
+        # a hedged read waits for the faster copy — nominal service from
+        # the replica — instead of the straggler's multiplied time
+        attempt_s = service_s if hedged else service_s * mult
+        timed_out_base = (
+            pol.timeout_s is not None and attempt_s > pol.timeout_s
+        )
+        if timed_out_base:
+            attempt_s = pol.timeout_s
+
+        attempts = 0
+        failed = 0
+        io_time = 0.0
+        delay = 0.0
+        while True:
+            idx = self.op_index
+            self.op_index += 1
+            attempts += 1
+            errored = self._draw_error(idx, is_write)
+            io_time += attempt_s
+            if not errored and not timed_out_base:
+                break
+            failed += 1
+            self.injected += 1
+            kind = "error" if errored else "timeout"
+            self._event(kind, idx, io_node, is_write, at_s + io_time)
+            if failed > pol.max_retries:
+                self._event(
+                    "gave_up", idx, io_node, is_write, at_s + io_time,
+                    detail=f"after {attempts} attempt(s)",
+                )
+                self.retries += attempts - 1
+                self.retry_delay_s += delay
+                return CallOutcome(
+                    attempts, failed, io_time, delay,
+                    hedged=hedged, hedge_node=hedge_node, gave_up=True,
+                )
+            d = pol.backoff_delay(failed - 1, self._rng)
+            delay += d
+            self._event(
+                "retry", idx, io_node, is_write, at_s + io_time + delay,
+                detail=f"backoff {d:.6f}s",
+            )
+        if hedged:
+            self.hedged_calls += 1
+            self._event("hedge", self.op_index - 1, hedge_node,
+                        is_write, at_s + io_time)
+        self.retries += attempts - 1
+        self.retry_delay_s += delay
+        return CallOutcome(
+            attempts, failed, io_time, delay,
+            hedged=hedged, hedge_node=hedge_node,
+        )
+
+    def raise_exhausted(self, outcome: CallOutcome, io_node: int) -> None:
+        raise TransientIOError(
+            f"I/O call failed after {outcome.attempts} attempt(s) "
+            f"(io_node {io_node}, rank {self.rank}; retry budget "
+            f"{self.policy.max_retries} exhausted)",
+            op_index=self.op_index - 1,
+            io_node=io_node,
+            attempts=outcome.attempts,
+        )
+
+    # -- event-simulator path (collective/sim.simulate) ----------------------
+
+    def sim_defer(self, io_node: int, t_s: float) -> float:
+        """Push a service start past any outage interval covering it;
+        records an ``"outage"`` event when the start actually moves."""
+        t = self.plan.outage_end(io_node, t_s)
+        if t > t_s:
+            self._event("outage", self.op_index, io_node, False, t_s,
+                        detail=f"deferred to {t:.6f}s")
+        return t
+
+    def sim_multiplier(self, io_node: int, t_s: float) -> float:
+        return self.plan.multiplier_at(io_node, t_s)
+
+    def sim_error(self, io_node: int, is_write: bool, t_s: float) -> bool:
+        """Draw one per-attempt failure for the event simulator; counts
+        and records it (the sim applies its own retry arithmetic)."""
+        idx = self.op_index
+        self.op_index += 1
+        if not self._draw_error(idx, is_write):
+            return False
+        self.injected += 1
+        self._event("error", idx, io_node, is_write, t_s)
+        return True
+
+    def sim_give_up(
+        self, io_node: int, is_write: bool, t_s: float, attempts: int
+    ) -> None:
+        """Record the terminal event and abort the simulation: a request
+        whose retry budget is exhausted fails the run."""
+        self._event(
+            "gave_up", self.op_index - 1, io_node, is_write, t_s,
+            detail=f"after {attempts} attempt(s)",
+        )
+        raise TransientIOError(
+            f"simulated I/O request failed after {attempts} attempt(s) "
+            f"(io_node {io_node}; retry budget {self.policy.max_retries} "
+            f"exhausted)",
+            op_index=self.op_index - 1,
+            io_node=io_node,
+            attempts=attempts,
+        )
+
+    def sim_retry_delay(self, n_failed: int, t_s: float) -> float:
+        """Backoff before re-attempt ``n_failed`` (1-based count of
+        failures so far), accounted into the injector's totals."""
+        d = self.policy.backoff_delay(n_failed - 1, self._rng)
+        self.retries += 1
+        self.retry_delay_s += d
+        self._event("retry", self.op_index, -1, False, t_s,
+                    detail=f"backoff {d:.6f}s")
+        return d
+
+    # -- observability -------------------------------------------------------
+
+    def publish_counters(self, registry) -> None:
+        """Bulk-publish the cumulative totals as the same ``faults.*``
+        counters the per-call accounting path increments — used by the
+        SPMD driver, whose per-rank executors run without a registry."""
+        if self.injected:
+            registry.counter("faults.injected").inc(self.injected)
+        if self.retries:
+            registry.counter("faults.retries").inc(self.retries)
+        if self.hedged_calls:
+            registry.counter("faults.hedged_calls").inc(self.hedged_calls)
+        if self.retry_delay_s > 0.0:
+            registry.histogram("faults.retry_delay_us").observe(
+                self.retry_delay_s * 1e6
+            )
+
+    def publish_metrics(self, registry) -> None:
+        """Snapshot the cumulative fault counters into a
+        :class:`~repro.obs.metrics.MetricsRegistry` (gauges — the
+        injector outlives individual runs, like the tile cache)."""
+        registry.gauge("faults.injected", rank=self.rank).set(self.injected)
+        registry.gauge("faults.retries", rank=self.rank).set(self.retries)
+        registry.gauge("faults.hedged_calls", rank=self.rank).set(
+            self.hedged_calls
+        )
+        registry.gauge("faults.retry_delay_s", rank=self.rank).set(
+            self.retry_delay_s
+        )

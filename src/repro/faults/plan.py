@@ -1,0 +1,235 @@
+"""Seeded, reproducible fault specifications (``FaultPlan``).
+
+A fault plan is pure data: it says *what can go wrong* on the simulated
+I/O system — transient call errors, per-I/O-node latency-multiplier
+windows, persistent stragglers, full I/O-node outage intervals and
+failed compute nodes — without deciding *when* a probabilistic fault
+actually fires.  That decision belongs to the
+:class:`~repro.faults.injector.FaultInjector`, which draws from an
+explicit ``random.Random(seed)`` so every run of the same plan on the
+same workload is bit-identical.  Nothing in this package ever touches
+the global RNG.
+
+Two classes of faults exist because the system has two clocks:
+
+- **call-indexed** faults (transient errors by probability or by
+  scheduled op index, persistent straggler multipliers) apply on the
+  serial accounting path (:class:`~repro.runtime.stats.IOContext`),
+  which has no timeline — only an issue order;
+- **time-indexed** faults (latency windows, outages) apply in the
+  discrete-event simulator (:func:`repro.collective.sim.simulate`),
+  where requests carry arrival and service timestamps in simulated
+  seconds.  Stragglers apply on both paths.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Mapping
+
+
+class FaultConfigError(ValueError):
+    """An invalid fault plan or resilience policy (named validation)."""
+
+
+class TransientIOError(RuntimeError):
+    """An injected I/O call failure that exhausted its retry budget."""
+
+    def __init__(self, message: str, *, op_index: int = -1,
+                 io_node: int = -1, attempts: int = 1):
+        super().__init__(message)
+        self.op_index = op_index
+        self.io_node = io_node
+        self.attempts = attempts
+
+
+def _check_finite(name: str, value: float) -> float:
+    value = float(value)
+    if not math.isfinite(value):
+        raise FaultConfigError(f"{name} must be finite, got {value!r}")
+    return value
+
+
+def _check_rate(name: str, value: float) -> float:
+    value = _check_finite(name, value)
+    if not 0.0 <= value <= 1.0:
+        raise FaultConfigError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def _check_multiplier(name: str, value: float) -> float:
+    value = _check_finite(name, value)
+    if value < 1.0:
+        raise FaultConfigError(
+            f"{name} must be >= 1 (a fault never speeds I/O up), "
+            f"got {value!r}"
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class LatencyWindow:
+    """Service times on ``io_node`` are multiplied by ``multiplier``
+    for requests starting in ``[start_s, end_s)`` of simulated time."""
+
+    io_node: int
+    start_s: float
+    end_s: float
+    multiplier: float
+
+    def __post_init__(self):
+        if self.io_node < 0:
+            raise FaultConfigError(
+                f"latency window io_node must be >= 0, got {self.io_node}"
+            )
+        _check_finite("latency window start_s", self.start_s)
+        _check_finite("latency window end_s", self.end_s)
+        if self.start_s < 0 or self.end_s <= self.start_s:
+            raise FaultConfigError(
+                f"latency window needs 0 <= start_s < end_s, got "
+                f"[{self.start_s}, {self.end_s})"
+            )
+        _check_multiplier("latency window multiplier", self.multiplier)
+
+    def active_at(self, t_s: float) -> bool:
+        return self.start_s <= t_s < self.end_s
+
+
+@dataclass(frozen=True)
+class Outage:
+    """``io_node`` services nothing during ``[start_s, end_s)`` of
+    simulated time; requests arriving inside the interval queue until
+    it ends."""
+
+    io_node: int
+    start_s: float
+    end_s: float
+
+    def __post_init__(self):
+        if self.io_node < 0:
+            raise FaultConfigError(
+                f"outage io_node must be >= 0, got {self.io_node}"
+            )
+        _check_finite("outage start_s", self.start_s)
+        _check_finite("outage end_s", self.end_s)
+        if self.start_s < 0 or self.end_s <= self.start_s:
+            raise FaultConfigError(
+                f"outage needs 0 <= start_s < end_s, got "
+                f"[{self.start_s}, {self.end_s})"
+            )
+
+    def covers(self, t_s: float) -> bool:
+        return self.start_s <= t_s < self.end_s
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One seeded, reproducible fault scenario.
+
+    ``seed``
+        base seed of the injector's private ``random.Random``; per-rank
+        injectors derive ``seed + rank`` so SPMD nodes draw independent
+        but reproducible streams.
+    ``read_error_rate`` / ``write_error_rate``
+        per-attempt probability of a transient call failure.
+    ``error_ops``
+        scheduled failures: global op indices (per injector, in issue
+        order, 0-based, counting attempts) whose first attempt fails
+        deterministically — the reproducible unit-test hook.
+    ``stragglers``
+        persistent per-I/O-node service-time multipliers (applied on
+        both the serial accounting path and the event simulator).
+    ``latency_windows`` / ``outages``
+        time-indexed perturbations, event simulator only.
+    ``failed_nodes``
+        compute-node ranks considered failed for collective
+        aggregation; :func:`repro.parallel.run_version_parallel`
+        degrades a two-phase nest to independent I/O when one of its
+        aggregators is in this set.
+    """
+
+    seed: int = 0
+    read_error_rate: float = 0.0
+    write_error_rate: float = 0.0
+    error_ops: frozenset[int] = frozenset()
+    stragglers: Mapping[int, float] = field(default_factory=dict)
+    latency_windows: tuple[LatencyWindow, ...] = ()
+    outages: tuple[Outage, ...] = ()
+    failed_nodes: frozenset[int] = frozenset()
+
+    def __post_init__(self):
+        _check_rate("read_error_rate", self.read_error_rate)
+        _check_rate("write_error_rate", self.write_error_rate)
+        object.__setattr__(self, "error_ops", frozenset(self.error_ops))
+        object.__setattr__(self, "failed_nodes", frozenset(self.failed_nodes))
+        for op in self.error_ops:
+            if op < 0:
+                raise FaultConfigError(
+                    f"error_ops indices must be >= 0, got {op}"
+                )
+        stragglers = dict(self.stragglers)
+        for node, mult in stragglers.items():
+            if node < 0:
+                raise FaultConfigError(
+                    f"straggler io_node must be >= 0, got {node}"
+                )
+            stragglers[node] = _check_multiplier(
+                f"straggler multiplier for io_node {node}", mult
+            )
+        object.__setattr__(self, "stragglers", stragglers)
+        object.__setattr__(
+            self, "latency_windows", tuple(self.latency_windows)
+        )
+        object.__setattr__(self, "outages", tuple(self.outages))
+        for rank in self.failed_nodes:
+            if rank < 0:
+                raise FaultConfigError(
+                    f"failed_nodes ranks must be >= 0, got {rank}"
+                )
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def has_errors(self) -> bool:
+        return (
+            self.read_error_rate > 0.0
+            or self.write_error_rate > 0.0
+            or bool(self.error_ops)
+        )
+
+    def rng(self, rank: int = 0) -> random.Random:
+        """A fresh private RNG for compute rank ``rank`` — never the
+        global ``random`` module."""
+        return random.Random(self.seed + rank)
+
+    def straggler_multiplier(self, io_node: int) -> float:
+        """Persistent service-time multiplier of ``io_node`` (1.0 when
+        the node is nominal)."""
+        return self.stragglers.get(io_node, 1.0)
+
+    def multiplier_at(self, io_node: int, t_s: float | None = None) -> float:
+        """Combined service-time multiplier of ``io_node``: persistent
+        straggler factor times every latency window active at simulated
+        time ``t_s`` (windows are skipped when ``t_s`` is ``None`` —
+        the serial accounting path has no timeline)."""
+        mult = self.straggler_multiplier(io_node)
+        if t_s is not None:
+            for w in self.latency_windows:
+                if w.io_node == io_node and w.active_at(t_s):
+                    mult *= w.multiplier
+        return mult
+
+    def outage_end(self, io_node: int, t_s: float) -> float:
+        """Earliest simulated time at or after ``t_s`` when ``io_node``
+        is in service (chains back-to-back outage intervals)."""
+        t = t_s
+        moved = True
+        while moved:
+            moved = False
+            for o in self.outages:
+                if o.io_node == io_node and o.covers(t):
+                    t = o.end_s
+                    moved = True
+        return t

@@ -1,0 +1,109 @@
+"""Resilience policies: what the runtime does when an I/O call faults.
+
+A :class:`ResiliencePolicy` is pure configuration — retry with
+exponential backoff plus seeded jitter, a per-call timeout, optional
+hedged (duplicate) reads for straggler mitigation, and the collective
+degradation rule.  The :class:`~repro.faults.injector.FaultInjector`
+applies it; the policy itself holds no state and draws no randomness
+(jitter is drawn from the injector's seeded RNG).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from .plan import FaultConfigError, _check_finite
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Knobs for surviving injected faults.
+
+    ``max_retries``
+        re-attempts after a failed call before giving up (0 = a single
+        failed attempt raises
+        :class:`~repro.faults.plan.TransientIOError`).
+    ``backoff_base_s`` / ``backoff_factor``
+        exponential backoff: retry *k* (0-based) waits
+        ``backoff_base_s * backoff_factor**k`` seconds before
+        re-issuing.  The wait is accounted as ``retry_delay_s`` — the
+        compute node sits idle, it does not occupy the I/O node.
+    ``jitter``
+        fraction of each backoff delay added uniformly at random from
+        the injector's seeded RNG (``0.0`` = deterministic delays).
+    ``timeout_s``
+        per-call timeout: an attempt whose (perturbed) service time
+        exceeds this is abandoned at the timeout and counts as a failed
+        attempt — the defense against unbounded straggler waits.
+        ``None`` disables timeouts.
+    ``hedge_reads`` / ``hedge_threshold``
+        straggler mitigation: when a read lands on an I/O node whose
+        service-time multiplier is at least ``hedge_threshold``, a
+        duplicate read is issued to the neighboring I/O node (the
+        stripe's replica in this model).  The node waits only for the
+        faster copy — nominal service time — at the cost of one extra
+        accounted read call.  Writes are never hedged (duplicating a
+        write is not idempotent at this layer).
+    ``degrade_collective``
+        fall back from two-phase collective I/O to independent I/O for
+        any nest whose aggregator rank the fault plan marks failed
+        (:attr:`~repro.faults.plan.FaultPlan.failed_nodes`).
+    """
+
+    max_retries: int = 0
+    backoff_base_s: float = 1.0e-3
+    backoff_factor: float = 2.0
+    jitter: float = 0.0
+    timeout_s: float | None = None
+    hedge_reads: bool = False
+    hedge_threshold: float = 2.0
+    degrade_collective: bool = True
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise FaultConfigError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if _check_finite("backoff_base_s", self.backoff_base_s) < 0:
+            raise FaultConfigError(
+                f"backoff_base_s must be >= 0, got {self.backoff_base_s}"
+            )
+        if _check_finite("backoff_factor", self.backoff_factor) < 1.0:
+            raise FaultConfigError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if not 0.0 <= _check_finite("jitter", self.jitter) <= 1.0:
+            raise FaultConfigError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
+        if self.timeout_s is not None and (
+            not math.isfinite(self.timeout_s) or self.timeout_s <= 0
+        ):
+            raise FaultConfigError(
+                f"timeout_s must be positive and finite, got {self.timeout_s}"
+            )
+        if _check_finite("hedge_threshold", self.hedge_threshold) < 1.0:
+            raise FaultConfigError(
+                f"hedge_threshold must be >= 1, got {self.hedge_threshold}"
+            )
+
+    def backoff_delay(self, attempt: int, rng: random.Random) -> float:
+        """Seconds to wait before re-attempt ``attempt`` (0-based)."""
+        delay = self.backoff_base_s * self.backoff_factor**attempt
+        if self.jitter > 0.0:
+            delay *= 1.0 + self.jitter * rng.random()
+        return delay
+
+    def should_hedge(self, is_write: bool, multiplier: float) -> bool:
+        return (
+            self.hedge_reads
+            and not is_write
+            and multiplier >= self.hedge_threshold
+        )
+
+
+#: the do-nothing policy: no retries, no timeout, no hedging — a fault
+#: plan with errors will raise on the first failed call
+NO_POLICY = ResiliencePolicy()

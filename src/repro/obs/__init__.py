@@ -194,6 +194,22 @@ class Observability:
                 track=res_track, cat=f"sim.{kind}",
             )
 
+    def add_fault_events(self, events: Iterable[object]) -> None:
+        """Place the fault injector's event log on its own ``faults``
+        track: one zero-length virtual span per injected fault or
+        resilience action (error, timeout, retry, hedge, outage,
+        degrade…), at the event's simulated timestamp.  ``events``
+        duck-types :class:`repro.faults.FaultEvent`."""
+        t = self.tracer
+        for ev in events:
+            t.add_virtual_span(
+                f"{ev.kind} io{ev.io_node}", ev.time_s, 0.0,
+                track="faults", cat=f"fault.{ev.kind}",
+                op_index=ev.op_index, io_node=ev.io_node,
+                node=ev.node, is_write=ev.is_write,
+                **({"detail": ev.detail} if ev.detail else {}),
+            )
+
     # -- export ------------------------------------------------------------
 
     def to_payload(self) -> dict[str, object]:

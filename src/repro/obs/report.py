@@ -276,6 +276,11 @@ def render_report(
             "cross-check vs folded IOStats: "
             + ("exact match" if match else f"MISMATCH (stats={stats})")
         )
+    if stats is not None and "retries" in stats:
+        # IOStats serializes its fault counters only when something
+        # fired, so this section appears exactly for fault-active runs
+        lines.append("")
+        lines.extend(_render_resilience(stats))
     if report.drift:
         lines.append("")
         lines.extend(_render_drift(report.drift, stats))
@@ -283,6 +288,21 @@ def render_report(
         lines.append("")
         lines.extend(_render_metrics(metrics))
     return "\n".join(lines)
+
+
+def _render_resilience(stats: Mapping[str, object]) -> list[str]:
+    """The fault/resilience summary.  Every number is read straight from
+    the folded :class:`~repro.runtime.stats.IOStats` dict, so the
+    section's totals match the stats by construction (the same exactness
+    contract as the call/element cross-check above)."""
+    return [
+        "resilience (repro.faults)",
+        f"  retries:        {stats.get('retries', 0)}",
+        f"  failed calls:   {stats.get('failed_calls', 0)}",
+        f"  hedged reads:   {stats.get('hedged_calls', 0)}",
+        f"  degraded nests: {stats.get('degraded_nests', 0)}",
+        f"  retry delay:    {float(stats.get('retry_delay_s', 0.0)):.6f}s",
+    ]
 
 
 def _render_drift(

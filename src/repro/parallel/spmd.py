@@ -24,6 +24,7 @@ from ..collective.sim import (
     simulate,
 )
 from ..engine.executor import NestRun, OOCExecutor, RunResult, nest_records
+from ..faults import FaultConfig, FaultInjector
 from ..obs import (
     NestIORecord,
     Observability,
@@ -63,6 +64,7 @@ def run_version_parallel(
     memory_per_node: int | None = None,
     collective: CollectiveConfig | None = None,
     obs: Observability | None = None,
+    faults: FaultConfig | None = None,
 ) -> ParallelRun:
     """Execute a version on ``n_nodes`` (simulate mode, no data).
 
@@ -84,6 +86,17 @@ def run_version_parallel(
     run's folded stats exactly, and — for event-simulated collective
     runs — records the simulated-time timeline.  ``None`` (default)
     records nothing and is bit-identical.
+
+    ``faults`` (a :class:`repro.faults.FaultConfig`) injects the plan's
+    faults with the policy's defenses: each rank's executor gets an
+    injector seeded ``plan.seed + rank`` for call-indexed faults
+    (transient errors, stragglers, retries, hedged reads); the event
+    simulator gets the time-indexed faults (latency windows, outages —
+    error draws stay on the accounting path, whose trace already
+    carries every re-issued attempt); and a two-phase nest whose
+    aggregator rank is in ``plan.failed_nodes`` is degraded to
+    independent I/O when ``policy.degrade_collective`` is set.
+    ``None`` (default) is bit-identical to the pre-fault behavior.
     """
     params = params or MachineParams()
     obs = obs_active(obs)
@@ -122,12 +135,19 @@ def run_version_parallel(
             pfs=pfs,
             node_slice=(rank, n_nodes) if n_nodes > 1 else None,
             trace=trace,
+            faults=faults,
         )
         results.append(ex.run())
         if span is not None:
             obs.tracer.end(span, calls=results[-1].stats.calls)
         if obs is not None:
             file_maps.append(ex.file_names())
+            if ex.injector is not None:
+                if obs.config.metrics:
+                    ex.injector.publish_counters(obs.metrics)
+                    ex.injector.publish_metrics(obs.metrics)
+                if ex.injector.events:
+                    obs.add_fault_events(ex.injector.events)
             if obs.config.per_array and rank == 0:
                 # the prediction is per-program, identical on every rank;
                 # the drift table compares it to the *summed* measured I/O
@@ -147,7 +167,7 @@ def run_version_parallel(
         return run
     return _collective_run(
         cfg.name, n_nodes, params, results, collective,
-        obs=obs, file_maps=file_maps,
+        obs=obs, file_maps=file_maps, faults=faults,
     )
 
 
@@ -186,6 +206,7 @@ def _collective_run(
     config: CollectiveConfig,
     obs: Observability | None = None,
     file_maps: list[dict[int, str]] | None = None,
+    faults: FaultConfig | None = None,
 ) -> ParallelRun:
     """Re-price a traced run nest by nest: keep the recorded independent
     accounting where independent wins, substitute the two-phase plan's
@@ -213,15 +234,36 @@ def _collective_run(
         two_phase = plan is not None and (
             config.mode == "always" or (config.mode == "auto" and plan.wins)
         )
+        # resilience degradation: two-phase funnels a nest's I/O through
+        # its aggregators, so a failed aggregator rank takes the whole
+        # exchange down — fall back to independent I/O for this nest
+        degraded = (
+            two_phase
+            and faults is not None
+            and faults.policy.degrade_collective
+            and any(
+                r in faults.plan.failed_nodes for r in plan.aggregators
+            )
+        )
+        if degraded:
+            two_phase = False
+            report.degraded.append(nest_name)
+            stats[0].degraded_nests += 1
+            if obs is not None and obs.config.metrics:
+                obs.metrics.counter("faults.degraded_nests").inc()
         if plan is not None:
             report.nest_plans.append(plan)
         report.chosen[nest_name] = two_phase
         if obs is not None:
+            # the degraded flag appears only when it fired, so traces
+            # recorded with faults=None stay byte-identical
+            extra = {"degraded": True} if degraded else {}
             obs.instant(
                 f"collective {nest_name}",
                 "collective",
                 two_phase=two_phase,
                 has_plan=plan is not None,
+                **extra,
             )
         if two_phase:
             _account_two_phase(params, plan, nrs, stats, loads, timelines)
@@ -235,7 +277,9 @@ def _collective_run(
                         params, [nr], names, node=rank, path="independent"
                     ):
                         obs.record_nest_io(rec)
-    if any(report.chosen.values()):
+    if any(report.chosen.values()) or report.degraded:
+        # degraded nests keep independent accounting but must surface
+        # the degraded_nests counter, so the rebuilt stats are used
         node_results = [
             dc_replace(r, stats=s, io_node_load=l)
             for r, s, l in zip(results, stats, loads)
@@ -252,8 +296,26 @@ def _collective_run(
                 events = []
             if obs.config.metrics:
                 reg = obs.metrics
-        sim = simulate(params, timelines, events=events, metrics=reg)
+        sim_inj: FaultInjector | None = None
+        if faults is not None:
+            # the sim applies only the plan's *time-indexed* faults
+            # (stragglers, latency windows, outages): call-indexed error
+            # draws already fired on the accounting path, and the traced
+            # timelines carry every re-issued attempt as its own op —
+            # drawing errors again here would double-inject them
+            sim_plan = dc_replace(
+                faults.plan,
+                read_error_rate=0.0,
+                write_error_rate=0.0,
+                error_ops=frozenset(),
+            )
+            sim_inj = FaultInjector(sim_plan, faults.policy)
+        sim = simulate(
+            params, timelines, events=events, metrics=reg, faults=sim_inj
+        )
         report.sim = sim
+        if sim_inj is not None and obs is not None and sim_inj.events:
+            obs.add_fault_events(sim_inj.events)
         time_s = sim.makespan_s
         if obs is not None:
             if events:
@@ -418,6 +480,7 @@ def _account_two_phase(
                 "io",
                 resource=io_node_of(params, o),
                 service_s=params.call_time(l * esz),
+                is_write=True,
             )
             for o, l in calls.get(True, [])
         ]

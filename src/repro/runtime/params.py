@@ -8,6 +8,7 @@ optimization.  All constants are parameters so benchmarks can sweep them.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 
@@ -52,10 +53,20 @@ class MachineParams:
             raise ValueError(
                 "I/O latency must be non-negative and bandwidth positive"
             )
-        if self.net_latency_s < 0 or self.net_bandwidth_bps <= 0:
+        # named interconnect checks: a NaN or infinite value silently
+        # poisons every downstream makespan, so reject it up front
+        if not math.isfinite(self.net_latency_s) or self.net_latency_s < 0:
             raise ValueError(
-                "interconnect latency must be non-negative and "
-                "bandwidth positive"
+                f"net_latency_s must be finite and non-negative, "
+                f"got {self.net_latency_s!r}"
+            )
+        if (
+            not math.isfinite(self.net_bandwidth_bps)
+            or self.net_bandwidth_bps <= 0
+        ):
+            raise ValueError(
+                f"net_bandwidth_bps must be finite and positive, "
+                f"got {self.net_bandwidth_bps!r}"
             )
         if self.sieve_gap_bytes < 0 or self.sieve_buffer_bytes < 0:
             raise ValueError("sieve gap/buffer sizes must be non-negative")

@@ -17,6 +17,7 @@ from .params import MachineParams
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cache → stats)
     from ..cache.metrics import CacheMetrics
+    from ..faults.injector import FaultInjector
     from ..obs.metrics import MetricsRegistry
 
 
@@ -95,6 +96,16 @@ class IOStats:
     redist_messages: int = 0
     redist_elements: int = 0
     redist_time_s: float = 0.0
+    #: resilience accounting (:mod:`repro.faults`): re-issued attempts,
+    #: failed attempts (errors + timeouts), hedged duplicate reads,
+    #: two-phase nests degraded to independent I/O, and total backoff
+    #: seconds.  All zero — and ``to_dict``/``__str__`` unchanged —
+    #: when no fault plan is active (``faults=None``).
+    retries: int = 0
+    failed_calls: int = 0
+    hedged_calls: int = 0
+    degraded_nests: int = 0
+    retry_delay_s: float = 0.0
 
     @property
     def calls(self) -> int:
@@ -105,8 +116,20 @@ class IOStats:
         return self.elements_read + self.elements_written
 
     @property
+    def has_faults(self) -> bool:
+        """Whether any resilience counter is nonzero (the run saw
+        injected faults, hedges or degradations)."""
+        return bool(
+            self.retries or self.failed_calls or self.hedged_calls
+            or self.degraded_nests or self.retry_delay_s
+        )
+
+    @property
     def total_time_s(self) -> float:
-        return self.io_time_s + self.redist_time_s + self.compute_time_s
+        return (
+            self.io_time_s + self.redist_time_s + self.compute_time_s
+            + self.retry_delay_s
+        )
 
     def merge(self, other: "IOStats") -> "IOStats":
         if self.cache is not None and other.cache is not None:
@@ -124,6 +147,11 @@ class IOStats:
             self.redist_messages + other.redist_messages,
             self.redist_elements + other.redist_elements,
             self.redist_time_s + other.redist_time_s,
+            self.retries + other.retries,
+            self.failed_calls + other.failed_calls,
+            self.hedged_calls + other.hedged_calls,
+            self.degraded_nests + other.degraded_nests,
+            self.retry_delay_s + other.retry_delay_s,
         )
 
     @classmethod
@@ -144,6 +172,11 @@ class IOStats:
             total.redist_messages += s.redist_messages
             total.redist_elements += s.redist_elements
             total.redist_time_s += s.redist_time_s
+            total.retries += s.retries
+            total.failed_calls += s.failed_calls
+            total.hedged_calls += s.hedged_calls
+            total.degraded_nests += s.degraded_nests
+            total.retry_delay_s += s.retry_delay_s
             if s.cache is not None:
                 total.cache = (
                     s.cache if total.cache is None
@@ -165,6 +198,15 @@ class IOStats:
             "redist_elements": self.redist_elements,
             "redist_time_s": self.redist_time_s,
         }
+        # fault counters appear only when something fired, so the
+        # serialized form (and every baseline JSON built from it) is
+        # byte-identical to pre-fault output when faults are off
+        if self.has_faults:
+            d["retries"] = self.retries
+            d["failed_calls"] = self.failed_calls
+            d["hedged_calls"] = self.hedged_calls
+            d["degraded_nests"] = self.degraded_nests
+            d["retry_delay_s"] = self.retry_delay_s
         if self.cache is not None:
             d["cache"] = self.cache.to_dict()
         return d
@@ -186,6 +228,11 @@ class IOStats:
             redist_messages=d.get("redist_messages", 0),
             redist_elements=d.get("redist_elements", 0),
             redist_time_s=d.get("redist_time_s", 0.0),
+            retries=d.get("retries", 0),
+            failed_calls=d.get("failed_calls", 0),
+            hedged_calls=d.get("hedged_calls", 0),
+            degraded_nests=d.get("degraded_nests", 0),
+            retry_delay_s=d.get("retry_delay_s", 0.0),
         )
 
     def __str__(self) -> str:
@@ -199,6 +246,13 @@ class IOStats:
                 f" redist[msgs={self.redist_messages} "
                 f"elements={self.redist_elements} "
                 f"t={self.redist_time_s:.3f}s]"
+            )
+        if self.has_faults:
+            base += (
+                f" faults[retries={self.retries} "
+                f"failed={self.failed_calls} hedged={self.hedged_calls} "
+                f"degraded={self.degraded_nests} "
+                f"delay={self.retry_delay_s:.3f}s]"
             )
         if self.cache is not None:
             base += f" {self.cache}"
@@ -219,6 +273,7 @@ class IOContext:
         node_id: int = 0,
         trace: bool = False,
         metrics: "MetricsRegistry | None" = None,
+        faults: "FaultInjector | None" = None,
     ):
         self.params = params
         self.node_id = node_id
@@ -233,6 +288,11 @@ class IOContext:
         #: ``None`` (the default) records nothing — accounting is
         #: bit-identical with observability off
         self.metrics = metrics
+        #: optional :class:`repro.faults.FaultInjector`: every planned
+        #: I/O call is priced through it (stragglers, transient errors,
+        #: retries, hedging).  ``None`` (the default) takes the
+        #: vectorized path — accounting is bit-identical without faults
+        self.faults = faults
 
     def _publish_calls(self, n_calls: int, n_elems: int, is_write: bool) -> None:
         m = self.metrics
@@ -289,6 +349,10 @@ class IOContext:
         offsets, lengths = plan_runs(p, offsets, lengths)
         if offsets.size == 0:
             return 0
+        if self.faults is not None:
+            return self._record_runs_faulty(
+                file_base_elem, offsets, lengths, is_write
+            )
 
         n_calls = int(offsets.size)
         n_elems = int(lengths.sum())
@@ -335,6 +399,80 @@ class IOContext:
                 (s1 - s0) * (p.element_size / p.io_bandwidth_bps),
             )
         return n_calls
+
+    def _record_runs_faulty(
+        self,
+        file_base_elem: int,
+        offsets: np.ndarray,
+        lengths: np.ndarray,
+        is_write: bool,
+    ) -> int:
+        """Per-call accounting through the fault injector.
+
+        Every *attempt* (including failed ones and hedged duplicates) is
+        a full accounted call — the transfer ran even when the call then
+        failed — so call/element counters, the trace and the per-nest
+        records stay mutually exact under faults.  Each attempt's serial
+        seconds are charged to its servicing I/O node (a hedged
+        duplicate's nominal service goes to the replica node).  A call
+        that exhausts its retry budget is accounted, then raises
+        :class:`~repro.faults.TransientIOError`.
+        """
+        p = self.params
+        inj = self.faults
+        se = p.stripe_elements
+        s = self.stats
+        total_calls = 0
+        for off, ln in zip(offsets, lengths):
+            off, ln = int(off), int(ln)
+            nominal_s = p.call_time(ln * p.element_size)
+            io_node = ((file_base_elem + off) // se) % p.n_io_nodes
+            out = inj.serial_call(
+                io_node, is_write, nominal_s,
+                n_io_nodes=p.n_io_nodes, at_s=s.io_time_s,
+            )
+            calls = out.attempts + (1 if out.hedged else 0)
+            total_calls += calls
+            if is_write:
+                s.write_calls += calls
+                s.elements_written += ln * calls
+            else:
+                s.read_calls += calls
+                s.elements_read += ln * calls
+            s.io_time_s += out.io_time_s
+            s.retries += out.retries
+            s.failed_calls += out.failed_attempts
+            s.retry_delay_s += out.retry_delay_s
+            self.io_node_load[io_node] += out.io_time_s
+            if out.hedged:
+                s.hedged_calls += 1
+                self.io_node_load[out.hedge_node] += nominal_s
+            if self.metrics is not None:
+                self._publish_calls(calls, ln * calls, is_write)
+                h = self.metrics.histogram("io.call_elements")
+                for _ in range(calls):
+                    h.observe(ln)
+                self._publish_faults(out)
+            if self.trace is not None:
+                self.trace.extend(
+                    (file_base_elem, off, ln, is_write) for _ in range(calls)
+                )
+            if out.gave_up:
+                inj.raise_exhausted(out, io_node)
+        return total_calls
+
+    def _publish_faults(self, out) -> None:
+        m = self.metrics
+        if out.failed_attempts:
+            m.counter("faults.injected").inc(out.failed_attempts)
+        if out.retries:
+            m.counter("faults.retries").inc(out.retries)
+        if out.hedged:
+            m.counter("faults.hedged_calls").inc()
+        if out.retry_delay_s > 0.0:
+            m.histogram("faults.retry_delay_us").observe(
+                out.retry_delay_s * 1e6
+            )
 
     def record_compute(self, n_iterations: int, ops_per_iteration: int = 1) -> None:
         self.stats.compute_time_s += (

@@ -1,0 +1,174 @@
+"""FaultInjector unit semantics: the serial pricing path and the event
+records, independent of the executor."""
+
+import pytest
+
+from repro.faults import (
+    FaultConfig,
+    FaultInjector,
+    FaultPlan,
+    ResiliencePolicy,
+    TransientIOError,
+)
+
+N_IO = 4
+
+
+def _call(inj, io_node=0, is_write=False, service_s=1.0):
+    return inj.serial_call(
+        io_node, is_write, service_s, n_io_nodes=N_IO, at_s=0.0
+    )
+
+
+class TestSerialCall:
+    def test_nominal_call_untouched(self):
+        inj = FaultInjector(FaultPlan(seed=1))
+        out = _call(inj)
+        assert out.attempts == 1 and out.failed_attempts == 0
+        assert out.io_time_s == pytest.approx(1.0)
+        assert out.retry_delay_s == 0.0
+        assert not out.hedged and not out.gave_up
+        assert inj.events == []
+
+    def test_straggler_multiplies_service(self):
+        inj = FaultInjector(FaultPlan(stragglers={2: 4.0}))
+        assert _call(inj, io_node=2).io_time_s == pytest.approx(4.0)
+        assert _call(inj, io_node=1).io_time_s == pytest.approx(1.0)
+
+    def test_scheduled_error_then_retry(self):
+        pol = ResiliencePolicy(max_retries=2, backoff_base_s=0.5)
+        inj = FaultInjector(FaultPlan(error_ops={0}), pol)
+        out = _call(inj)
+        assert out.attempts == 2 and out.failed_attempts == 1
+        assert out.retries == 1
+        assert out.io_time_s == pytest.approx(2.0)   # both attempts ran
+        assert out.retry_delay_s == pytest.approx(0.5)
+        assert [e.kind for e in inj.events] == ["error", "retry"]
+
+    def test_retry_budget_exhausted_gives_up(self):
+        # ops 0..2 fail deterministically; max_retries=1 allows 2 attempts
+        inj = FaultInjector(
+            FaultPlan(error_ops={0, 1, 2}), ResiliencePolicy(max_retries=1)
+        )
+        out = _call(inj)
+        assert out.gave_up and out.attempts == 2
+        assert inj.events[-1].kind == "gave_up"
+        with pytest.raises(TransientIOError) as ei:
+            inj.raise_exhausted(out, io_node=0)
+        assert ei.value.attempts == 2
+        assert ei.value.io_node == 0
+
+    def test_timeout_counts_as_failure_and_caps_attempt(self):
+        pol = ResiliencePolicy(max_retries=0, timeout_s=0.25)
+        inj = FaultInjector(FaultPlan(stragglers={0: 8.0}), pol)
+        out = _call(inj, io_node=0, service_s=0.1)   # 0.8s > timeout
+        assert out.gave_up
+        assert out.io_time_s == pytest.approx(0.25)  # abandoned at timeout
+        assert inj.events[0].kind == "timeout"
+
+    def test_hedged_read_waits_nominal_service(self):
+        pol = ResiliencePolicy(hedge_reads=True, hedge_threshold=2.0)
+        inj = FaultInjector(FaultPlan(stragglers={3: 8.0}), pol)
+        out = _call(inj, io_node=3, service_s=0.5)
+        assert out.hedged and out.hedge_node == 0    # (3 + 1) % 4
+        assert out.io_time_s == pytest.approx(0.5)   # replica's nominal time
+        assert inj.hedged_calls == 1
+        assert [e.kind for e in inj.events] == ["hedge"]
+        # a write on the same straggler is never hedged
+        out_w = _call(inj, io_node=3, is_write=True, service_s=0.5)
+        assert not out_w.hedged
+        assert out_w.io_time_s == pytest.approx(4.0)
+
+    def test_probabilistic_draws_deterministic_per_seed(self):
+        plan = FaultPlan(seed=13, read_error_rate=0.3)
+        pol = ResiliencePolicy(max_retries=10)
+
+        def trace(rank):
+            inj = FaultInjector(plan, pol, rank=rank)
+            return [_call(inj).attempts for _ in range(50)]
+
+        assert trace(0) == trace(0)                  # reproducible
+        assert trace(0) != trace(1)                  # per-rank streams
+        assert any(a > 1 for a in trace(0))          # errors actually fire
+
+    def test_rate_zero_never_draws_rng(self):
+        # the RNG must not advance on fault-free calls, so adding calls
+        # before a scheduled op cannot shift later probabilistic draws
+        inj = FaultInjector(FaultPlan(seed=5))
+        state = inj._rng.getstate()
+        for _ in range(10):
+            _call(inj)
+        assert inj._rng.getstate() == state
+
+    def test_op_index_counts_attempts(self):
+        inj = FaultInjector(
+            FaultPlan(error_ops={1}), ResiliencePolicy(max_retries=1)
+        )
+        _call(inj)            # op 0: clean
+        out = _call(inj)      # ops 1 (fails) + 2 (retry)
+        assert out.attempts == 2
+        assert inj.op_index == 3
+
+
+class TestSimHooks:
+    def test_sim_defer_and_events(self):
+        from repro.faults import Outage
+
+        inj = FaultInjector(FaultPlan(outages=(Outage(0, 1.0, 2.0),)))
+        assert inj.sim_defer(0, 1.5) == pytest.approx(2.0)
+        assert inj.sim_defer(0, 0.5) == pytest.approx(0.5)
+        assert inj.sim_defer(1, 1.5) == pytest.approx(1.5)
+        assert [e.kind for e in inj.events] == ["outage"]
+
+    def test_sim_error_counts(self):
+        inj = FaultInjector(FaultPlan(error_ops={0}))
+        assert inj.sim_error(2, False, 0.0) is True
+        assert inj.sim_error(2, False, 0.0) is False
+        assert inj.injected == 1
+        assert inj.events[0].kind == "error" and inj.events[0].io_node == 2
+
+    def test_sim_give_up_raises(self):
+        inj = FaultInjector(FaultPlan(), ResiliencePolicy(max_retries=1))
+        with pytest.raises(TransientIOError):
+            inj.sim_give_up(3, False, 1.0, attempts=2)
+        assert inj.events[-1].kind == "gave_up"
+
+    def test_sim_retry_delay_accumulates(self):
+        inj = FaultInjector(
+            FaultPlan(), ResiliencePolicy(max_retries=2, backoff_base_s=0.1)
+        )
+        d1 = inj.sim_retry_delay(1, 0.0)
+        d2 = inj.sim_retry_delay(2, 1.0)
+        assert (d1, d2) == (pytest.approx(0.1), pytest.approx(0.2))
+        assert inj.retries == 2
+        assert inj.retry_delay_s == pytest.approx(0.3)
+
+
+class TestConfigAndMetrics:
+    def test_config_builds_rank_seeded_injectors(self):
+        cfg = FaultConfig(FaultPlan(seed=9, read_error_rate=0.5))
+        a, b = cfg.injector(0), cfg.injector(1)
+        assert a.rank == 0 and b.rank == 1
+        assert a.plan is cfg.plan and a.policy is cfg.policy
+
+    def test_publish_metrics(self):
+        from repro.obs import MetricsRegistry
+
+        inj = FaultInjector(
+            FaultPlan(error_ops={0}), ResiliencePolicy(max_retries=1),
+            rank=2,
+        )
+        _call(inj)
+        reg = MetricsRegistry()
+        inj.publish_metrics(reg)
+        assert reg.gauge("faults.injected", rank=2).value == 1
+        assert reg.gauge("faults.retries", rank=2).value == 1
+
+    def test_record_events_off(self):
+        inj = FaultInjector(
+            FaultPlan(error_ops={0}), ResiliencePolicy(max_retries=1),
+            record_events=False,
+        )
+        out = _call(inj)
+        assert out.retries == 1
+        assert inj.events is None

@@ -1,0 +1,131 @@
+"""FaultPlan / ResiliencePolicy validation and query semantics."""
+
+import random
+
+import pytest
+
+from repro.faults import (
+    FaultConfigError,
+    FaultPlan,
+    LatencyWindow,
+    NO_POLICY,
+    Outage,
+    ResiliencePolicy,
+)
+
+
+class TestPlanValidation:
+    @pytest.mark.parametrize("bad", [-0.1, 1.1, float("nan"), float("inf")])
+    def test_error_rates(self, bad):
+        with pytest.raises(FaultConfigError, match="read_error_rate"):
+            FaultPlan(read_error_rate=bad)
+        with pytest.raises(FaultConfigError, match="write_error_rate"):
+            FaultPlan(write_error_rate=bad)
+
+    @pytest.mark.parametrize("bad", [0.5, 0.0, -2.0, float("nan"), float("inf")])
+    def test_straggler_multiplier(self, bad):
+        with pytest.raises(FaultConfigError, match="straggler multiplier"):
+            FaultPlan(stragglers={0: bad})
+
+    def test_negative_indices(self):
+        with pytest.raises(FaultConfigError, match="io_node"):
+            FaultPlan(stragglers={-1: 2.0})
+        with pytest.raises(FaultConfigError, match="error_ops"):
+            FaultPlan(error_ops={-3})
+        with pytest.raises(FaultConfigError, match="failed_nodes"):
+            FaultPlan(failed_nodes={-1})
+
+    @pytest.mark.parametrize("bad", [0.5, float("nan")])
+    def test_window_multiplier(self, bad):
+        with pytest.raises(FaultConfigError, match="multiplier"):
+            LatencyWindow(0, 0.0, 1.0, bad)
+
+    def test_window_interval(self):
+        with pytest.raises(FaultConfigError, match="start_s < end_s"):
+            LatencyWindow(0, 2.0, 1.0, 2.0)
+        with pytest.raises(FaultConfigError, match="start_s < end_s"):
+            Outage(0, -1.0, 1.0)
+        with pytest.raises(FaultConfigError, match="finite"):
+            Outage(0, 0.0, float("inf"))
+
+    def test_valid_plan_is_frozen_and_normalized(self):
+        plan = FaultPlan(
+            seed=3, read_error_rate=0.1, error_ops=[1, 2, 2],
+            stragglers={1: 4.0}, failed_nodes=[0],
+        )
+        assert plan.error_ops == frozenset({1, 2})
+        assert plan.failed_nodes == frozenset({0})
+        assert plan.has_errors
+        with pytest.raises(AttributeError):
+            plan.seed = 4
+
+
+class TestPolicyValidation:
+    def test_bad_values(self):
+        with pytest.raises(FaultConfigError, match="max_retries"):
+            ResiliencePolicy(max_retries=-1)
+        with pytest.raises(FaultConfigError, match="backoff_base_s"):
+            ResiliencePolicy(backoff_base_s=-1.0)
+        with pytest.raises(FaultConfigError, match="backoff_factor"):
+            ResiliencePolicy(backoff_factor=0.5)
+        with pytest.raises(FaultConfigError, match="jitter"):
+            ResiliencePolicy(jitter=1.5)
+        with pytest.raises(FaultConfigError, match="timeout_s"):
+            ResiliencePolicy(timeout_s=0.0)
+        with pytest.raises(FaultConfigError, match="timeout_s"):
+            ResiliencePolicy(timeout_s=float("nan"))
+        with pytest.raises(FaultConfigError, match="hedge_threshold"):
+            ResiliencePolicy(hedge_threshold=0.9)
+
+    def test_backoff_progression(self):
+        pol = ResiliencePolicy(
+            max_retries=3, backoff_base_s=0.1, backoff_factor=2.0
+        )
+        rng = random.Random(0)
+        assert pol.backoff_delay(0, rng) == pytest.approx(0.1)
+        assert pol.backoff_delay(1, rng) == pytest.approx(0.2)
+        assert pol.backoff_delay(2, rng) == pytest.approx(0.4)
+
+    def test_jitter_bounded_and_seeded(self):
+        pol = ResiliencePolicy(backoff_base_s=0.1, jitter=0.5)
+        a = [pol.backoff_delay(0, random.Random(7)) for _ in range(3)]
+        assert a[0] == a[1] == a[2]          # same seed, same delay
+        assert 0.1 <= a[0] <= 0.15           # within the jitter band
+
+    def test_hedging_rules(self):
+        pol = ResiliencePolicy(hedge_reads=True, hedge_threshold=2.0)
+        assert pol.should_hedge(False, 2.0)
+        assert not pol.should_hedge(False, 1.5)   # below threshold
+        assert not pol.should_hedge(True, 8.0)    # writes never hedge
+        assert not NO_POLICY.should_hedge(False, 8.0)
+
+
+class TestPlanQueries:
+    def test_rng_streams_independent_and_reproducible(self):
+        plan = FaultPlan(seed=11)
+        assert plan.rng(0).random() == plan.rng(0).random()
+        assert plan.rng(0).random() != plan.rng(1).random()
+
+    def test_multiplier_at_combines_windows(self):
+        plan = FaultPlan(
+            stragglers={0: 2.0},
+            latency_windows=(
+                LatencyWindow(0, 1.0, 2.0, 3.0),
+                LatencyWindow(1, 0.0, 10.0, 5.0),
+            ),
+        )
+        assert plan.multiplier_at(0, 0.5) == pytest.approx(2.0)
+        assert plan.multiplier_at(0, 1.5) == pytest.approx(6.0)
+        assert plan.multiplier_at(1, 5.0) == pytest.approx(5.0)
+        # no timestamp (serial path): windows do not apply
+        assert plan.multiplier_at(0) == pytest.approx(2.0)
+        assert plan.multiplier_at(0, None) == pytest.approx(2.0)
+
+    def test_outage_end_chains_intervals(self):
+        plan = FaultPlan(
+            outages=(Outage(0, 1.0, 2.0), Outage(0, 2.0, 3.0), Outage(1, 0.0, 9.0))
+        )
+        assert plan.outage_end(0, 0.5) == pytest.approx(0.5)   # before
+        assert plan.outage_end(0, 1.5) == pytest.approx(3.0)   # chained
+        assert plan.outage_end(0, 3.0) == pytest.approx(3.0)   # end-exclusive
+        assert plan.outage_end(2, 1.0) == pytest.approx(1.0)   # other node

@@ -1,0 +1,186 @@
+"""Event-simulator fault semantics and determinism (satellite of the
+repro.faults subsystem): same seed + plan => identical event lists,
+different seeds => different injections; outages defer, windows
+multiply, failed requests retry after backoff."""
+
+import pytest
+
+from repro.collective.sim import NodeTimeline, SimOp, simulate
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    LatencyWindow,
+    Outage,
+    ResiliencePolicy,
+    TransientIOError,
+)
+from repro.runtime import MachineParams
+
+PARAMS = MachineParams(n_io_nodes=2)
+
+
+def _timelines(n_nodes=2, n_ops=8, service_s=1.0):
+    """n_nodes nodes alternating compute and io over both I/O nodes."""
+    tls = []
+    for node in range(n_nodes):
+        ops = []
+        for k in range(n_ops):
+            ops.append(SimOp("compute", duration_s=0.25))
+            ops.append(
+                SimOp(
+                    "io",
+                    resource=(node + k) % PARAMS.n_io_nodes,
+                    service_s=service_s,
+                    is_write=k % 2 == 1,
+                )
+            )
+        tls.append(NodeTimeline(node, ops))
+    return tls
+
+
+def _run(plan, policy=None, seed_events=True):
+    inj = FaultInjector(plan, policy, record_events=seed_events)
+    events = []
+    res = simulate(PARAMS, _timelines(), events=events, faults=inj)
+    return res, events, inj
+
+
+class TestDeterminism:
+    def test_same_seed_same_events(self):
+        plan = FaultPlan(
+            seed=21,
+            read_error_rate=0.2,
+            write_error_rate=0.1,
+            stragglers={0: 2.0},
+            latency_windows=(LatencyWindow(1, 2.0, 5.0, 3.0),),
+            outages=(Outage(0, 1.0, 2.5),),
+        )
+        pol = ResiliencePolicy(max_retries=8, backoff_base_s=0.05)
+        r1, e1, i1 = _run(plan, pol)
+        r2, e2, i2 = _run(plan, pol)
+        assert e1 == e2                       # SimEvent is a frozen dataclass
+        assert [
+            (f.kind, f.op_index, f.io_node, f.time_s) for f in i1.events
+        ] == [
+            (f.kind, f.op_index, f.io_node, f.time_s) for f in i2.events
+        ]
+        assert r1.makespan_s == r2.makespan_s
+        assert (r1.faults_injected, r1.fault_retries, r1.fault_retry_delay_s) \
+            == (r2.faults_injected, r2.fault_retries, r2.fault_retry_delay_s)
+        assert r1.faults_injected > 0         # the scenario actually fires
+
+    @pytest.mark.parametrize("other_seed", [1, 2, 3])
+    def test_different_seeds_differ(self, other_seed):
+        pol = ResiliencePolicy(max_retries=16, backoff_base_s=0.05)
+
+        def fingerprint(seed):
+            plan = FaultPlan(seed=seed, read_error_rate=0.4,
+                             write_error_rate=0.4)
+            res, events, inj = _run(plan, pol)
+            return (res.faults_injected,
+                    [f.op_index for f in inj.events if f.kind == "error"])
+
+        assert fingerprint(0) != fingerprint(other_seed)
+
+    def test_empty_plan_matches_no_injector(self):
+        base = simulate(PARAMS, _timelines())
+        res, events, inj = _run(FaultPlan(seed=4))
+        assert res.makespan_s == base.makespan_s
+        assert list(res.io_busy_s) == list(base.io_busy_s)
+        assert res.node_finish_s == base.node_finish_s
+        assert (res.faults_injected, res.fault_retries) == (0, 0)
+        assert inj.events == []
+
+    def test_faults_none_unchanged_across_runs(self):
+        a = simulate(PARAMS, _timelines())
+        b = simulate(PARAMS, _timelines())
+        assert a.makespan_s == b.makespan_s
+        assert a.n_events == b.n_events
+        assert (a.faults_injected, a.fault_retries, a.fault_retry_delay_s) \
+            == (0, 0, 0.0)
+
+
+class TestTimeIndexedFaults:
+    def test_outage_defers_start(self):
+        tl = [NodeTimeline(0, [SimOp("io", resource=0, service_s=1.0)])]
+        inj = FaultInjector(FaultPlan(outages=(Outage(0, 0.0, 5.0),)))
+        events = []
+        res = simulate(PARAMS, tl, events=events, faults=inj)
+        assert events[0].start_s == pytest.approx(5.0)
+        assert res.makespan_s == pytest.approx(6.0)
+        assert res.waited_requests == 1
+        assert inj.events[0].kind == "outage"
+
+    def test_window_multiplies_service(self):
+        tl = [NodeTimeline(0, [SimOp("io", resource=1, service_s=1.0)])]
+        inj = FaultInjector(
+            FaultPlan(latency_windows=(LatencyWindow(1, 0.0, 10.0, 4.0),))
+        )
+        res = simulate(PARAMS, tl, events=None, faults=inj)
+        assert res.makespan_s == pytest.approx(4.0)
+        assert res.io_busy_s[1] == pytest.approx(4.0)
+
+    def test_window_outside_start_inert(self):
+        tl = [NodeTimeline(0, [SimOp("io", resource=1, service_s=1.0)])]
+        inj = FaultInjector(
+            FaultPlan(latency_windows=(LatencyWindow(1, 5.0, 10.0, 4.0),))
+        )
+        res = simulate(PARAMS, tl, faults=inj)
+        assert res.makespan_s == pytest.approx(1.0)
+
+
+class TestSimRetries:
+    def test_scheduled_error_retries_and_extends_makespan(self):
+        tl = [NodeTimeline(0, [SimOp("io", resource=0, service_s=1.0)])]
+        pol = ResiliencePolicy(max_retries=2, backoff_base_s=0.5)
+        inj = FaultInjector(FaultPlan(error_ops={0}), pol)
+        events = []
+        res = simulate(PARAMS, tl, events=events, faults=inj)
+        # attempt 0 fails at t=1, backoff 0.5, attempt at t=1.5 succeeds
+        assert res.makespan_s == pytest.approx(2.5)
+        assert res.fault_retries == 1
+        assert res.fault_retry_delay_s == pytest.approx(0.5)
+        assert res.io_busy_s[0] == pytest.approx(2.0)  # both attempts served
+        assert events[0].end_s == pytest.approx(2.5)
+        assert [f.kind for f in inj.events] == ["error", "retry"]
+
+    def test_retry_budget_exhausted_raises(self):
+        tl = [NodeTimeline(0, [SimOp("io", resource=0, service_s=1.0)])]
+        inj = FaultInjector(
+            FaultPlan(error_ops={0, 1}), ResiliencePolicy(max_retries=1)
+        )
+        with pytest.raises(TransientIOError) as ei:
+            simulate(PARAMS, tl, faults=inj)
+        assert ei.value.io_node == 0
+        assert ei.value.attempts == 2
+        assert inj.events[-1].kind == "gave_up"
+
+    def test_no_policy_dies_on_first_error(self):
+        tl = [NodeTimeline(0, [SimOp("io", resource=1, service_s=1.0)])]
+        inj = FaultInjector(FaultPlan(error_ops={0}))
+        with pytest.raises(TransientIOError):
+            simulate(PARAMS, tl, faults=inj)
+
+    def test_retry_queues_behind_other_traffic(self):
+        # node 1's request lands between node 0's failed attempt and its
+        # retry: FIFO order puts the retry after it
+        tl = [
+            NodeTimeline(0, [SimOp("io", resource=0, service_s=1.0)]),
+            NodeTimeline(
+                1,
+                [
+                    SimOp("compute", duration_s=0.5),
+                    SimOp("io", resource=0, service_s=1.0),
+                ],
+            ),
+        ]
+        pol = ResiliencePolicy(max_retries=1, backoff_base_s=0.5)
+        inj = FaultInjector(FaultPlan(error_ops={0}), pol)
+        res = simulate(PARAMS, tl, faults=inj)
+        # node0: attempt [0,1] fails, backoff to 1.5; node1 queued at
+        # arrival 0.5 starts when the I/O node frees... the retry waits
+        # for io_free, so the schedule stays consistent either way —
+        # just assert both nodes finish and totals add up
+        assert res.fault_retries == 1
+        assert res.io_busy_s[0] == pytest.approx(3.0)   # 2 attempts + node1
+        assert res.makespan_s >= 2.5

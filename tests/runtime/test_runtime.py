@@ -34,6 +34,26 @@ class TestParams:
         with pytest.raises(ValueError):
             MachineParams(max_request_bytes=4)
 
+    @pytest.mark.parametrize(
+        "bad", [float("nan"), float("inf"), -float("inf"), -1.0]
+    )
+    def test_net_latency_rejected_named(self, bad):
+        with pytest.raises(ValueError, match="net_latency_s"):
+            MachineParams(net_latency_s=bad)
+
+    @pytest.mark.parametrize(
+        "bad", [float("nan"), float("inf"), -float("inf"), -1.0, 0.0]
+    )
+    def test_net_bandwidth_rejected_named(self, bad):
+        with pytest.raises(ValueError, match="net_bandwidth_bps"):
+            MachineParams(net_bandwidth_bps=bad)
+
+    def test_net_edge_values_accepted(self):
+        # zero latency is legal (an ideal interconnect); the names in
+        # the error messages are what the tests above pin
+        p = MachineParams(net_latency_s=0.0, net_bandwidth_bps=1.0)
+        assert p.net_time(8) == pytest.approx(8.0)
+
     def test_call_time(self):
         p = MachineParams(io_latency_s=0.01, io_bandwidth_bps=1e6)
         assert p.call_time(1e6) == pytest.approx(1.01)
