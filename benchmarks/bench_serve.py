@@ -1,0 +1,253 @@
+"""Multi-tenant serving sweep: tenant count x fairness policy, plus the
+shared-cache repeat-workload scenario.
+
+Two findings, both asserted:
+
+- **Weighted-fair queueing defeats head-of-line blocking.**  One tenant
+  bursts several jobs at t=0 while every other tenant submits a single
+  job just after.  FIFO serves the whole burst first, so the victims'
+  queue delay grows with the burst; WFQ charges the burster's virtual
+  time after its first job and admits each victim next, cutting the
+  worst victim's max queue delay at every tenant count.
+- **The shared tile cache turns repeat jobs into hits.**  Re-running an
+  identical workload under a cache budget serves later repetitions'
+  clean read tiles from memory: hits and saved I/O time are positive,
+  the makespan drops below the uncached serve, and the *accounting*
+  (folded ``IOStats``) stays bit-identical — the cache prices served
+  time only.
+
+Everything is seeded and bit-deterministic (the sweep asserts equal
+schedule signatures across two runs), so the ``--json`` envelope is
+regression-gated like every other benchmark; outside ``--smoke`` the
+sweep also writes ``BENCH_serve.json`` at the repo root.
+"""
+
+import json
+import pathlib
+
+from conftest import run_once
+
+from repro.serve import (
+    ClusterProfile,
+    JobSpec,
+    ServePolicy,
+    TenantConfig,
+    WorkloadScript,
+    serve_script,
+)
+
+SWEEP_N = 24
+SMOKE_N = 16
+
+WORKLOAD = "trans"
+SEED = 7
+
+#: jobs the bursting tenant t0 floods in at t=0
+BURST_JOBS = 4
+SMOKE_BURST_JOBS = 3
+
+TENANT_GRID = (2, 3, 4)
+SMOKE_TENANT_GRID = (3,)
+
+POLICY_GRID = ("fifo", "wfq")
+
+CACHE_REPEATS = 4
+CACHE_BUDGET = 8192
+
+ARTIFACT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+#: sections accumulated across this module's tests, written as one
+#: artifact by whichever full-size test finishes last
+_SECTIONS: dict = {}
+
+
+def burst_scenario(n_tenants, fairness, *, n, burst):
+    """Tenant t0 bursts ``burst`` jobs at t=0; every other tenant
+    submits one job at t=0.001, onto a single compute node."""
+    profile = ClusterProfile(
+        n_compute_nodes=1,
+        tenants=tuple(TenantConfig(f"t{i}") for i in range(n_tenants)),
+    )
+    jobs = [JobSpec("t0", WORKLOAD, n=n) for _ in range(burst)]
+    jobs += [
+        JobSpec(f"t{i}", WORKLOAD, n=n, arrival_s=0.001)
+        for i in range(1, n_tenants)
+    ]
+    script = WorkloadScript(seed=SEED, jobs=tuple(jobs))
+    return profile, script, ServePolicy(fairness=fairness)
+
+
+def _victim_max_delay(result):
+    """Worst max queue delay over the non-bursting tenants."""
+    return max(
+        t.max_queue_delay_s
+        for name, t in result.tenants.items()
+        if name != "t0"
+    )
+
+
+def _row(result):
+    s = result.total_stats
+    return {
+        "makespan_s": result.makespan_s,
+        "victim_max_delay_s": _victim_max_delay(result),
+        "waited_requests": result.waited_requests,
+        "wait_time_s": result.wait_time_s,
+        "calls": s.calls,
+        "tenants": {
+            name: {
+                "completed": t.completed,
+                "queue_delay_s": t.queue_delay_s,
+                "max_queue_delay_s": t.max_queue_delay_s,
+            }
+            for name, t in sorted(result.tenants.items())
+        },
+    }
+
+
+def test_serve_fairness_sweep(benchmark, smoke, json_out):
+    n = SMOKE_N if smoke else SWEEP_N
+    burst = SMOKE_BURST_JOBS if smoke else BURST_JOBS
+    tenant_grid = SMOKE_TENANT_GRID if smoke else TENANT_GRID
+
+    def sweep():
+        rows = {}
+        for n_tenants in tenant_grid:
+            for fairness in POLICY_GRID:
+                result = serve_script(
+                    *burst_scenario(n_tenants, fairness, n=n, burst=burst)
+                )
+                rows[(n_tenants, fairness)] = _row(result)
+        # determinism: the largest WFQ config replayed twice must yield
+        # an identical schedule signature
+        big = tenant_grid[-1]
+        r1 = serve_script(*burst_scenario(big, "wfq", n=n, burst=burst))
+        r2 = serve_script(*burst_scenario(big, "wfq", n=n, burst=burst))
+        assert r1.signature() == r2.signature(), "serve is not deterministic"
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    json_out(
+        "serve_fairness_sweep",
+        {"rows": {f"{t}x{p}": r for (t, p), r in sorted(rows.items())}},
+        n=n, workload=WORKLOAD, seed=SEED, burst_jobs=burst,
+        tenant_grid=tenant_grid, policies=POLICY_GRID,
+    )
+
+    print()
+    print("  tenants policy | makespan  victim max delay   waited")
+    for (n_tenants, fairness), r in sorted(rows.items()):
+        print(
+            f"  {n_tenants:7d} {fairness:6s} | {r['makespan_s']:8.3f}"
+            f" {r['victim_max_delay_s']:17.3f} {r['waited_requests']:8d}"
+        )
+
+    for n_tenants in tenant_grid:
+        fifo = rows[(n_tenants, "fifo")]
+        wfq = rows[(n_tenants, "wfq")]
+        # every job completes under both policies
+        for r in (fifo, wfq):
+            assert all(
+                t["completed"] >= 1 for t in r["tenants"].values()
+            ), f"a tenant finished no jobs ({n_tenants} tenants): {r}"
+        # WFQ must cut the worst victim's max queue delay vs FIFO's
+        # head-of-line blocking — the point of the fairness policy
+        assert wfq["victim_max_delay_s"] < fifo["victim_max_delay_s"], (
+            f"WFQ did not beat FIFO head-of-line blocking at "
+            f"{n_tenants} tenants: wfq={wfq['victim_max_delay_s']:.3f}s "
+            f"fifo={fifo['victim_max_delay_s']:.3f}s"
+        )
+        # identical work either way: same folded call count
+        assert wfq["calls"] == fifo["calls"]
+
+    if not smoke:
+        _SECTIONS["fairness_sweep"] = {
+            "n": n, "burst_jobs": burst,
+            "rows": [
+                {"tenants": t, "policy": p, **r}
+                for (t, p), r in sorted(rows.items())
+            ],
+        }
+        _write_artifact()
+
+
+def cache_scenario(budget, *, n):
+    """One tenant re-running the identical workload ``CACHE_REPEATS``
+    times back to back on one node."""
+    profile = ClusterProfile(
+        n_compute_nodes=1,
+        tenants=(
+            TenantConfig("solo", cache_quota_elements=budget // 2),
+        ) if budget else (TenantConfig("solo"),),
+        cache_budget_elements=budget,
+    )
+    script = WorkloadScript(
+        seed=SEED,
+        jobs=tuple(
+            JobSpec("solo", WORKLOAD, n=n) for _ in range(CACHE_REPEATS)
+        ),
+    )
+    return profile, script, ServePolicy()
+
+
+def test_serve_shared_cache(benchmark, smoke, json_out):
+    n = SMOKE_N if smoke else SWEEP_N
+
+    def measure():
+        cold = serve_script(*cache_scenario(0, n=n))
+        warm = serve_script(*cache_scenario(CACHE_BUDGET, n=n))
+        return cold, warm
+
+    cold, warm = run_once(benchmark, measure)
+    cache = warm.cache.summary_dict()
+    payload = {
+        "uncached": {"makespan_s": cold.makespan_s},
+        "cached": {
+            "makespan_s": warm.makespan_s,
+            "hits": cache["hits"],
+            "misses": cache["misses"],
+            "evictions": cache["evictions"],
+            "saved_io_s": cache["saved_io_s"],
+        },
+        "speedup_x": cold.makespan_s / warm.makespan_s,
+    }
+    json_out(
+        "serve_shared_cache", payload,
+        n=n, workload=WORKLOAD, seed=SEED,
+        repeats=CACHE_REPEATS, cache_budget=CACHE_BUDGET,
+    )
+
+    print()
+    print(f"  uncached makespan: {cold.makespan_s:8.3f}s")
+    print(
+        f"  cached   makespan: {warm.makespan_s:8.3f}s"
+        f"  ({cache['hits']} hits, {cache['saved_io_s']:.3f}s I/O saved,"
+        f" {payload['speedup_x']:.2f}x)"
+    )
+
+    assert cache["hits"] > 0, "repeat jobs produced no cache hits"
+    assert cache["saved_io_s"] > 0
+    assert warm.makespan_s < cold.makespan_s, (
+        f"shared cache did not shorten the serve: "
+        f"{warm.makespan_s:.3f}s vs {cold.makespan_s:.3f}s"
+    )
+    # the cache prices served time only — accounting is untouched
+    assert warm.total_stats == cold.total_stats, (
+        "cached serve changed the folded IOStats accounting"
+    )
+
+    if not smoke:
+        _SECTIONS["shared_cache"] = {"n": n, **payload}
+        _write_artifact()
+
+
+def _write_artifact():
+    payload = {
+        "workload": WORKLOAD,
+        "seed": SEED,
+        "cache_budget": CACHE_BUDGET,
+        "cache_repeats": CACHE_REPEATS,
+        **_SECTIONS,
+    }
+    ARTIFACT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"  wrote {ARTIFACT.name}")

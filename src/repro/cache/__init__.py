@@ -44,6 +44,7 @@ from .policy import (
 )
 from .prefetch import DoubleBufferModel, PrefetchScheduler, overlap_credit
 from .tile_cache import (
+    CacheBudgetError,
     CacheConfig,
     CacheEntry,
     TileCache,
@@ -52,6 +53,7 @@ from .tile_cache import (
 )
 
 __all__ = [
+    "CacheBudgetError",
     "CacheConfig",
     "CacheEntry",
     "CacheMetrics",

@@ -43,6 +43,15 @@ from .policy import EvictionPolicy, make_policy
 TileKey = tuple[str, Region]
 
 
+class CacheBudgetError(ValueError):
+    """An invalid cache budget or tenant quota (named validation).
+
+    Mirrors the :class:`~repro.runtime.params.MachineParams` named-check
+    pattern: a zero or negative budget silently disables caching (or
+    worse, un-partitions a shared cache's tenant isolation), so it is
+    rejected up front with a message naming the offending value."""
+
+
 def regions_overlap(a: Region, b: Region) -> bool:
     """Do two same-rank rectangular regions share any element?"""
     return all(alo <= bhi and blo <= ahi for (alo, ahi), (blo, bhi) in zip(a, b))
@@ -137,9 +146,19 @@ class TileCache:
         memory: MemoryManager | None = None,
         metrics: CacheMetrics | None = None,
     ):
-        if budget_elements <= 0:
-            raise ValueError("cache budget must be positive")
-        self.budget = int(budget_elements)
+        try:
+            budget = int(budget_elements)
+        except (TypeError, ValueError):
+            raise CacheBudgetError(
+                f"cache budget must be an element count, "
+                f"got {budget_elements!r}"
+            ) from None
+        if budget <= 0:
+            raise CacheBudgetError(
+                f"cache budget must be a positive element count, "
+                f"got {budget_elements!r}"
+            )
+        self.budget = budget
         self.policy = make_policy(policy)
         self.memory = memory
         self.metrics = metrics or CacheMetrics()
@@ -276,6 +295,25 @@ class TileCache:
             self.memory.allocate(size)
         self.policy.on_insert(entry)
         return True, writeback
+
+    def evict_entry(self, name: str, region: Region) -> CacheEntry | None:
+        """Explicitly evict one resident entry, counting the eviction.
+
+        Shared-pool coordinators (:class:`repro.serve.SharedTileCache`)
+        pick quota-aware victims themselves and need an eviction that
+        bypasses the policy's own choice.  Returns the entry when it was
+        dirty — the caller owes the write-back — else ``None``; a miss
+        (the entry is not resident) is a silent no-op returning ``None``.
+        """
+        entry = self._entries.get((name, region))
+        if entry is None:
+            return None
+        was_dirty = entry.dirty
+        self.metrics.evictions += 1
+        if was_dirty:
+            self.metrics.dirty_evictions += 1
+        self._remove(entry, count_eviction=False)
+        return entry if was_dirty else None
 
     # -- coherence and flushing --------------------------------------------
 

@@ -104,6 +104,10 @@ class Observability:
         self.report = IOReport()
         self.run_stats: dict[str, object] | None = None
         self.sim_summary: dict[str, object] | None = None
+        #: multi-tenant serving summary (:mod:`repro.serve`): per-tenant
+        #: job counts, queue delays and folded stats, set by
+        #: :meth:`note_serve` when a scheduler run completes
+        self.serve_summary: dict[str, object] | None = None
         #: cost-model predictions per nest → array → estimated calls,
         #: registered by the executor / parallel driver before the run's
         #: drift table is built (:meth:`finalize_drift`)
@@ -130,6 +134,12 @@ class Observability:
     def note_stats(self, stats: "IOStats") -> None:
         """Attach the run's folded stats (the report's ground truth)."""
         self.run_stats = stats.to_dict()
+
+    def note_serve(self, summary: Mapping[str, object]) -> None:
+        """Attach a serving run's per-tenant summary
+        (:meth:`repro.serve.ServeResult.summary_dict`); rendered as the
+        tenant section of ``python -m repro.obs report``."""
+        self.serve_summary = dict(summary)
 
     # -- cost-model drift ---------------------------------------------------
 
@@ -224,6 +234,8 @@ class Observability:
             payload["stats"] = self.run_stats
         if self.sim_summary is not None:
             payload["sim"] = self.sim_summary
+        if self.serve_summary is not None:
+            payload["serve"] = self.serve_summary
         return payload
 
     def export(self, path_or_file: str | IO[str]) -> dict[str, object]:
@@ -278,4 +290,4 @@ def _payload_report(
     report = IOReport.from_dict(payload.get("io_report", {}))
     stats = payload.get("stats")
     metrics = payload.get("metrics") if include_metrics else None
-    return render_report(report, stats, metrics)
+    return render_report(report, stats, metrics, serve=payload.get("serve"))

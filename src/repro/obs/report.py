@@ -238,11 +238,15 @@ def render_report(
     report: IOReport,
     stats: Mapping[str, object] | None = None,
     metrics: Mapping[str, Mapping[str, object]] | None = None,
+    *,
+    serve: Mapping[str, object] | None = None,
 ) -> str:
     """The per-nest × per-array breakdown table, plus the redistribution
     lines, the cost-model drift section (when the report carries drift
-    records), an optional metrics dump with percentile summaries, and —
-    when the run's folded stats are available — an explicit totals
+    records), an optional metrics dump with percentile summaries, a
+    per-tenant serving section (``serve``, a
+    :meth:`repro.serve.ServeResult.summary_dict` payload), and — when
+    the run's folded stats are available — an explicit totals
     cross-check."""
     rows = _aggregate(report.records)
     header = (
@@ -284,10 +288,66 @@ def render_report(
     if report.drift:
         lines.append("")
         lines.extend(_render_drift(report.drift, stats))
+    if serve:
+        lines.append("")
+        lines.extend(_render_serve(serve))
     if metrics:
         lines.append("")
         lines.extend(_render_metrics(metrics))
     return "\n".join(lines)
+
+
+def _render_serve(serve: Mapping[str, object]) -> list[str]:
+    """The multi-tenant serving section: one row per tenant with job
+    outcomes, queueing delay and the tenant's folded I/O counters.
+    Every number is read straight from the scheduler's summary payload,
+    whose per-tenant stats are the exact fold of the tenant's per-job
+    :class:`~repro.runtime.stats.IOStats` — the same exactness contract
+    as the nest table above."""
+    header = (
+        f"{'tenant':<12} {'jobs':>5} {'done':>5} {'failed':>6} "
+        f"{'queued_s':>9} {'calls':>8} {'elements':>12}"
+    )
+    policy = serve.get("policy")
+    if isinstance(policy, Mapping):
+        policy = " ".join(f"{k}={v}" for k, v in sorted(policy.items()))
+    lines = [
+        "serving (repro.serve)" + (f" — {policy}" if policy else ""),
+        header,
+        "-" * len(header),
+    ]
+    tenants = serve.get("tenants") or {}
+    total_calls = total_elems = 0
+    for name, t in tenants.items():
+        st = t.get("stats") or {}
+        calls = int(st.get("read_calls", 0)) + int(st.get("write_calls", 0))
+        elems = int(st.get("elements_read", 0)) + int(
+            st.get("elements_written", 0)
+        )
+        total_calls += calls
+        total_elems += elems
+        lines.append(
+            f"{name:<12} {t.get('submitted', 0):>5} "
+            f"{t.get('completed', 0):>5} {t.get('failed', 0):>6} "
+            f"{float(t.get('queue_delay_s', 0.0)):>9.3f} "
+            f"{calls:>8} {elems:>12}"
+        )
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'TOTAL':<12} {'':>5} {'':>5} {'':>6} {'':>9} "
+        f"{total_calls:>8} {total_elems:>12}"
+    )
+    if serve.get("makespan_s") is not None:
+        lines.append(f"served makespan: {float(serve['makespan_s']):.3f}s")
+    cache = serve.get("cache")
+    if cache:
+        lines.append(
+            f"shared cache: hits={cache.get('hits', 0)} "
+            f"misses={cache.get('misses', 0)} "
+            f"evictions={cache.get('evictions', 0)} "
+            f"saved={float(cache.get('saved_io_s', 0.0)):.3f}s"
+        )
+    return lines
 
 
 def _render_resilience(stats: Mapping[str, object]) -> list[str]:

@@ -65,6 +65,7 @@ def run_version_parallel(
     collective: CollectiveConfig | None = None,
     obs: Observability | None = None,
     faults: FaultConfig | None = None,
+    trace: bool = False,
 ) -> ParallelRun:
     """Execute a version on ``n_nodes`` (simulate mode, no data).
 
@@ -97,6 +98,12 @@ def run_version_parallel(
     aggregator rank is in ``plan.failed_nodes`` is degraded to
     independent I/O when ``policy.degrade_collective`` is set.
     ``None`` (default) is bit-identical to the pre-fault behavior.
+
+    ``trace=True`` forces per-call tracing in every rank's executor even
+    without a collective config or observability — the serving layer
+    (:mod:`repro.serve`) re-prices the traced calls on a *shared*
+    cluster's I/O-node queues.  Tracing never changes the accounting;
+    stats are bit-identical either way.
     """
     params = params or MachineParams()
     obs = obs_active(obs)
@@ -111,7 +118,7 @@ def run_version_parallel(
     file_maps: list[dict[int, str]] = []
     # per-array attribution works off the executors' call traces, so an
     # enabled obs forces tracing like the collective planner does
-    trace = collective is not None or (
+    trace = trace or collective is not None or (
         obs is not None and obs.config.per_array
     )
     stagger = max(1, total_elements // max(1, n_nodes))
@@ -179,17 +186,27 @@ def speedup_curve(
     binding: Mapping[str, int] | None = None,
     memory_per_node: int | None = None,
     collective: CollectiveConfig | None = None,
+    faults: FaultConfig | None = None,
 ) -> dict[int, float]:
-    """Speedups vs. the same version on one node (Table 3's metric)."""
+    """Speedups vs. the same version on one node (Table 3's metric).
+
+    ``faults`` applies the same fault plan + resilience policy to the
+    one-node baseline and to every scaled run (per-rank injectors are
+    seeded ``plan.seed + rank`` as in :func:`run_version_parallel`), so
+    the curve answers "how does this version scale *under* this fault
+    scenario" rather than comparing a faulted run to a clean baseline.
+    """
     base = run_version_parallel(
         cfg, 1, params=params, binding=binding,
         memory_per_node=memory_per_node, collective=collective,
+        faults=faults,
     )
     out: dict[int, float] = {}
     for p in node_counts:
         run = run_version_parallel(
             cfg, p, params=params, binding=binding,
             memory_per_node=memory_per_node, collective=collective,
+            faults=faults,
         )
         out[p] = base.time_s / run.time_s if run.time_s > 0 else float("inf")
     return out

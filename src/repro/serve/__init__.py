@@ -1,0 +1,88 @@
+"""Multi-tenant serving of optimized out-of-core programs.
+
+The paper's pipeline optimizes and runs one program for one user on one
+machine.  This package turns that pipeline into a shared service, in the
+mold of the cluster-serving simulators it borrows its vocabulary from:
+
+- :class:`ClusterProfile` / :class:`TenantConfig`
+  (:mod:`~repro.serve.profile`) — one simulated machine (compute-node
+  pool, the :class:`~repro.runtime.params.MachineParams` parallel file
+  system, a shared tile-cache budget) and the tenants multiplexed onto
+  it, each with a fair-share weight, an in-flight memory budget and a
+  reserved cache quota;
+- :class:`JobScheduler` (:mod:`~repro.serve.scheduler`) — admission
+  control over per-tenant FIFO queues (naive global FIFO or
+  weighted-fair queuing), the queued → admitted → optimizing →
+  executing → done/failed job lifecycle, each job running the existing
+  ``build_version`` → ``run_version_parallel`` pipeline, and
+  contention-aware pricing of every job's traced I/O on the cluster's
+  *persistent* per-I/O-node queues;
+- :class:`SharedTileCache` (:mod:`~repro.serve.shared_cache`) — one
+  cross-tenant tile pool built on :class:`repro.cache.TileCache`, with
+  reserved-quota isolation: no tenant's insertions can evict another
+  below its reservation;
+- a replayable CLI — ``python -m repro.serve replay --demo`` (or
+  ``--script scenario.json``).
+
+Contracts, matching the rest of the repo:
+
+- **deterministic** — same profile + policy + script (and seed) ⇒
+  identical schedule, stats and report, bit for bit; nothing draws from
+  the global RNG;
+- **exact** — a served job's :class:`~repro.runtime.stats.IOStats` are
+  the inner run's stats, untouched: a single-tenant, single-job script
+  reproduces the standalone ``run_version_parallel`` fold exactly, and
+  the per-tenant summary is the exact fold of its jobs;
+- **observable** — pass ``obs=`` to thread the run through
+  :mod:`repro.obs` (``serve.*`` counters, queue-delay histograms,
+  per-tenant virtual-time tracks, the tenant section of the rendered
+  report) and ``faults=`` to compose with :mod:`repro.faults` (per-job
+  derived seeds; one tenant's crash-looping job cannot starve another).
+"""
+
+from .profile import (
+    DEMO_WORKLOADS,
+    FAIRNESS_POLICIES,
+    ClusterProfile,
+    JobSpec,
+    ServeConfigError,
+    ServePolicy,
+    TenantConfig,
+    WorkloadScript,
+    demo_scenario,
+    load_scenario,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+from .scheduler import (
+    JOB_STATES,
+    Job,
+    JobScheduler,
+    ServeResult,
+    TenantSummary,
+    serve_script,
+)
+from .shared_cache import SharedTileCache, TenantCacheStats
+
+__all__ = [
+    "ClusterProfile",
+    "DEMO_WORKLOADS",
+    "FAIRNESS_POLICIES",
+    "JOB_STATES",
+    "Job",
+    "JobScheduler",
+    "JobSpec",
+    "ServeConfigError",
+    "ServePolicy",
+    "ServeResult",
+    "SharedTileCache",
+    "TenantCacheStats",
+    "TenantConfig",
+    "TenantSummary",
+    "WorkloadScript",
+    "demo_scenario",
+    "load_scenario",
+    "scenario_from_dict",
+    "scenario_to_dict",
+    "serve_script",
+]

@@ -1,0 +1,369 @@
+"""Cluster, tenant and policy models of the serving layer.
+
+Everything here is pure, validated data in the style of the Helix-class
+cluster simulators: a :class:`ClusterProfile` describes one shared
+machine (compute-node pool, :class:`~repro.runtime.params.MachineParams`
+for the parallel file system, a shared tile-cache budget) plus the
+tenants admitted to it; a :class:`TenantConfig` carries one tenant's
+fair-share weight and resource budgets; a :class:`ServePolicy` picks the
+scheduling discipline; a :class:`WorkloadScript` is a seeded, replayable
+request log.  Validation failures raise the named
+:class:`ServeConfigError` (the :class:`~repro.runtime.params
+.MachineParams` pattern) so a bad profile fails at construction, never
+as a silent mis-schedule.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+from dataclasses import asdict, dataclass, field
+from typing import IO, Mapping
+
+from ..optimizer.strategies import VERSION_NAMES
+from ..runtime import MachineParams
+
+
+class ServeConfigError(ValueError):
+    """An invalid serving profile, policy or workload script."""
+
+
+#: scheduling disciplines of :class:`ServePolicy`
+FAIRNESS_POLICIES = ("fifo", "wfq")
+
+
+def _check_positive(name: str, value: float) -> float:
+    value = float(value)
+    if not math.isfinite(value) or value <= 0:
+        raise ServeConfigError(
+            f"{name} must be finite and positive, got {value!r}"
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """One tenant's identity, fair-share weight and budgets.
+
+    ``weight``
+        weighted-fair share: a tenant with weight 2 accrues virtual time
+        half as fast as a weight-1 tenant for the same service, so it is
+        scheduled twice as often under the ``wfq`` policy.
+    ``memory_budget_elements``
+        cap on the summed executor memory (elements, across all of the
+        tenant's in-flight jobs); ``None`` leaves memory unmetered.
+    ``cache_quota_elements``
+        the tenant's *reserved* share of the cluster's shared tile
+        cache — the floor below which no other tenant's insertions can
+        evict it (:class:`repro.serve.SharedTileCache`).
+    ``max_inflight``
+        admission cap on concurrently running jobs; ``None`` is
+        unlimited.
+    """
+
+    name: str
+    weight: float = 1.0
+    memory_budget_elements: int | None = None
+    cache_quota_elements: int = 0
+    max_inflight: int | None = None
+
+    def __post_init__(self):
+        if not self.name or not isinstance(self.name, str):
+            raise ServeConfigError(
+                f"tenant name must be a non-empty string, got {self.name!r}"
+            )
+        _check_positive(f"tenant {self.name!r} weight", self.weight)
+        if self.memory_budget_elements is not None and (
+            self.memory_budget_elements <= 0
+        ):
+            raise ServeConfigError(
+                f"tenant {self.name!r} memory_budget_elements must be "
+                f"positive, got {self.memory_budget_elements!r}"
+            )
+        if self.cache_quota_elements < 0:
+            raise ServeConfigError(
+                f"tenant {self.name!r} cache_quota_elements must be >= 0, "
+                f"got {self.cache_quota_elements!r}"
+            )
+        if self.max_inflight is not None and self.max_inflight <= 0:
+            raise ServeConfigError(
+                f"tenant {self.name!r} max_inflight must be positive, "
+                f"got {self.max_inflight!r}"
+            )
+
+
+@dataclass(frozen=True)
+class ClusterProfile:
+    """The shared machine the scheduler multiplexes tenants onto.
+
+    ``n_compute_nodes`` bounds concurrency (each job occupies its
+    ``n_nodes`` for its whole served lifetime); the
+    :class:`~repro.runtime.params.MachineParams` describe the parallel
+    file system every job's I/O lands on — the ``n_io_nodes`` FIFO
+    queues are the shared resource cross-tenant contention plays out on.
+    ``cache_budget_elements > 0`` enables the shared cross-tenant tile
+    cache; tenant ``cache_quota_elements`` partition it.
+    """
+
+    n_compute_nodes: int = 8
+    params: MachineParams = field(default_factory=MachineParams)
+    tenants: tuple[TenantConfig, ...] = ()
+    cache_budget_elements: int = 0
+
+    def __post_init__(self):
+        if self.n_compute_nodes <= 0:
+            raise ServeConfigError(
+                f"n_compute_nodes must be positive, "
+                f"got {self.n_compute_nodes!r}"
+            )
+        object.__setattr__(self, "tenants", tuple(self.tenants))
+        names = [t.name for t in self.tenants]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ServeConfigError(f"duplicate tenant name(s): {dupes}")
+        if self.cache_budget_elements < 0:
+            raise ServeConfigError(
+                f"cache_budget_elements must be >= 0, "
+                f"got {self.cache_budget_elements!r}"
+            )
+        quotas = sum(t.cache_quota_elements for t in self.tenants)
+        if quotas > self.cache_budget_elements:
+            raise ServeConfigError(
+                f"tenant cache quotas ({quotas} elements) exceed the "
+                f"shared cache budget ({self.cache_budget_elements})"
+            )
+
+    @property
+    def tenant_names(self) -> tuple[str, ...]:
+        return tuple(t.name for t in self.tenants)
+
+    def tenant(self, name: str) -> TenantConfig:
+        for t in self.tenants:
+            if t.name == name:
+                return t
+        raise ServeConfigError(
+            f"unknown tenant {name!r}; profiled tenants: "
+            f"{sorted(self.tenant_names)}"
+        )
+
+
+@dataclass(frozen=True)
+class ServePolicy:
+    """Scheduling discipline and job-level resilience of the scheduler.
+
+    ``fairness``
+        ``"fifo"`` admits strictly in arrival order (head-of-line
+        blocking and all — the naive baseline); ``"wfq"`` runs
+        weighted-fair queuing over per-tenant FIFO queues: the eligible
+        tenant with the least accrued virtual time goes next, and a
+        completed job charges its tenant ``serial_time / weight``.
+    ``max_job_retries``
+        how many times a job aborted by an injected I/O failure
+        (:class:`~repro.faults.TransientIOError`) is re-queued before it
+        is marked failed.  Retried attempts re-enter the tenant's own
+        queue, so one tenant's crash-looping job can never block another
+        tenant's admission.
+    """
+
+    fairness: str = "wfq"
+    max_job_retries: int = 0
+
+    def __post_init__(self):
+        if self.fairness not in FAIRNESS_POLICIES:
+            raise ServeConfigError(
+                f"unknown fairness policy {self.fairness!r}; "
+                f"pick from {FAIRNESS_POLICIES}"
+            )
+        if self.max_job_retries < 0:
+            raise ServeConfigError(
+                f"max_job_retries must be >= 0, got {self.max_job_retries!r}"
+            )
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One scripted request: which tenant wants which workload version
+    at which virtual arrival time, on how many of the cluster's nodes."""
+
+    tenant: str
+    workload: str
+    version: str = "c-opt"
+    n: int = 24
+    n_nodes: int = 1
+    arrival_s: float = 0.0
+
+    def __post_init__(self):
+        if not self.tenant:
+            raise ServeConfigError("job tenant must be non-empty")
+        if not self.workload:
+            raise ServeConfigError("job workload must be non-empty")
+        if self.version not in VERSION_NAMES:
+            raise ServeConfigError(
+                f"unknown version {self.version!r}; pick from {VERSION_NAMES}"
+            )
+        if self.n <= 0:
+            raise ServeConfigError(f"job n must be positive, got {self.n!r}")
+        if self.n_nodes <= 0:
+            raise ServeConfigError(
+                f"job n_nodes must be positive, got {self.n_nodes!r}"
+            )
+        if not math.isfinite(self.arrival_s) or self.arrival_s < 0:
+            raise ServeConfigError(
+                f"job arrival_s must be finite and >= 0, "
+                f"got {self.arrival_s!r}"
+            )
+
+
+@dataclass(frozen=True)
+class WorkloadScript:
+    """A seeded, replayable multi-tenant request log.
+
+    ``seed`` parameterizes everything stochastic downstream (per-job
+    fault-plan derivation); the scheduler itself draws nothing — same
+    script, same profile, same policy ⇒ identical schedule, stats and
+    report, bit for bit.
+    """
+
+    seed: int = 0
+    jobs: tuple[JobSpec, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "jobs", tuple(self.jobs))
+
+
+# -- scenario (profile + policy + script) serialization ---------------------
+
+
+def scenario_to_dict(
+    profile: ClusterProfile,
+    script: WorkloadScript,
+    policy: ServePolicy | None = None,
+) -> dict[str, object]:
+    """JSON-ready form of one replayable serving scenario."""
+    return {
+        "cluster": {
+            "n_compute_nodes": profile.n_compute_nodes,
+            "cache_budget_elements": profile.cache_budget_elements,
+            "params": asdict(profile.params),
+        },
+        "tenants": [asdict(t) for t in profile.tenants],
+        "policy": asdict(policy or ServePolicy()),
+        "seed": script.seed,
+        "jobs": [asdict(j) for j in script.jobs],
+    }
+
+
+def scenario_from_dict(
+    doc: Mapping[str, object],
+) -> tuple[ClusterProfile, WorkloadScript, ServePolicy]:
+    """Inverse of :func:`scenario_to_dict`, with named failures."""
+    if not isinstance(doc, Mapping):
+        raise ServeConfigError("scenario document must be a JSON object")
+    try:
+        cluster = dict(doc.get("cluster") or {})
+        params = MachineParams(**dict(cluster.pop("params", {}) or {}))
+        tenants = tuple(
+            TenantConfig(**dict(t)) for t in doc.get("tenants") or ()
+        )
+        profile = ClusterProfile(
+            params=params, tenants=tenants, **cluster
+        )
+        policy = ServePolicy(**dict(doc.get("policy") or {}))
+        script = WorkloadScript(
+            seed=int(doc.get("seed", 0)),
+            jobs=tuple(JobSpec(**dict(j)) for j in doc.get("jobs") or ()),
+        )
+    except TypeError as e:
+        raise ServeConfigError(f"malformed scenario document: {e}") from None
+    return profile, script, policy
+
+
+def load_scenario(
+    path_or_file: str | IO[str],
+) -> tuple[ClusterProfile, WorkloadScript, ServePolicy]:
+    """Load a scenario JSON written by :func:`scenario_to_dict`."""
+    if hasattr(path_or_file, "read"):
+        doc = json.load(path_or_file)
+    else:
+        try:
+            with open(path_or_file) as f:
+                doc = json.load(f)
+        except FileNotFoundError:
+            raise ServeConfigError(
+                f"scenario file not found: {path_or_file}"
+            ) from None
+        except json.JSONDecodeError as e:
+            raise ServeConfigError(
+                f"malformed scenario JSON in {path_or_file}: {e}"
+            ) from None
+    return scenario_from_dict(doc)
+
+
+# -- seeded demo scenario ----------------------------------------------------
+
+#: workload mix of the demo generator — small, structurally distinct
+DEMO_WORKLOADS = ("adi", "mxm", "trans")
+
+
+def demo_scenario(
+    seed: int = 0,
+    *,
+    n_tenants: int = 3,
+    jobs_per_tenant: int = 3,
+    n: int = 16,
+    n_compute_nodes: int = 4,
+    cache_budget_elements: int = 0,
+    fairness: str = "wfq",
+) -> tuple[ClusterProfile, WorkloadScript, ServePolicy]:
+    """A seeded multi-tenant scenario for the CLI replay and smoke tests.
+
+    All randomness flows through ``random.Random(seed)`` (workload
+    choice, arrival spacing, per-tenant weights), so the same seed
+    always produces the same scenario — and, through the scheduler's
+    determinism contract, the same schedule.
+    """
+    if n_tenants <= 0 or jobs_per_tenant <= 0:
+        raise ServeConfigError(
+            "demo scenario needs positive n_tenants and jobs_per_tenant"
+        )
+    rng = random.Random(seed)
+    quota = (
+        cache_budget_elements // (2 * n_tenants)
+        if cache_budget_elements
+        else 0
+    )
+    tenants = tuple(
+        TenantConfig(
+            name=f"tenant{i}",
+            weight=float(rng.choice((1, 1, 2))),
+            cache_quota_elements=quota,
+        )
+        for i in range(n_tenants)
+    )
+    jobs = []
+    for t in tenants:
+        arrival = 0.0
+        for _ in range(jobs_per_tenant):
+            jobs.append(
+                JobSpec(
+                    tenant=t.name,
+                    workload=rng.choice(DEMO_WORKLOADS),
+                    version="c-opt",
+                    n=n,
+                    n_nodes=rng.choice((1, 2)),
+                    arrival_s=arrival,
+                )
+            )
+            arrival += rng.uniform(0.0, 2.0)
+    jobs.sort(key=lambda j: (j.arrival_s, j.tenant))
+    profile = ClusterProfile(
+        n_compute_nodes=n_compute_nodes,
+        tenants=tenants,
+        cache_budget_elements=cache_budget_elements,
+    )
+    return (
+        profile,
+        WorkloadScript(seed=seed, jobs=tuple(jobs)),
+        ServePolicy(fairness=fairness),
+    )

@@ -204,3 +204,64 @@ class TestMemoryMirroring:
         accepted, _ = c.insert("B", R((0, 4)), None)  # 5 > 10-7, even after evicting A
         assert not accepted
         assert len(c) == 0 and mm.in_use == 7
+
+
+class TestBudgetGuards:
+    """Named validation of cache budgets (CacheBudgetError): a zero or
+    negative budget silently disables caching — or un-partitions a
+    shared cache's tenant isolation — so it is rejected up front."""
+
+    def test_zero_and_negative_budgets_rejected(self):
+        from repro.cache import CacheBudgetError
+
+        for bad in (0, -1, -1000):
+            with pytest.raises(CacheBudgetError):
+                TileCache(bad)
+
+    def test_non_numeric_budget_rejected(self):
+        from repro.cache import CacheBudgetError
+
+        with pytest.raises(CacheBudgetError, match="element count"):
+            TileCache("lots")
+
+    def test_numpy_integer_budget_accepted(self):
+        c = TileCache(np.int64(8))
+        assert c.budget == 8
+
+    def test_error_is_a_value_error(self):
+        from repro.cache import CacheBudgetError
+
+        assert issubclass(CacheBudgetError, ValueError)
+        with pytest.raises(ValueError):
+            TileCache(0)
+
+
+class TestEvictEntry:
+    def test_clean_eviction_counts_and_frees(self):
+        c = TileCache(16)
+        c.insert("A", R((0, 3)), None)
+        returned = c.evict_entry("A", R((0, 3)))
+        assert returned is None  # clean: no write-back owed
+        assert c.metrics.evictions == 1
+        assert c.metrics.dirty_evictions == 0
+        assert c.peek("A", R((0, 3))) is None
+
+    def test_dirty_eviction_returns_entry_for_writeback(self):
+        c = TileCache(16)
+        c.insert("A", R((0, 3)), None, dirty=True)
+        returned = c.evict_entry("A", R((0, 3)))
+        assert returned is not None and returned.dirty
+        assert c.metrics.dirty_evictions == 1
+
+    def test_missing_entry_is_a_silent_noop(self):
+        c = TileCache(16)
+        assert c.evict_entry("A", R((0, 3))) is None
+        assert c.metrics.evictions == 0
+
+    def test_memory_released(self):
+        mm = MemoryManager(32)
+        c = TileCache(16, memory=mm)
+        c.insert("A", R((0, 3)), None)
+        assert mm.in_use == 4
+        c.evict_entry("A", R((0, 3)))
+        assert mm.in_use == 0

@@ -1,0 +1,119 @@
+"""``ParallelRun.total_stats`` / ``speedup_curve`` under faults and
+degraded collective nests: the fold must stay exact counter for counter
+when resilience accounting and degradation enter the picture."""
+
+import dataclasses
+
+import pytest
+
+from repro.collective import CollectiveConfig
+from repro.faults import FaultConfig, FaultPlan, ResiliencePolicy
+from repro.optimizer import build_version
+from repro.parallel import run_version_parallel, speedup_curve
+from repro.runtime import IOStats, MachineParams
+from repro.workloads import build_workload
+
+PARAMS = MachineParams()
+FAULTS = FaultConfig(
+    FaultPlan(seed=11, read_error_rate=0.005, stragglers={0: 2.0}),
+    ResiliencePolicy(max_retries=6, backoff_base_s=1e-4),
+)
+
+
+def run(workload="trans", n=12, n_nodes=4, **kw):
+    cfg = build_version(
+        "c-opt", build_workload(workload, n), params=PARAMS, n_nodes=n_nodes
+    )
+    return run_version_parallel(cfg, n_nodes, params=PARAMS, **kw)
+
+
+class TestTotalStatsFold:
+    def test_fold_equals_merge_chain(self):
+        r = run(faults=FAULTS)
+        chained = IOStats()
+        for nr in r.node_results:
+            chained = chained.merge(nr.stats)
+        assert r.total_stats == chained
+
+    def test_every_fault_counter_is_summed(self):
+        r = run("adi", faults=FAULTS)
+        total = r.total_stats
+        assert total.retries > 0, "fault plan never fired"
+        for f in (
+            "retries",
+            "failed_calls",
+            "hedged_calls",
+            "degraded_nests",
+            "retry_delay_s",
+        ):
+            per_node = sum(getattr(nr.stats, f) for nr in r.node_results)
+            assert getattr(total, f) == pytest.approx(per_node), f
+
+    def test_degraded_nests_surface_in_fold(self):
+        """Failing every rank forces every chosen two-phase nest back to
+        independent I/O; the degradations must appear in the fold."""
+        faults = FaultConfig(
+            FaultPlan(failed_nodes=frozenset(range(4))),
+            ResiliencePolicy(degrade_collective=True),
+        )
+        r = run(
+            "trans",
+            collective=CollectiveConfig(mode="always"),
+            faults=faults,
+        )
+        assert r.collective is not None
+        assert r.collective.degraded, "no nest was degraded"
+        assert r.total_stats.degraded_nests == len(r.collective.degraded)
+        assert not any(r.collective.chosen.values())
+        # degradation keeps the independent accounting for those nests
+        clean = run("trans")
+        assert r.total_stats.calls == clean.total_stats.calls
+
+    def test_degraded_fold_is_exact_per_node(self):
+        faults = FaultConfig(
+            FaultPlan(failed_nodes=frozenset(range(4))),
+            ResiliencePolicy(degrade_collective=True),
+        )
+        r = run(
+            "trans", collective=CollectiveConfig(mode="always"), faults=faults
+        )
+        total = r.total_stats
+        for f in (fi.name for fi in dataclasses.fields(IOStats)):
+            if f == "cache":
+                continue
+            per_node = sum(getattr(nr.stats, f) for nr in r.node_results)
+            assert getattr(total, f) == pytest.approx(per_node), f
+
+
+class TestSpeedupCurveUnderFaults:
+    def test_deterministic_and_finite(self):
+        cfg = build_version(
+            "c-opt", build_workload("trans", 12), params=PARAMS, n_nodes=1
+        )
+        c1 = speedup_curve(cfg, (2, 4), params=PARAMS, faults=FAULTS)
+        c2 = speedup_curve(cfg, (2, 4), params=PARAMS, faults=FAULTS)
+        assert c1 == c2
+        assert set(c1) == {2, 4}
+        for v in c1.values():
+            assert v > 0 and v != float("inf")
+
+    def test_faults_applied_to_baseline_too(self):
+        """The curve compares faulted runs to a *faulted* one-node
+        baseline — the ratio is not clean-vs-faulted."""
+        cfg = build_version(
+            "c-opt", build_workload("adi", 12), params=PARAMS, n_nodes=1
+        )
+        heavy = FaultConfig(
+            FaultPlan(seed=2, stragglers={i: 4.0 for i in range(64)}),
+            ResiliencePolicy(max_retries=2),
+        )
+        base_clean = run_version_parallel(cfg, 1, params=PARAMS)
+        base_faulted = run_version_parallel(
+            cfg, 1, params=PARAMS, faults=heavy
+        )
+        assert base_faulted.time_s > base_clean.time_s
+        curve = speedup_curve(cfg, (2,), params=PARAMS, faults=heavy)
+        scaled = run_version_parallel(cfg, 2, params=PARAMS, faults=heavy)
+        assert curve[2] == pytest.approx(
+            base_faulted.time_s / scaled.time_s
+        )

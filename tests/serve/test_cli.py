@@ -1,0 +1,90 @@
+import json
+
+import pytest
+
+from repro.obs import load_trace
+from repro.serve import scenario_to_dict
+from repro.serve.cli import main
+from repro.serve.profile import (
+    ClusterProfile,
+    JobSpec,
+    ServePolicy,
+    TenantConfig,
+    WorkloadScript,
+)
+
+
+def small_scenario_doc():
+    profile = ClusterProfile(
+        n_compute_nodes=2,
+        tenants=(TenantConfig("a"), TenantConfig("b")),
+    )
+    script = WorkloadScript(
+        seed=1,
+        jobs=(
+            JobSpec("a", "trans", n=12),
+            JobSpec("b", "trans", n=12, arrival_s=0.001),
+        ),
+    )
+    return scenario_to_dict(profile, script, ServePolicy())
+
+
+class TestDemoScript:
+    def test_prints_parseable_scenario(self, capsys):
+        assert main(["demo-script", "--seed", "2"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["seed"] == 2
+        assert doc["jobs"] and doc["tenants"]
+
+    def test_deterministic(self, capsys):
+        main(["demo-script", "--seed", "5"])
+        first = capsys.readouterr().out
+        main(["demo-script", "--seed", "5"])
+        assert capsys.readouterr().out == first
+
+
+class TestReplay:
+    def test_script_replay(self, tmp_path, capsys):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(small_scenario_doc()))
+        assert main(["replay", "--script", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "admit" in out and "done" in out
+
+    def test_replay_deterministic(self, tmp_path, capsys):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(small_scenario_doc()))
+        main(["replay", "--script", str(path)])
+        first = capsys.readouterr().out
+        main(["replay", "--script", str(path)])
+        assert capsys.readouterr().out == first
+
+    def test_fairness_override(self, tmp_path, capsys):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(small_scenario_doc()))
+        assert main(
+            ["replay", "--script", str(path), "--fairness", "fifo"]
+        ) == 0
+        assert "policy=fifo" in capsys.readouterr().out
+
+    def test_trace_export(self, tmp_path, capsys):
+        scenario = tmp_path / "scenario.json"
+        scenario.write_text(json.dumps(small_scenario_doc()))
+        trace = tmp_path / "trace.json"
+        assert main(
+            ["replay", "--script", str(scenario), "--trace", str(trace)]
+        ) == 0
+        assert trace.exists()
+        payload = load_trace(str(trace))
+        assert "serve" in payload
+        assert payload["serve"]["n_jobs"] == 2
+
+    def test_missing_script_errors(self, tmp_path, capsys):
+        code = main(["replay", "--script", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_fairness_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["replay", "--demo", "--fairness", "lottery"])

@@ -1,0 +1,178 @@
+import json
+
+import pytest
+
+from repro.serve import (
+    ClusterProfile,
+    JobSpec,
+    ServeConfigError,
+    ServePolicy,
+    TenantConfig,
+    WorkloadScript,
+    demo_scenario,
+    load_scenario,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+
+
+class TestTenantConfig:
+    def test_defaults(self):
+        t = TenantConfig("a")
+        assert t.weight == 1.0
+        assert t.cache_quota_elements == 0
+        assert t.memory_budget_elements is None and t.max_inflight is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"name": ""},
+            {"name": "a", "weight": 0.0},
+            {"name": "a", "weight": -1.0},
+            {"name": "a", "weight": float("inf")},
+            {"name": "a", "memory_budget_elements": 0},
+            {"name": "a", "cache_quota_elements": -1},
+            {"name": "a", "max_inflight": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ServeConfigError):
+            TenantConfig(**kwargs)
+
+    def test_error_names_the_tenant(self):
+        with pytest.raises(ServeConfigError, match="'billing'"):
+            TenantConfig("billing", weight=-2.0)
+
+
+class TestClusterProfile:
+    def test_duplicate_tenants_rejected(self):
+        with pytest.raises(ServeConfigError, match="duplicate"):
+            ClusterProfile(tenants=(TenantConfig("a"), TenantConfig("a")))
+
+    def test_quotas_must_fit_budget(self):
+        with pytest.raises(ServeConfigError, match="exceed"):
+            ClusterProfile(
+                tenants=(
+                    TenantConfig("a", cache_quota_elements=60),
+                    TenantConfig("b", cache_quota_elements=60),
+                ),
+                cache_budget_elements=100,
+            )
+
+    def test_nonpositive_nodes_rejected(self):
+        with pytest.raises(ServeConfigError):
+            ClusterProfile(n_compute_nodes=0)
+
+    def test_tenant_lookup(self):
+        p = ClusterProfile(tenants=(TenantConfig("a"), TenantConfig("b")))
+        assert p.tenant("a").name == "a"
+        assert p.tenant_names == ("a", "b")
+        with pytest.raises(ServeConfigError, match="unknown tenant"):
+            p.tenant("zz")
+
+
+class TestServePolicy:
+    def test_defaults(self):
+        assert ServePolicy().fairness == "wfq"
+
+    def test_validation(self):
+        with pytest.raises(ServeConfigError):
+            ServePolicy(fairness="lottery")
+        with pytest.raises(ServeConfigError):
+            ServePolicy(max_job_retries=-1)
+
+
+class TestJobSpec:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"tenant": "", "workload": "adi"},
+            {"tenant": "a", "workload": ""},
+            {"tenant": "a", "workload": "adi", "version": "nope"},
+            {"tenant": "a", "workload": "adi", "n": 0},
+            {"tenant": "a", "workload": "adi", "n_nodes": 0},
+            {"tenant": "a", "workload": "adi", "arrival_s": -1.0},
+            {"tenant": "a", "workload": "adi", "arrival_s": float("nan")},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ServeConfigError):
+            JobSpec(**kwargs)
+
+
+class TestScenarioSerialization:
+    def scenario(self):
+        profile = ClusterProfile(
+            n_compute_nodes=4,
+            tenants=(
+                TenantConfig("a", weight=2.0, cache_quota_elements=32),
+                TenantConfig("b", memory_budget_elements=4096),
+            ),
+            cache_budget_elements=128,
+        )
+        script = WorkloadScript(
+            seed=7,
+            jobs=(
+                JobSpec("a", "adi", n=12),
+                JobSpec("b", "trans", n=12, arrival_s=0.5),
+            ),
+        )
+        return profile, script, ServePolicy(fairness="fifo", max_job_retries=2)
+
+    def test_round_trip(self):
+        profile, script, policy = self.scenario()
+        doc = scenario_to_dict(profile, script, policy)
+        doc = json.loads(json.dumps(doc))  # through real JSON
+        p2, s2, pol2 = scenario_from_dict(doc)
+        assert p2 == profile
+        assert s2 == script
+        assert pol2 == policy
+
+    def test_load_scenario_file(self, tmp_path):
+        profile, script, policy = self.scenario()
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(scenario_to_dict(profile, script, policy)))
+        p2, s2, pol2 = load_scenario(str(path))
+        assert (p2, s2, pol2) == (profile, script, policy)
+
+    def test_load_scenario_errors_are_named(self, tmp_path):
+        with pytest.raises(ServeConfigError, match="not found"):
+            load_scenario(str(tmp_path / "missing.json"))
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        with pytest.raises(ServeConfigError, match="malformed"):
+            load_scenario(str(bad))
+        with pytest.raises(ServeConfigError, match="malformed"):
+            scenario_from_dict({"jobs": [{"unknown_field": 1}]})
+
+
+class TestDemoScenario:
+    def test_seeded_and_deterministic(self):
+        a = demo_scenario(3)
+        b = demo_scenario(3)
+        assert a == b
+        c = demo_scenario(4)
+        assert c != a
+
+    def test_shapes(self):
+        profile, script, policy = demo_scenario(
+            0, n_tenants=2, jobs_per_tenant=4
+        )
+        assert len(profile.tenants) == 2
+        assert len(script.jobs) == 8
+        assert policy.fairness == "wfq"
+        # arrivals sorted, every job's tenant known
+        arrivals = [j.arrival_s for j in script.jobs]
+        assert arrivals == sorted(arrivals)
+        for j in script.jobs:
+            profile.tenant(j.tenant)
+
+    def test_cache_budget_partitioned(self):
+        profile, _, _ = demo_scenario(0, cache_budget_elements=1000)
+        assert profile.cache_budget_elements == 1000
+        quotas = sum(t.cache_quota_elements for t in profile.tenants)
+        assert 0 < quotas <= 1000
+
+    def test_validation(self):
+        with pytest.raises(ServeConfigError):
+            demo_scenario(0, n_tenants=0)
