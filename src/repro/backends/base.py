@@ -1,0 +1,286 @@
+"""The storage-backend seam: where accounted I/O meets moved bytes.
+
+The cost model prices every transfer analytically (``IOContext``), and
+that accounting is *backend-independent* by design — the same program
+under the same layouts issues the same calls whether the bytes live in a
+numpy buffer, an mmap'ed POSIX file, a directory of chunk files or a
+simulated object store.  What a backend adds is the **measured** side:
+how many physical operations the address pattern actually turned into,
+how many bytes moved, and how long the moves took.  Comparing the two is
+the point — the cost-model drift telemetry (:mod:`repro.obs`) can then
+hold predicted I/O against a byte-moving implementation instead of
+against itself.
+
+Contract
+--------
+- A :class:`StorageBackend` is a factory for :class:`BackendFile`
+  handles over a *linear element space* (the layout engine has already
+  mapped array indices to file slots).
+- ``gather``/``scatter`` move data for real backends; simulate-only
+  backends raise, exactly like the old ``real=False`` buffer-less file.
+- Accounting (``IOStats``) never touches the backend: with any backend,
+  folded stats are bit-identical to the in-memory default.
+- Backends with ``measures = True`` record :class:`BackendMetrics`
+  (operations, bytes, wall seconds) that the executor publishes into
+  ``repro.obs`` gauges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+
+class BackendError(ValueError):
+    """Invalid backend configuration or misuse of a backend file."""
+
+
+#: dtype kinds a backend file may carry (floats, signed/unsigned ints)
+_ALLOWED_DTYPE_KINDS = frozenset("fiu")
+
+DEFAULT_DTYPE = np.dtype(np.float64)
+
+
+def validate_dtype(dtype) -> np.dtype:
+    """Normalize and validate an element dtype (default float64).
+
+    Only plain numeric dtypes are allowed — the runtime's tiles, the
+    interpreter and the cost model all assume fixed-size scalar
+    elements (``MachineParams.element_size`` prices them).
+    """
+    if dtype is None:
+        return DEFAULT_DTYPE
+    try:
+        dt = np.dtype(dtype)
+    except TypeError as exc:
+        raise BackendError(f"invalid element dtype {dtype!r}") from exc
+    if dt.kind not in _ALLOWED_DTYPE_KINDS or dt.itemsize == 0:
+        raise BackendError(
+            f"unsupported element dtype {dt!r}: backends store plain "
+            f"numeric scalars (float/int/uint)"
+        )
+    return dt
+
+
+@dataclass
+class BackendMetrics:
+    """Measured (not modeled) transfer counters for one backend.
+
+    ``get_ops``/``put_ops`` count *physical* operations at the
+    backend's own granularity: contiguous-extent accesses for the mmap
+    backend, whole chunks for the chunked backend, object GETs/PUTs for
+    the object store.  ``wall_read_s``/``wall_write_s`` are measured
+    wall-clock seconds except for the simulated object store, where
+    they are the store's own latency/bandwidth model (deterministic).
+    """
+
+    get_ops: int = 0
+    put_ops: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    wall_read_s: float = 0.0
+    wall_write_s: float = 0.0
+
+    @property
+    def ops(self) -> int:
+        return self.get_ops + self.put_ops
+
+    @property
+    def bytes_moved(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def wall_s(self) -> float:
+        return self.wall_read_s + self.wall_write_s
+
+    def add(self, other: "BackendMetrics") -> "BackendMetrics":
+        self.get_ops += other.get_ops
+        self.put_ops += other.put_ops
+        self.bytes_read += other.bytes_read
+        self.bytes_written += other.bytes_written
+        self.wall_read_s += other.wall_read_s
+        self.wall_write_s += other.wall_write_s
+        return self
+
+    @classmethod
+    def fold(cls, items: "Iterable[BackendMetrics]") -> "BackendMetrics":
+        total = cls()
+        for m in items:
+            total.add(m)
+        return total
+
+    def to_dict(self) -> dict:
+        return {
+            "get_ops": self.get_ops,
+            "put_ops": self.put_ops,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "wall_read_s": self.wall_read_s,
+            "wall_write_s": self.wall_write_s,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"ops={self.ops} (g{self.get_ops}/p{self.put_ops}) "
+            f"bytes={self.bytes_moved} wall={self.wall_s:.6f}s"
+        )
+
+
+class BackendFile:
+    """One linear file of ``n_elements`` scalars inside a backend.
+
+    Subclasses implement :meth:`gather` / :meth:`scatter` over int64
+    element-address arrays.  Addresses are produced by the layout
+    engine and are always in ``[0, n_elements)``.
+    """
+
+    def __init__(self, name: str, n_elements: int, dtype: np.dtype):
+        self.name = name
+        self.n_elements = int(n_elements)
+        self.dtype = dtype
+
+    def gather(self, addresses: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def scatter(self, addresses: np.ndarray, values: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:  # release OS resources (mmap handles etc.)
+        pass
+
+
+class StorageBackend:
+    """Factory for backend files plus the backend's measured metrics."""
+
+    #: short identifier ("memory", "simulate", "mmap", "chunked", "object")
+    kind: str = "abstract"
+    #: whether files carry actual data (``False`` = accounting only)
+    real: bool = True
+    #: whether this backend records measured :class:`BackendMetrics`
+    measures: bool = False
+
+    def __init__(self):
+        self.metrics = BackendMetrics()
+        self._files: dict[str, BackendFile] = {}
+
+    def open(
+        self,
+        name: str,
+        n_elements: int,
+        *,
+        dtype=None,
+        chunk_elements: int | None = None,
+    ) -> BackendFile:
+        """Create the named file.  ``chunk_elements`` is the layout's
+        tile-footprint hint — chunk-granular backends size their chunks
+        from it; linear backends ignore it."""
+        if name in self._files:
+            raise BackendError(
+                f"backend {self.kind!r} already has a file named {name!r}"
+            )
+        if n_elements < 0:
+            raise BackendError(f"negative file size {n_elements}")
+        f = self._open(
+            name, int(n_elements), validate_dtype(dtype), chunk_elements
+        )
+        self._files[name] = f
+        return f
+
+    def _open(
+        self,
+        name: str,
+        n_elements: int,
+        dtype: np.dtype,
+        chunk_elements: int | None,
+    ) -> BackendFile:
+        raise NotImplementedError
+
+    def clone(self) -> "StorageBackend":
+        """A fresh backend with the same configuration and no files —
+        the SPMD driver gives each rank its own clone so per-rank file
+        namespaces (and metrics) stay independent."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        for f in self._files.values():
+            f.close()
+        self._files.clear()
+
+    def describe(self) -> str:
+        return self.kind
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} kind={self.kind!r} files={len(self._files)}>"
+
+
+@dataclass
+class _Timer:
+    """Accumulates wall seconds into one BackendMetrics field pair."""
+
+    metrics: BackendMetrics
+    is_write: bool
+    _t0: float = field(default=0.0, repr=False)
+
+    def __enter__(self):
+        from time import perf_counter
+
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        from time import perf_counter
+
+        dt = perf_counter() - self._t0
+        if self.is_write:
+            self.metrics.wall_write_s += dt
+        else:
+            self.metrics.wall_read_s += dt
+        return False
+
+
+def resolve_backend(backend, real: bool | None = None) -> StorageBackend:
+    """Resolve the executor's ``backend=``/``real=`` pair to an instance.
+
+    - ``backend`` may be a :class:`StorageBackend`, a kind string
+      (``"memory"``, ``"simulate"``, ``"mmap"``, ``"chunked"``,
+      ``"object"``), or ``None``;
+    - with ``backend=None`` the legacy boolean picks the in-memory
+      (``real=True``) or simulate-only (``real=False``) backend — the
+      exact pre-backend behavior;
+    - passing both a backend and a *contradicting* ``real`` flag is an
+      error (a simulate-only request cannot run on a data-moving
+      backend and vice versa).
+    """
+    from .chunked import ChunkedBackend
+    from .memory import MemoryBackend, SimulateBackend
+    from .object_store import SimulatedObjectStore
+    from .posix import MmapBackend
+
+    if backend is None:
+        return MemoryBackend() if (real is None or real) else SimulateBackend()
+    if isinstance(backend, str):
+        makers = {
+            "memory": MemoryBackend,
+            "simulate": SimulateBackend,
+            "mmap": MmapBackend,
+            "chunked": ChunkedBackend,
+            "object": SimulatedObjectStore,
+        }
+        if backend not in makers:
+            raise BackendError(
+                f"unknown backend kind {backend!r}; known: {sorted(makers)}"
+            )
+        backend = makers[backend]()
+    if not isinstance(backend, StorageBackend):
+        raise BackendError(
+            f"backend must be a StorageBackend, kind string or None, "
+            f"got {type(backend).__name__}"
+        )
+    if real is not None and bool(real) != backend.real:
+        raise BackendError(
+            f"real={real} contradicts backend {backend.kind!r} "
+            f"(real={backend.real})"
+        )
+    return backend

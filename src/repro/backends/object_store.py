@@ -1,0 +1,171 @@
+"""Simulated object store: S3-like latency/bandwidth, per-object GET/PUT.
+
+Cloud object stores invert the machine balance the 1999 cost model was
+built on: per-request latency is *orders of magnitude* higher than a
+local syscall (tens of milliseconds per GET) while streaming bandwidth
+is plentiful — so minimizing the number of objects touched dominates
+minimizing bytes, even more sharply than call-count minimization did on
+the Paragon.  This backend models that regime deterministically: data
+lives in memory (results stay exact), every whole-object GET/PUT is
+accounted per object, and "measured" time is the store's own
+latency + size/bandwidth model — reproducible, unlike wall clocks.
+
+Objects partition each file's linear element space at ``object_elements``
+granularity, sized from the layout's blocking hint like the chunked
+backend — one tile per object when the layout is blocked.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import BackendError, BackendFile, StorageBackend
+
+
+@dataclass(frozen=True)
+class ObjectStoreParams:
+    """MachineParams-style constants for the simulated store.
+
+    The defaults are cloud-object-store magnitudes: ~30 ms to first
+    byte (vs 15 ms per *local* I/O call in :class:`MachineParams`, and
+    microseconds for a syscall today) but ~100 MB/s per stream.
+    """
+
+    get_latency_s: float = 0.030
+    put_latency_s: float = 0.045
+    bandwidth_bps: float = 100.0e6
+    #: object granularity when no layout blocking hint is given
+    default_object_elements: int = 4096
+
+    def __post_init__(self):
+        for name in ("get_latency_s", "put_latency_s"):
+            v = getattr(self, name)
+            if not math.isfinite(v) or v < 0:
+                raise BackendError(
+                    f"{name} must be finite and non-negative, got {v!r}"
+                )
+        if not math.isfinite(self.bandwidth_bps) or self.bandwidth_bps <= 0:
+            raise BackendError(
+                f"bandwidth_bps must be finite and positive, "
+                f"got {self.bandwidth_bps!r}"
+            )
+        if self.default_object_elements <= 0:
+            raise BackendError(
+                f"default_object_elements must be positive, "
+                f"got {self.default_object_elements!r}"
+            )
+
+    def get_time(self, nbytes: int) -> float:
+        return self.get_latency_s + nbytes / self.bandwidth_bps
+
+    def put_time(self, nbytes: int) -> float:
+        return self.put_latency_s + nbytes / self.bandwidth_bps
+
+
+class _ObjectFile(BackendFile):
+    def __init__(self, name, n_elements, dtype, backend, object_elements):
+        super().__init__(name, n_elements, dtype)
+        if object_elements <= 0:
+            raise BackendError(
+                f"object_elements must be positive, got {object_elements}"
+            )
+        self.object_elements = int(object_elements)
+        self._backend = backend
+        #: object id -> data (created lazily; missing object = zeros)
+        self._objects: dict[int, np.ndarray] = {}
+
+    def _obj_len(self, oid: int) -> int:
+        return min(
+            self.object_elements, self.n_elements - oid * self.object_elements
+        )
+
+    def _get(self, oid: int) -> np.ndarray:
+        b = self._backend
+        ln = self._obj_len(oid)
+        data = self._objects.get(oid)
+        if data is None:
+            data = np.zeros(ln, dtype=self.dtype)
+        b.metrics.get_ops += 1
+        b.metrics.bytes_read += ln * self.dtype.itemsize
+        b.metrics.wall_read_s += b.params.get_time(ln * self.dtype.itemsize)
+        b._count(self.name, oid, is_put=False)
+        return data
+
+    def _put(self, oid: int, data: np.ndarray) -> None:
+        b = self._backend
+        self._objects[oid] = data
+        b.metrics.put_ops += 1
+        b.metrics.bytes_written += data.size * self.dtype.itemsize
+        b.metrics.wall_write_s += b.params.put_time(
+            data.size * self.dtype.itemsize
+        )
+        b._count(self.name, oid, is_put=True)
+
+    def gather(self, addresses: np.ndarray) -> np.ndarray:
+        out = np.empty(addresses.shape, dtype=self.dtype)
+        oids = addresses // self.object_elements
+        for oid in np.unique(oids):
+            oid = int(oid)
+            data = self._get(oid)
+            mask = oids == oid
+            out[mask] = data[addresses[mask] - oid * self.object_elements]
+        return out
+
+    def scatter(self, addresses: np.ndarray, values: np.ndarray) -> None:
+        values = np.asarray(values).ravel()
+        oids = addresses // self.object_elements
+        for oid in np.unique(oids):
+            oid = int(oid)
+            mask = oids == oid
+            local = addresses[mask] - oid * self.object_elements
+            if local.size == self._obj_len(oid):
+                data = np.empty(self._obj_len(oid), dtype=self.dtype)
+            else:
+                # partial-object update: read-modify-write (one GET +
+                # one PUT — object stores have no byte-range writes)
+                data = self._get(oid).copy()
+            data[local] = values[mask]
+            self._put(oid, data)
+
+
+class SimulatedObjectStore(StorageBackend):
+    """In-memory object store with cloud-magnitude request pricing."""
+
+    kind = "object"
+    real = True
+    measures = True
+
+    def __init__(self, params: ObjectStoreParams | None = None):
+        super().__init__()
+        self.params = params or ObjectStoreParams()
+        #: per-object accounting: (file name, object id) -> [gets, puts]
+        self.object_counts: dict[tuple[str, int], list[int]] = {}
+
+    def _count(self, file_name: str, oid: int, *, is_put: bool) -> None:
+        c = self.object_counts.setdefault((file_name, oid), [0, 0])
+        c[1 if is_put else 0] += 1
+
+    @property
+    def objects_touched(self) -> int:
+        """Distinct (file, object) pairs any GET or PUT ever hit."""
+        return len(self.object_counts)
+
+    def _open(self, name, n_elements, dtype, chunk_elements):
+        return _ObjectFile(
+            name, n_elements, dtype, self,
+            chunk_elements or self.params.default_object_elements,
+        )
+
+    def clone(self) -> "SimulatedObjectStore":
+        return SimulatedObjectStore(self.params)
+
+    def describe(self) -> str:
+        p = self.params
+        return (
+            f"object(get={p.get_latency_s * 1e3:.0f}ms, "
+            f"put={p.put_latency_s * 1e3:.0f}ms, "
+            f"bw={p.bandwidth_bps / 1e6:.0f}MB/s)"
+        )

@@ -12,6 +12,7 @@ from typing import Callable, Mapping
 
 import numpy as np
 
+from ..backends import BackendMetrics, StorageBackend, resolve_backend
 from ..cache import (
     CacheConfig,
     CacheMetrics,
@@ -86,6 +87,10 @@ class RunResult:
     peak_memory: int
     over_budget_tiles: int = 0
     cache_metrics: CacheMetrics | None = None
+    #: measured transfer counters (ops / bytes / wall seconds) when the
+    #: run used a measuring backend (mmap / chunked / object store);
+    #: ``None`` for the in-memory and simulate-only defaults
+    backend_metrics: BackendMetrics | None = None
 
     @property
     def serial_time_s(self) -> float:
@@ -175,7 +180,18 @@ class OOCExecutor:
         all-but-innermost rule).
     real:
         move actual data and interpret element loops (small sizes /
-        verification) vs. accounting only.
+        verification) vs. accounting only.  Alias for the two default
+        backends; ignored when ``backend`` is given.
+    backend:
+        where array bytes live (:mod:`repro.backends`): a
+        :class:`~repro.backends.StorageBackend` instance or a kind
+        string (``"memory"``, ``"simulate"``, ``"mmap"``, ``"chunked"``,
+        ``"object"``).  ``None`` resolves from ``real``.  Accounted
+        ``IOStats`` are identical for every data-carrying backend;
+        measuring backends additionally report
+        :class:`~repro.backends.BackendMetrics`.
+    dtype:
+        element dtype carried by the backend files (default float64).
     """
 
     def __init__(
@@ -187,6 +203,8 @@ class OOCExecutor:
         binding: Mapping[str, int] | None = None,
         memory_budget: int | None = None,
         real: bool = True,
+        backend: StorageBackend | str | None = None,
+        dtype=None,
         tiling: Callable[[LoopNest], TilingSpec] | Mapping[str, TilingSpec] = ooc_tiling,
         storage_spec: Mapping[str, StoreSpec] | None = None,
         initial: Mapping[str, np.ndarray] | None = None,
@@ -224,7 +242,15 @@ class OOCExecutor:
         self.program = program
         self.params = params or MachineParams()
         self.binding = program.binding(binding)
-        self.real = real
+        # storage backend: the boolean `real` is an alias for the two
+        # default backends; an explicit backend decides for itself
+        # whether data moves (real) or only accounting runs
+        self.backend = (
+            resolve_backend(None, real) if backend is None
+            else resolve_backend(backend)
+        )
+        self.real = self.backend.real
+        self._dtype = dtype
         self.shapes = {
             a.name: a.shape(self.binding) for a in program.arrays
         }
@@ -254,7 +280,8 @@ class OOCExecutor:
         for name, spec in spec_map.items():
             if isinstance(spec, LinearStoreSpec):
                 linear_arrays[name] = OutOfCoreArray.create(
-                    name, self.shapes[name], spec.layout, self.pfs, real=real
+                    name, self.shapes[name], spec.layout, self.pfs,
+                    backend=self.backend, dtype=self._dtype,
                 )
             else:
                 groups.setdefault(spec.group, []).append((name, spec))
@@ -278,14 +305,15 @@ class OOCExecutor:
             block = members[0][1].block
             store = _InterleavedStore(
                 InterleavedChunkedStore(
-                    names, next(iter(shapes)), block, self.pfs, real=real,
+                    names, next(iter(shapes)), block, self.pfs,
+                    backend=self.backend, dtype=self._dtype,
                     file_name=f"group:{group}", origin=members[0][1].origin,
                 )
             )
             for n in names:
                 self._stores[n] = store
 
-        if real:
+        if self.real:
             data = initial or initial_arrays(program, self.binding)
             for name in self.shapes:
                 self._stores[name].load_ndarray(name, data[name])
@@ -319,7 +347,7 @@ class OOCExecutor:
         # real-mode fast path: vectorize the innermost loop when no
         # dependence is carried by it (scalar fallback otherwise)
         self._vectorizable: dict[str, bool] = {}
-        if real and vectorize:
+        if self.real and vectorize:
             for nest in program.nests:
                 self._vectorizable[nest.name] = innermost_vectorizable(nest)
 
@@ -435,6 +463,12 @@ class OOCExecutor:
         )
         if metrics is not None:
             ctx.stats.cache = metrics
+        # measured side of the run: a measuring backend's cumulative
+        # counters, snapshotted like the cache metrics above
+        bmetrics = (
+            dc_replace(self.backend.metrics)
+            if self.backend.measures else None
+        )
         if obs is not None:
             self._finish_obs(obs, run_span, ctx, nest_runs)
         return RunResult(
@@ -444,6 +478,7 @@ class OOCExecutor:
             self.memory.peak,
             self._over_budget_tiles,
             metrics,
+            bmetrics,
         )
 
     def _finish_obs(
@@ -474,6 +509,8 @@ class OOCExecutor:
             )
             if self._injector is not None:
                 self._injector.publish_metrics(obs.metrics)
+            if self.backend.measures:
+                self._publish_backend_metrics(obs, ctx)
         if self._injector is not None and self._injector.events:
             obs.add_fault_events(self._injector.events)
         obs.note_stats(ctx.stats)
@@ -484,6 +521,37 @@ class OOCExecutor:
                 elements=ctx.stats.elements_moved,
                 io_time_s=ctx.stats.io_time_s,
             )
+
+    def _publish_backend_metrics(self, obs: Observability, ctx: IOContext) -> None:
+        """Measured-vs-predicted gauges for a byte-moving backend.
+
+        ``backend.*`` gauges carry the measured side (operations, bytes,
+        wall seconds); ``backend.io_ratio`` divides measured wall time
+        by the cost model's modeled I/O seconds — the drift telemetry's
+        companion number, but against a real (or realistically priced)
+        implementation instead of the model's own trace."""
+        g = obs.metrics.gauge
+        m = self.backend.metrics
+        g("backend.get_ops").set(m.get_ops)
+        g("backend.put_ops").set(m.put_ops)
+        g("backend.bytes_read").set(m.bytes_read)
+        g("backend.bytes_written").set(m.bytes_written)
+        g("backend.measured_io_s").set(m.wall_s)
+        if ctx.stats.io_time_s > 0:
+            g("backend.io_ratio").set(m.wall_s / ctx.stats.io_time_s)
+
+    def close(self) -> None:
+        """Release backend resources (mmap handles, temporary chunk
+        directories).  A no-op for the in-memory defaults; array data
+        is unavailable afterwards."""
+        self.backend.close()
+
+    def __enter__(self) -> "OOCExecutor":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
 
     # -- internals -----------------------------------------------------------
 

@@ -10,6 +10,7 @@ in-memory data tiles; it is shared by the real-mode out-of-core executor.
 
 from __future__ import annotations
 
+import zlib
 from typing import Iterator, Mapping
 
 import numpy as np
@@ -22,10 +23,14 @@ from ..runtime.ooc_array import Region
 
 def _default_init(name: str, shape: tuple[int, ...]) -> np.ndarray:
     """Deterministic, array-specific initial contents so that semantic
-    comparisons cannot pass by accident."""
+    comparisons cannot pass by accident.  Seeded with a stable hash:
+    ``hash(str)`` is randomized per process, so two names colliding
+    mod the offset modulus would make distinct arrays initialize
+    identically in an unlucky process; crc32 mod 10007 separates every
+    array name in the suite deterministically."""
     n = int(np.prod(shape))
-    seed = abs(hash(name)) % (2**32)
-    base = (np.arange(n, dtype=np.float64) * 0.37 + seed % 97) % 101.0
+    seed = zlib.crc32(name.encode("utf-8"))
+    base = (np.arange(n, dtype=np.float64) * 0.37 + seed % 10007) % 10007.0
     return (base + 1.0).reshape(shape)
 
 

@@ -23,6 +23,7 @@ from ..collective.sim import (
     nest_ops,
     simulate,
 )
+from ..backends import BackendMetrics, StorageBackend, resolve_backend
 from ..engine.executor import NestRun, OOCExecutor, RunResult, nest_records
 from ..faults import FaultConfig, FaultInjector
 from ..obs import (
@@ -54,6 +55,16 @@ class ParallelRun:
     def total_stats(self) -> IOStats:
         return IOStats.fold(r.stats for r in self.node_results)
 
+    @property
+    def backend_metrics(self) -> BackendMetrics | None:
+        """Measured transfer counters folded across ranks (``None``
+        unless the run used a measuring backend)."""
+        per_rank = [
+            r.backend_metrics for r in self.node_results
+            if r.backend_metrics is not None
+        ]
+        return BackendMetrics.fold(per_rank) if per_rank else None
+
 
 def run_version_parallel(
     cfg: VersionConfig,
@@ -66,8 +77,10 @@ def run_version_parallel(
     obs: Observability | None = None,
     faults: FaultConfig | None = None,
     trace: bool = False,
+    real: bool = False,
+    backend: StorageBackend | str | None = None,
 ) -> ParallelRun:
-    """Execute a version on ``n_nodes`` (simulate mode, no data).
+    """Execute a version on ``n_nodes`` (simulate mode by default).
 
     Every node gets the same per-node memory budget (the paper fixes the
     computation's memory at 1/128th of the out-of-core data *per node*),
@@ -104,6 +117,16 @@ def run_version_parallel(
     (:mod:`repro.serve`) re-prices the traced calls on a *shared*
     cluster's I/O-node queues.  Tracing never changes the accounting;
     stats are bit-identical either way.
+
+    ``real``/``backend`` pick the storage backend every rank executes
+    against (:mod:`repro.backends`): the default stays simulate-only
+    accounting, ``real=True`` moves actual data per rank, and
+    ``backend`` (an instance or a kind string) selects a concrete
+    byte-moving backend — each rank gets its own clone, so per-rank
+    file namespaces and measured metrics stay independent, and
+    :attr:`ParallelRun.backend_metrics` folds the measured side across
+    ranks.  Accounted stats are identical for every data-carrying
+    backend.
     """
     params = params or MachineParams()
     obs = obs_active(obs)
@@ -122,6 +145,17 @@ def run_version_parallel(
         obs is not None and obs.config.per_array
     )
     stagger = max(1, total_elements // max(1, n_nodes))
+    # one backend per rank: clones of a given instance (or fresh
+    # resolutions of a kind string / the real flag), so rank-private
+    # file namespaces never collide and metrics attribute per rank
+    if backend is None:
+        rank_backends = [resolve_backend(None, real) for _ in range(n_nodes)]
+    elif isinstance(backend, StorageBackend):
+        rank_backends = [backend] + [
+            backend.clone() for _ in range(n_nodes - 1)
+        ]
+    else:
+        rank_backends = [resolve_backend(backend) for _ in range(n_nodes)]
     for rank in range(n_nodes):
         pfs = ParallelFileSystem(params)
         pfs.advance(rank * stagger)
@@ -136,7 +170,7 @@ def run_version_parallel(
             params=params,
             binding=b,
             memory_budget=budget,
-            real=False,
+            backend=rank_backends[rank],
             tiling=cfg.tiling,
             storage_spec=cfg.storage_spec,
             pfs=pfs,
@@ -159,6 +193,10 @@ def run_version_parallel(
                 # the prediction is per-program, identical on every rank;
                 # the drift table compares it to the *summed* measured I/O
                 obs.note_predictions(ex.predicted_io())
+        if rank_backends[rank].measures:
+            # disk-backed rank namespaces are done once the stats and
+            # metrics are collected — release mmaps / chunk directories
+            ex.close()
     if collective is None:
         run = ParallelRun(cfg.name, n_nodes, makespan(results), results)
         if obs is not None:

@@ -22,11 +22,17 @@ from .params import MachineParams
 from .stats import IOStats, IOContext
 from .pfs import ParallelFileSystem
 from .file import OOCFile
-from .ooc_array import OutOfCoreArray, Region, region_size
+from .ooc_array import (
+    OutOfCoreArray,
+    Region,
+    layout_chunk_elements,
+    region_size,
+)
 from .chunked import InterleavedChunkedStore
 from .memory import MemoryManager, MemoryBudgetExceeded
 
 __all__ = [
+    "layout_chunk_elements",
     "MachineParams",
     "IOStats",
     "IOContext",

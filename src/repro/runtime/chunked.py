@@ -37,7 +37,9 @@ class InterleavedChunkedStore:
         block: Sequence[int],
         pfs: ParallelFileSystem,
         *,
-        real: bool = True,
+        real: bool | None = None,
+        backend=None,
+        dtype=None,
         file_name: str | None = None,
         origin: Sequence[int] | None = None,
     ):
@@ -72,7 +74,11 @@ class InterleavedChunkedStore:
             self._grid_strides[r] = self._grid_strides[r + 1] * self._grid[r + 1]
             self._in_strides[r] = self._in_strides[r + 1] * self.block[r + 1]
         total = int(np.prod(self._grid)) * self._block_slots * self._n_arrays
-        self.file = OOCFile(file_name or "+".join(self.names), total, pfs, real=real)
+        self.file = OOCFile(
+            file_name or "+".join(self.names), total, pfs, real=real,
+            backend=backend, dtype=dtype,
+            chunk_elements=self._block_slots,
+        )
         self._block_np = np.asarray(self.block, dtype=np.int64)
         self._pad_np = np.asarray(self._pad, dtype=np.int64)
 
@@ -162,7 +168,7 @@ class InterleavedChunkedStore:
                     raise ValueError("real-mode write requires data")
                 self.file.scatter(
                     self.addresses(name, region),
-                    np.asarray(data, dtype=np.float64).ravel(),
+                    np.asarray(data, dtype=self.file.dtype).ravel(),
                 )
 
     # -- verification helpers ---------------------------------------------------
@@ -176,5 +182,5 @@ class InterleavedChunkedStore:
             raise ValueError(f"shape mismatch {values.shape} vs {self.shape}")
         region = tuple((0, s - 1) for s in self.shape)
         self.file.scatter(
-            self.addresses(name, region), values.astype(np.float64).ravel()
+            self.addresses(name, region), values.astype(self.file.dtype).ravel()
         )

@@ -1,14 +1,19 @@
-"""A linear out-of-core file of float64 elements.
+"""A linear out-of-core file of scalar elements behind a storage backend.
 
-In *real* mode the file carries an actual numpy buffer so programs can be
-executed and verified; in *simulate* mode only the cost accounting runs
-(the buffer is absent), which is what the table-scale benchmarks use.
+Where the data lives is the backend's business (:mod:`repro.backends`):
+the in-memory default carries a numpy buffer so programs can be executed
+and verified; the simulate-only backend runs cost accounting without any
+data (what the table-scale benchmarks use); the mmap/chunked/object
+backends move real (or realistically priced) bytes and record measured
+metrics.  ``real=True/False`` remain as aliases for the two defaults —
+code written against the pre-backend API behaves bit-identically.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..backends import StorageBackend, resolve_backend
 from .pfs import ParallelFileSystem
 from .stats import IOContext
 
@@ -20,30 +25,31 @@ class OOCFile:
         n_elements: int,
         pfs: ParallelFileSystem,
         *,
-        real: bool = True,
+        real: bool | None = None,
+        backend: StorageBackend | str | None = None,
+        dtype=None,
+        chunk_elements: int | None = None,
     ):
         self.name = name
         self.n_elements = int(n_elements)
         self.base_elem = pfs.allocate(name, self.n_elements)
-        self.buffer: np.ndarray | None = (
-            np.zeros(self.n_elements, dtype=np.float64) if real else None
+        self.backend = resolve_backend(backend, real)
+        self._bfile = self.backend.open(
+            name, self.n_elements, dtype=dtype, chunk_elements=chunk_elements
         )
+        self.dtype = self._bfile.dtype
 
     @property
     def real(self) -> bool:
-        return self.buffer is not None
+        return self.backend.real
 
     # -- data paths (cost accounting is separate, see OutOfCoreArray) -----
 
     def gather(self, addresses: np.ndarray) -> np.ndarray:
-        if self.buffer is None:
-            raise RuntimeError(f"file {self.name} is simulate-only")
-        return self.buffer[addresses]
+        return self._bfile.gather(addresses)
 
     def scatter(self, addresses: np.ndarray, values: np.ndarray) -> None:
-        if self.buffer is None:
-            raise RuntimeError(f"file {self.name} is simulate-only")
-        self.buffer[addresses] = values
+        self._bfile.scatter(addresses, values)
 
     # -- accounting ---------------------------------------------------------
 

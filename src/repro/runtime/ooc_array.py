@@ -39,6 +39,17 @@ def _region_indices(region: Region) -> np.ndarray:
     return grid + np.array([lo for lo, _ in region], dtype=np.int64)
 
 
+def layout_chunk_elements(layout: Layout) -> int | None:
+    """The chunk-size hint a layout gives chunk-granular backends: the
+    tile footprint (block slots) of a blocked layout, nothing for
+    linear layouts (they have no natural chunk shape)."""
+    from ..layout.layouts import BlockedLayout
+
+    if isinstance(layout, BlockedLayout):
+        return int(np.prod(layout.block))
+    return None
+
+
 def runs_of(addresses: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Decompose a set of file addresses into maximal contiguous runs;
     returns ``(offsets, lengths)`` sorted by offset."""
@@ -85,10 +96,15 @@ class OutOfCoreArray:
         layout: Layout,
         pfs: ParallelFileSystem,
         *,
-        real: bool = True,
+        real: bool | None = None,
+        backend=None,
+        dtype=None,
     ) -> "OutOfCoreArray":
         am = layout.address_map(shape)
-        file = OOCFile(name, am.total_slots, pfs, real=real)
+        file = OOCFile(
+            name, am.total_slots, pfs, real=real, backend=backend,
+            dtype=dtype, chunk_elements=layout_chunk_elements(layout),
+        )
         return cls(name, shape, layout, file)
 
     # -- whole-region addressing -------------------------------------------
@@ -144,7 +160,7 @@ class OutOfCoreArray:
         if not self.file.real:
             return None
         sizes = [hi - lo + 1 for lo, hi in region]
-        out = np.zeros(flat_skip.size, dtype=np.float64)
+        out = np.zeros(flat_skip.size, dtype=self.file.dtype)
         if need.size:
             out[~flat_skip] = self.file.gather(need)
         return out.reshape(sizes)
@@ -158,7 +174,9 @@ class OutOfCoreArray:
         if self.file.real:
             if data is None:
                 raise ValueError("real-mode write requires data")
-            self.file.scatter(addrs, np.asarray(data, dtype=np.float64).ravel())
+            self.file.scatter(
+                addrs, np.asarray(data, dtype=self.file.dtype).ravel()
+            )
 
     # -- element access (verification only; no I/O accounting) -----------------
 
@@ -174,4 +192,4 @@ class OutOfCoreArray:
             raise ValueError(f"shape mismatch {values.shape} vs {self.shape}")
         region = tuple((0, s - 1) for s in self.shape)
         addrs = self.addresses(region)
-        self.file.scatter(addrs, values.astype(np.float64).ravel())
+        self.file.scatter(addrs, values.astype(self.file.dtype).ravel())

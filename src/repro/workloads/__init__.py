@@ -8,8 +8,28 @@ consumes only access matrices and loop bounds, so what must match is the
 optimization problem, not the numerics (see DESIGN.md §2).
 
 Every module exposes ``build(n=...) -> Program`` and ``META``.
+
+Alongside the ten paper codes, the ``ANALYTICS`` registry carries the
+big-array analytics family (``window``, ``ajoin``, ``pipeline``) used
+by the storage-backend benchmarks; see ``registry.py``.
 """
 
-from .registry import WORKLOADS, WorkloadMeta, build_workload, workload_names
+from .registry import (
+    ANALYTICS,
+    WORKLOADS,
+    WorkloadMeta,
+    analytics_names,
+    build_analytics,
+    build_workload,
+    workload_names,
+)
 
-__all__ = ["WORKLOADS", "WorkloadMeta", "build_workload", "workload_names"]
+__all__ = [
+    "ANALYTICS",
+    "WORKLOADS",
+    "WorkloadMeta",
+    "analytics_names",
+    "build_analytics",
+    "build_workload",
+    "workload_names",
+]

@@ -1,0 +1,46 @@
+"""``ajoin`` — array join with mismatched key orientations.
+
+Big-array analytics workload: join two 2-D arrays whose "keys" run in
+orthogonal directions — ``A`` is stored record-major, ``B`` arrives
+transposed (the classic array-database case of joining a matrix with
+its co-matrix).  The probe nest reads ``A[i,j]`` against ``B[j,i]``, so
+no single loop order is friendly to both operands and the layout
+optimizer has to pick which array to re-lay (the same tension as the
+1999 ``trans``/``htrib`` kernels, but with a third, written array in
+the loop).  A reduction nest then folds the join result along the
+column direction, reading ``C`` orthogonally to how it was written.
+"""
+
+from __future__ import annotations
+
+from ..ir import Program, ProgramBuilder
+
+META = dict(
+    source="analytics",
+    iters=1,
+    arrays="three 2-D, one 1-D",
+)
+
+
+def build(n: int = 64) -> Program:
+    b = ProgramBuilder("ajoin", params=("N",), default_binding={"N": n})
+    N = b.param("N")
+    A = b.array("A", (N, N))
+    B = b.array("B", (N, N))
+    C = b.array("C", (N, N))
+    D = b.array("D", (N,))
+    w = META["iters"]
+    # probe: element-wise join of A with the transpose of B
+    with b.nest("ajoin.probe", weight=w) as nb:
+        i = nb.loop("i", 1, N)
+        j = nb.loop("j", 1, N)
+        nb.assign(C[i, j], A[i, j] * B[j, i])
+    with b.nest("ajoin.initred", weight=w) as nb:
+        j = nb.loop("j", 1, N)
+        nb.assign(D[j], 0.0)
+    # fold the join result down columns — orthogonal to how C was written
+    with b.nest("ajoin.reduce", weight=w) as nb:
+        j = nb.loop("j", 1, N)
+        i = nb.loop("i", 1, N)
+        nb.assign(D[j], D[j] + C[i, j])
+    return b.build()

@@ -1,0 +1,43 @@
+"""``window`` — windowed aggregation over a big 2-D array.
+
+The first of the big-array analytics family ("Optimizing I/O for Big
+Array Analytics", PAPERS.md): every output cell sums a sliding window
+of ``W`` neighbours along the row direction — the array-database
+version of a moving average.  The access pattern is a short stencil:
+under a row-major file the window is one contiguous run per row
+segment, under column-major it shatters into ``W`` strided columns per
+tile — layout sensitivity the ten 1999 kernels only show indirectly.
+"""
+
+from __future__ import annotations
+
+from ..ir import Program, ProgramBuilder
+
+#: window width (paper-style small constant, like adi's plane count)
+W = 4
+
+META = dict(
+    source="analytics",
+    iters=1,
+    arrays="two 2-D",
+)
+
+
+def build(n: int = 64) -> Program:
+    b = ProgramBuilder("window", params=("N",), default_binding={"N": n})
+    N = b.param("N")
+    A = b.array("A", (N, N))
+    S = b.array("S", (N, N))
+    w = META["iters"]
+    with b.nest("window.init", weight=w) as nb:
+        i = nb.loop("i", 1, N)
+        j = nb.loop("j", 1, N)
+        nb.assign(S[i, j], 0.0)
+    # sliding-window sum: S[i,j] = sum_{k<W} A[i, j+k] over the valid
+    # window anchors (rightmost W-1 columns have no full window)
+    with b.nest("window.agg", weight=w) as nb:
+        i = nb.loop("i", 1, N)
+        j = nb.loop("j", 1, N - (W - 1))
+        k = nb.loop("k", 0, W - 1)
+        nb.assign(S[i, j], S[i, j] + A[i, j + k])
+    return b.build()

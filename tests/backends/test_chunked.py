@@ -1,0 +1,96 @@
+"""Chunked backend: whole-chunk transfers, read-modify-write, hints."""
+
+import numpy as np
+import pytest
+
+from repro.backends import BackendError, ChunkedBackend, DEFAULT_CHUNK_ELEMENTS
+
+
+def test_default_chunk_size():
+    b = ChunkedBackend()
+    f = b.open("A", 10000)
+    assert f.chunk_elements == DEFAULT_CHUNK_ELEMENTS
+    assert f.n_chunks == 3
+    b.close()
+
+
+def test_chunk_hint_overrides_default():
+    b = ChunkedBackend()
+    f = b.open("A", 64, chunk_elements=16)
+    assert f.chunk_elements == 16
+    assert f.n_chunks == 4
+    b.close()
+
+
+def test_invalid_chunk_sizes():
+    with pytest.raises(BackendError):
+        ChunkedBackend(default_chunk_elements=0)
+    b = ChunkedBackend()
+    with pytest.raises(BackendError):
+        b.open("A", 8, chunk_elements=-1)
+    b.close()
+
+
+def test_roundtrip_and_missing_chunks_read_zero():
+    b = ChunkedBackend()
+    f = b.open("A", 64, chunk_elements=16)
+    f.scatter(np.arange(16, 32, dtype=np.int64), np.ones(16))
+    out = f.gather(np.arange(0, 64, dtype=np.int64))
+    expected = np.zeros(64)
+    expected[16:32] = 1.0
+    np.testing.assert_array_equal(out, expected)
+    b.close()
+
+
+def test_ops_count_whole_chunks():
+    b = ChunkedBackend()
+    f = b.open("A", 64, chunk_elements=16)
+    # full-chunk overwrite: 1 PUT, no read-modify-write
+    f.scatter(np.arange(16, dtype=np.int64), np.ones(16))
+    assert (b.metrics.get_ops, b.metrics.put_ops) == (0, 1)
+    assert b.metrics.bytes_written == 16 * 8
+    # partial write into an existing chunk: 1 GET + 1 PUT
+    f.scatter(np.array([3], dtype=np.int64), np.array([5.0]))
+    assert (b.metrics.get_ops, b.metrics.put_ops) == (1, 2)
+    # whole-chunk traffic even for a 1-element read
+    f.gather(np.array([40], dtype=np.int64))
+    assert b.metrics.get_ops == 2
+    assert b.metrics.bytes_read == 2 * 16 * 8
+    b.close()
+
+
+def test_one_file_per_chunk_on_disk():
+    b = ChunkedBackend()
+    f = b.open("A", 64, chunk_elements=16)
+    f.scatter(np.arange(0, 48, dtype=np.int64), np.ones(48))
+    assert f.chunks_on_disk() == 3
+    b.close()
+
+
+def test_gather_spanning_chunks():
+    b = ChunkedBackend()
+    f = b.open("A", 64, chunk_elements=16)
+    data = np.arange(64, dtype=np.float64)
+    f.scatter(np.arange(64, dtype=np.int64), data)
+    addr = np.array([5, 20, 35, 50], dtype=np.int64)
+    np.testing.assert_array_equal(f.gather(addr), data[addr])
+    b.close()
+
+
+def test_clone_keeps_default_chunk_size():
+    b = ChunkedBackend(default_chunk_elements=128)
+    c = b.clone()
+    assert c.default_chunk_elements == 128
+    assert c.root != b.root
+    b.close()
+    c.close()
+
+
+def test_tail_chunk_shorter():
+    b = ChunkedBackend()
+    f = b.open("A", 20, chunk_elements=16)
+    f.scatter(np.arange(16, 20, dtype=np.int64), np.ones(4))
+    # the 4-element write covers the whole 4-element tail chunk: no RMW
+    assert (b.metrics.get_ops, b.metrics.put_ops) == (0, 1)
+    assert b.metrics.bytes_written == 4 * 8
+    b.close()

@@ -1,0 +1,53 @@
+"""``python -m repro.backends`` driver."""
+
+import pytest
+
+from repro.backends.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for kind in ("memory", "simulate", "mmap", "chunked", "object"):
+        assert kind in out
+
+
+@pytest.mark.parametrize("kind", ["mmap", "chunked", "object"])
+def test_run_verified(kind, tmp_path, capsys):
+    args = [
+        "run", "--workload", "mxm", "--n", "12",
+        "--backend", kind, "--verify",
+    ]
+    if kind in ("mmap", "chunked"):
+        args += ["--root", str(tmp_path)]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "verified" in out
+    assert "measured" in out
+
+
+def test_run_analytics_workload(capsys):
+    assert main([
+        "run", "--workload", "pipeline", "--n", "12",
+        "--backend", "chunked", "--verify",
+    ]) == 0
+    assert "verified" in capsys.readouterr().out
+
+
+def test_run_memory_backend_has_no_measured_line(capsys):
+    assert main(["run", "--workload", "mxm", "--n", "12",
+                 "--backend", "memory"]) == 0
+    out = capsys.readouterr().out
+    assert "stats:" in out
+    assert "measured" not in out
+
+
+def test_unknown_workload():
+    with pytest.raises(SystemExit):
+        main(["run", "--workload", "nope", "--backend", "memory"])
+
+
+def test_verify_rejects_simulate():
+    with pytest.raises(SystemExit, match="data-carrying"):
+        main(["run", "--workload", "mxm", "--n", "12",
+              "--backend", "simulate", "--verify"])

@@ -1,0 +1,107 @@
+"""Simulated object store: deterministic pricing, per-object accounting."""
+
+import numpy as np
+import pytest
+
+from repro.backends import BackendError, ObjectStoreParams, SimulatedObjectStore
+
+
+class TestParams:
+    def test_defaults(self):
+        p = ObjectStoreParams()
+        assert p.get_latency_s == 0.030
+        assert p.put_latency_s == 0.045
+        assert p.bandwidth_bps == 100.0e6
+
+    def test_transfer_times(self):
+        p = ObjectStoreParams(
+            get_latency_s=0.01, put_latency_s=0.02, bandwidth_bps=1e6
+        )
+        assert p.get_time(1_000_000) == pytest.approx(0.01 + 1.0)
+        assert p.put_time(500_000) == pytest.approx(0.02 + 0.5)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"get_latency_s": -1.0},
+            {"put_latency_s": float("nan")},
+            {"bandwidth_bps": 0.0},
+            {"bandwidth_bps": float("inf")},
+            {"default_object_elements": 0},
+        ],
+    )
+    def test_invalid_params_rejected(self, kwargs):
+        with pytest.raises(BackendError):
+            ObjectStoreParams(**kwargs)
+
+
+class TestObjectFile:
+    def test_roundtrip(self):
+        store = SimulatedObjectStore()
+        f = store.open("A", 64, chunk_elements=16)
+        data = np.arange(64, dtype=np.float64)
+        f.scatter(np.arange(64, dtype=np.int64), data)
+        np.testing.assert_array_equal(
+            f.gather(np.arange(64, dtype=np.int64)), data
+        )
+
+    def test_missing_objects_read_zero(self):
+        store = SimulatedObjectStore()
+        f = store.open("A", 32, chunk_elements=16)
+        np.testing.assert_array_equal(
+            f.gather(np.arange(32, dtype=np.int64)), np.zeros(32)
+        )
+
+    def test_partial_write_is_read_modify_write(self):
+        store = SimulatedObjectStore()
+        f = store.open("A", 32, chunk_elements=16)
+        f.scatter(np.array([3], dtype=np.int64), np.array([1.0]))
+        assert store.metrics.get_ops == 1
+        assert store.metrics.put_ops == 1
+        # full-object overwrite needs no GET
+        f.scatter(np.arange(16, 32, dtype=np.int64), np.ones(16))
+        assert store.metrics.get_ops == 1
+        assert store.metrics.put_ops == 2
+
+    def test_modeled_wall_time_is_deterministic(self):
+        def run():
+            store = SimulatedObjectStore()
+            f = store.open("A", 64, chunk_elements=16)
+            f.scatter(np.arange(64, dtype=np.int64), np.ones(64))
+            f.gather(np.arange(0, 64, 3, dtype=np.int64))
+            return store.metrics.wall_s
+
+        assert run() == run()
+
+    def test_wall_time_matches_params_model(self):
+        p = ObjectStoreParams(
+            get_latency_s=0.1, put_latency_s=0.2, bandwidth_bps=1e6
+        )
+        store = SimulatedObjectStore(p)
+        f = store.open("A", 16, chunk_elements=16)
+        f.scatter(np.arange(16, dtype=np.int64), np.ones(16))  # 1 PUT, 128 B
+        f.gather(np.arange(16, dtype=np.int64))  # 1 GET, 128 B
+        assert store.metrics.wall_write_s == pytest.approx(p.put_time(128))
+        assert store.metrics.wall_read_s == pytest.approx(p.get_time(128))
+
+    def test_per_object_counts(self):
+        store = SimulatedObjectStore()
+        f = store.open("A", 48, chunk_elements=16)
+        f.scatter(np.arange(16, dtype=np.int64), np.ones(16))  # obj 0: 1 put
+        f.gather(np.array([0, 20], dtype=np.int64))  # objs 0 and 1: 1 get each
+        assert store.object_counts[("A", 0)] == [1, 1]
+        assert store.object_counts[("A", 1)] == [1, 0]
+        assert store.objects_touched == 2
+        gets = sum(g for g, _ in store.object_counts.values())
+        puts = sum(p for _, p in store.object_counts.values())
+        assert gets == store.metrics.get_ops
+        assert puts == store.metrics.put_ops
+
+    def test_clone_shares_params_not_state(self):
+        p = ObjectStoreParams(get_latency_s=0.5)
+        store = SimulatedObjectStore(p)
+        store.open("A", 8)
+        c = store.clone()
+        assert c.params is p
+        assert c.objects_touched == 0
+        c.open("A", 8)  # fresh namespace

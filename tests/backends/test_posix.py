@@ -1,0 +1,116 @@
+"""mmap backend: real files, extent-counted operations, cleanup."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.backends import MmapBackend, contiguous_extents
+from repro.backends.posix import safe_filename
+
+
+class TestContiguousExtents:
+    def test_empty(self):
+        assert contiguous_extents(np.array([], dtype=np.int64)) == 0
+
+    def test_single_run(self):
+        assert contiguous_extents(np.arange(10)) == 1
+
+    def test_unsorted_single_run(self):
+        assert contiguous_extents(np.array([3, 1, 2, 0])) == 1
+
+    def test_strided(self):
+        assert contiguous_extents(np.arange(0, 20, 2)) == 10
+
+    def test_two_runs(self):
+        assert contiguous_extents(np.array([0, 1, 2, 10, 11])) == 2
+
+
+class TestSafeFilename:
+    def test_sanitizes_special_chars(self):
+        taken = set()
+        assert safe_filename("group:g", taken) == "group_g"
+        assert safe_filename("A+B", taken) == "A_B"
+
+    def test_collisions_get_suffixes(self):
+        taken = set()
+        assert safe_filename("A:B", taken) == "A_B"
+        assert safe_filename("A+B", taken) == "A_B.1"
+        assert safe_filename("A.B", taken) == "A.B"
+
+    def test_empty_name(self):
+        assert safe_filename("", set()) == "file"
+
+
+class TestMmapBackend:
+    def test_roundtrip(self):
+        b = MmapBackend()
+        f = b.open("A", 64)
+        addr = np.arange(8, dtype=np.int64)
+        f.scatter(addr, np.arange(8, dtype=np.float64))
+        out = f.gather(addr)
+        np.testing.assert_array_equal(out, np.arange(8, dtype=np.float64))
+        b.close()
+
+    def test_starts_zeroed(self):
+        b = MmapBackend()
+        f = b.open("A", 16)
+        np.testing.assert_array_equal(
+            f.gather(np.arange(16, dtype=np.int64)), np.zeros(16)
+        )
+        b.close()
+
+    def test_ops_count_extents(self):
+        b = MmapBackend()
+        f = b.open("A", 64)
+        f.scatter(np.arange(0, 16, 2, dtype=np.int64), np.ones(8))
+        assert b.metrics.put_ops == 8  # 8 strided extents
+        f.gather(np.arange(8, dtype=np.int64))
+        assert b.metrics.get_ops == 1  # one contiguous extent
+        assert b.metrics.bytes_written == 8 * 8
+        assert b.metrics.bytes_read == 8 * 8
+        assert b.metrics.wall_s >= 0
+        b.close()
+
+    def test_file_exists_on_disk(self, tmp_path):
+        b = MmapBackend(str(tmp_path))
+        f = b.open("A", 32)
+        f.scatter(np.array([0], dtype=np.int64), np.array([7.0]))
+        assert os.path.exists(f.path)
+        assert os.path.getsize(f.path) == 32 * 8
+        b.close()
+        # caller-provided root is not deleted
+        assert os.path.exists(str(tmp_path))
+
+    def test_private_root_removed_on_close(self):
+        b = MmapBackend()
+        root = b.root
+        b.open("A", 8)
+        assert os.path.isdir(root)
+        b.close()
+        assert not os.path.exists(root)
+
+    def test_dtype_carried(self):
+        b = MmapBackend()
+        f = b.open("A", 8, dtype=np.float32)
+        assert f.dtype == np.dtype(np.float32)
+        f.scatter(np.array([0], dtype=np.int64), np.array([1.5]))
+        assert f.gather(np.array([0], dtype=np.int64)).dtype == np.float32
+        assert b.metrics.bytes_written == 4
+        b.close()
+
+    def test_clone_is_independent(self):
+        b = MmapBackend()
+        b.open("A", 8)
+        c = b.clone()
+        c.open("A", 8)
+        assert c.root != b.root
+        assert c.metrics.ops == 0
+        b.close()
+        c.close()
+
+    @pytest.mark.parametrize("n", [0, 1])
+    def test_tiny_files(self, n):
+        b = MmapBackend()
+        b.open("A", n)
+        b.close()

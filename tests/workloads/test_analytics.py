@@ -1,0 +1,110 @@
+"""The big-array analytics family: registry separation, numerics, and
+the per-stage layout win the backend benchmarks rely on."""
+
+import numpy as np
+import pytest
+
+from repro.engine import OOCExecutor
+from repro.optimizer import build_version
+from repro.workloads import (
+    ANALYTICS,
+    WORKLOADS,
+    analytics_names,
+    build_analytics,
+    build_workload,
+)
+from repro.workloads.pipeline import QUERY_ITERS
+from repro.workloads.window import W
+
+N = 12
+
+
+def _run(name, version="c-opt", n=N):
+    cfg = build_version(version, build_analytics(name, n))
+    ex = OOCExecutor(
+        cfg.program, cfg.layouts, tiling=cfg.tiling,
+        storage_spec=cfg.storage_spec,
+    )
+    result = ex.run()
+    arrays = {a.name: ex.array_data(a.name) for a in cfg.program.arrays}
+    return result, arrays
+
+
+class TestRegistry:
+    def test_separate_from_paper_workloads(self):
+        assert analytics_names() == ["window", "ajoin", "pipeline"]
+        assert len(WORKLOADS) == 10
+        assert not set(ANALYTICS) & set(WORKLOADS)
+
+    def test_meta_fields(self):
+        for meta in ANALYTICS.values():
+            assert meta.source == "analytics"
+            assert meta.iters >= 1
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            build_analytics("mxm")  # paper kernels live in WORKLOADS
+        with pytest.raises(KeyError):
+            build_workload("window")
+
+    @pytest.mark.parametrize("name", ["window", "ajoin", "pipeline"])
+    def test_programs_build_and_bind(self, name):
+        prog = build_analytics(name, 16)
+        assert dict(prog.default_binding)["N"] == 16
+        assert len(prog.nests) >= 2
+
+
+class TestNumerics:
+    """Contents equal a straightforward numpy evaluation (1-based
+    Fortran-style bounds → slice arithmetic below)."""
+
+    def test_window_is_sliding_sum(self):
+        _, arrays = _run("window")
+        A, S = arrays["A"], arrays["S"]
+        expected = np.zeros_like(S)
+        for k in range(W):
+            expected[:, : N - W + 1] += A[:, k: N - W + 1 + k]
+        np.testing.assert_allclose(S, expected)
+
+    def test_ajoin_is_transposed_product_with_colsum(self):
+        _, arrays = _run("ajoin")
+        A, B, C, D = arrays["A"], arrays["B"], arrays["C"], arrays["D"]
+        np.testing.assert_allclose(C, A * B.T)
+        np.testing.assert_allclose(D, C.sum(axis=0))
+
+    def test_pipeline_three_stages(self):
+        _, arrays = _run("pipeline")
+        A = arrays["A"]
+        t1 = 3.0 * A
+        t2 = t1.T
+        expected = np.zeros_like(A)
+        for k in range(W):
+            expected[:, : N - W + 1] += t2[:, k: N - W + 1 + k]
+        np.testing.assert_allclose(arrays["T1"], t1)
+        np.testing.assert_allclose(arrays["T2"], t2)
+        # nest repetition semantics: the init nest's repetitions all
+        # zero S, then the window nest's QUERY_ITERS repetitions each
+        # accumulate one full window sum
+        np.testing.assert_allclose(arrays["S"], QUERY_ITERS * expected)
+
+
+class TestPipelineLayoutWin:
+    def test_query_iters_weighting(self):
+        prog = build_analytics("pipeline", N)
+        weights = {n.name: n.weight for n in prog.nests}
+        assert weights["pipe.scale"] == 1
+        assert weights["pipe.transpose"] == QUERY_ITERS
+
+    def test_per_stage_layouts_beat_fixed(self):
+        io = {}
+        for ver in ("row", "d-opt", "c-opt"):
+            result, _ = _run("pipeline", version=ver, n=16)
+            io[ver] = result.stats.io_time_s
+        assert io["d-opt"] < io["row"]
+        assert io["c-opt"] < io["row"]
+
+    def test_versions_agree_on_contents(self):
+        _, fixed = _run("pipeline", version="row", n=16)
+        _, tuned = _run("pipeline", version="c-opt", n=16)
+        for name in fixed:
+            np.testing.assert_allclose(tuned[name], fixed[name])
