@@ -72,6 +72,7 @@ from .optimizer import (
 from .runtime import IOStats, MachineParams, OutOfCoreArray, ParallelFileSystem
 from .cache import CacheConfig, CacheMetrics, TileCache
 from .collective import CollectiveConfig, event_makespan, plan_nest_collective
+from .bounds import NestBound, program_bounds
 from .engine import OOCExecutor, generate_tiled_code, interpret_program
 from .faults import FaultConfig, FaultPlan, ResiliencePolicy
 from .obs import ObsConfig, Observability
@@ -136,10 +137,12 @@ __all__ = [
     "FaultConfig",
     "FaultPlan",
     "ResiliencePolicy",
-    # observability
+    # observability & optimality
     "ObsConfig",
     "Observability",
     "ReportEvent",
+    "NestBound",
+    "program_bounds",
     # parallel & workloads
     "run_version_parallel",
     "speedup_curve",

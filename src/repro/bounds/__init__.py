@@ -1,0 +1,48 @@
+"""repro.bounds — static I/O lower bounds and optimality analysis.
+
+Red-blue-pebbling-style lower bounds on element transfers for the
+affine loop nests of the registry, derived from the IR alone (loop
+headers, reference footprints, iteration domains) given a memory
+capacity ``M``.  The observability stack (:mod:`repro.obs`) pairs
+these with measured transfers into per-nest ``OptimalityRecord`` rows,
+turning relative wins ("c-opt beats col") into absolute statements
+("c-opt is within X% of optimal").
+"""
+
+from .analysis import (
+    bounds_by_nest,
+    classify_nest,
+    domain_size,
+    find_contraction,
+    nest_footprint_counts,
+    nest_lower_bound,
+    program_bounds,
+    ref_image_size,
+)
+from .model import (
+    RULE_COLD,
+    RULE_CONTRACTION,
+    RULE_REDUCTION,
+    RULE_STENCIL,
+    RULE_TRANSPOSE,
+    RULES,
+    NestBound,
+)
+
+__all__ = [
+    "NestBound",
+    "RULES",
+    "RULE_COLD",
+    "RULE_CONTRACTION",
+    "RULE_REDUCTION",
+    "RULE_STENCIL",
+    "RULE_TRANSPOSE",
+    "bounds_by_nest",
+    "classify_nest",
+    "domain_size",
+    "find_contraction",
+    "nest_footprint_counts",
+    "nest_lower_bound",
+    "program_bounds",
+    "ref_image_size",
+]

@@ -1,0 +1,80 @@
+"""Result model for the static I/O lower-bound pass.
+
+A :class:`NestBound` is one nest's red-blue-pebbling-style lower bound
+on element transfers, tagged with the derivation rule that produced it
+so reports can say *why* the number is what it is.  Bounds are safe
+under-counts: every derivation in :mod:`repro.bounds.analysis` proves
+``bound_elements`` is at most the elements the engine actually moves on
+any execution path (direct / independent / two-phase) with per-node
+memory capacity ``memory_elements``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Mapping
+
+#: Hong–Kung √M bound for matmul-like contractions (Irony–Toledo–Tiskin
+#: constant, Kwasniewski et al. "Pebbles, Graphs, and a Pinch of
+#: Combinatorics" lineage), maxed with the cold footprint.
+RULE_CONTRACTION = "hong-kung-contraction"
+#: Full-rank permutation write/read pair (transpose-flavoured copies):
+#: both images must cross the memory boundary once.
+RULE_TRANSPOSE = "transpose-exchange"
+#: Shifted same-matrix references or multi-var subscripts (stencils,
+#: recurrences, sliding windows): footprint + reuse-distance argument.
+RULE_STENCIL = "stencil-footprint"
+#: Write image of rank < depth (accumulations into fewer dimensions).
+RULE_REDUCTION = "reduction-footprint"
+#: Conservative fallback: cold (compulsory) footprint only.
+RULE_COLD = "cold-footprint"
+
+RULES = (
+    RULE_CONTRACTION,
+    RULE_TRANSPOSE,
+    RULE_STENCIL,
+    RULE_REDUCTION,
+    RULE_COLD,
+)
+
+
+@dataclass(frozen=True)
+class NestBound:
+    """Lower bound on element transfers for one loop nest.
+
+    ``read_elements`` / ``write_elements`` are the per-direction bounds
+    (already scaled by nest weight and discounted for warm caches);
+    ``bound_elements`` is their sum, maxed with the Hong–Kung term for
+    contractions.  ``memory_elements`` is the per-node capacity ``M``
+    the bound was derived against and ``n_nodes`` the node count whose
+    aggregate memory discounts warm reuse.
+    """
+
+    nest: str
+    rule: str
+    bound_elements: float
+    read_elements: float
+    write_elements: float
+    memory_elements: int
+    n_nodes: int = 1
+    weight: int = 1
+    warm: bool = False
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(d: Mapping) -> "NestBound":
+        return NestBound(
+            nest=d["nest"],
+            rule=d["rule"],
+            bound_elements=float(d["bound_elements"]),
+            read_elements=float(d.get("read_elements", 0.0)),
+            write_elements=float(d.get("write_elements", 0.0)),
+            memory_elements=int(d.get("memory_elements", 0)),
+            n_nodes=int(d.get("n_nodes", 1)),
+            weight=int(d.get("weight", 1)),
+            warm=bool(d.get("warm", False)),
+            detail=str(d.get("detail", "")),
+        )

@@ -8,7 +8,7 @@ single-node experiments; :mod:`repro.parallel` wraps it per SPMD node.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace as dc_replace
-from typing import Callable, Mapping
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -214,6 +214,7 @@ class OOCExecutor:
         cache: CacheConfig | None = None,
         trace: bool = False,
         obs: Observability | None = None,
+        bounds: Sequence[object] | None = None,
         faults: FaultConfig | None = None,
     ):
         if node_slice is not None:
@@ -230,6 +231,9 @@ class OOCExecutor:
         self._trace = trace or (
             self._obs is not None and self._obs.config.per_array
         )
+        # precomputed static I/O lower bounds (repro.bounds); None means
+        # derive them at obs-finish time against the effective memory
+        self._bounds = bounds
         # fault injection (repro.faults): one injector per executor, its
         # RNG stream seeded by plan.seed + rank.  With faults=None (the
         # default) every IOContext takes its vectorized path untouched.
@@ -381,6 +385,14 @@ class OOCExecutor:
 
         return predict_program_io(self.program, self._layouts, self.binding)
 
+    def predicted_elements(self) -> dict[str, float]:
+        """The cost model's element-transfer estimate per nest — the
+        "modeled" column of the optimality telemetry
+        (:meth:`repro.obs.Observability.note_modeled_elements`)."""
+        from ..optimizer.cost import predict_program_elements
+
+        return predict_program_elements(self.program, self.binding)
+
     def run(self) -> RunResult:
         obs = self._obs
         run_span = (
@@ -498,6 +510,29 @@ class OOCExecutor:
                 obs.record_nest_io(rec)
             obs.note_predictions(self.predicted_io())
             obs.finalize_drift()
+            # optimality: a lone executor owns the whole program, so it
+            # can derive (or adopt) bounds itself; rank executors inside
+            # the SPMD driver see only their slab and leave bounds to
+            # the driver, which knows the node count
+            if self.node_slice is None:
+                bounds = self._bounds
+                if bounds is None:
+                    from ..bounds import program_bounds
+
+                    bounds = program_bounds(
+                        self.program,
+                        binding=self.binding,
+                        # effective capacity: pathological tiles may
+                        # overrun the nominal budget, and a bound argued
+                        # against less memory than the run used is wrong
+                        memory_elements=max(
+                            self.memory_budget, self.memory.peak
+                        ),
+                        warm=self._cache is not None,
+                    )
+                obs.note_bounds(bounds)
+                obs.note_modeled_elements(self.predicted_elements())
+                obs.finalize_optimality()
         if obs.config.metrics:
             if self._cache is not None:
                 self._cache.publish_metrics(obs.metrics)

@@ -56,9 +56,12 @@ from .report import (
     CostDriftRecord,
     IOReport,
     NestIORecord,
+    OptimalityRecord,
     RedistRecord,
     build_drift,
+    build_optimality,
     drift_totals,
+    optimality_totals,
     render_report,
     report_totals,
 )
@@ -112,6 +115,13 @@ class Observability:
         #: registered by the executor / parallel driver before the run's
         #: drift table is built (:meth:`finalize_drift`)
         self.predictions: dict[str, dict[str, float]] = {}
+        #: static I/O lower bounds per nest
+        #: (:meth:`repro.bounds.NestBound.to_dict` payloads), registered
+        #: by :meth:`note_bounds` before :meth:`finalize_optimality`
+        self.bounds: dict[str, dict[str, object]] = {}
+        #: cost-model element estimates per nest, the "modeled" column
+        #: of the optimality table (:meth:`note_modeled_elements`)
+        self.modeled_elements: dict[str, float] = {}
 
     @property
     def enabled(self) -> bool:
@@ -174,6 +184,58 @@ class Observability:
                     self.metrics.gauge(
                         "cost_model.call_error", **labels
                     ).set(r.error)
+
+    # -- optimality (I/O lower bounds) --------------------------------------
+
+    def note_bounds(self, bounds: Iterable[object]) -> None:
+        """Register static I/O lower bounds — an iterable of
+        :class:`repro.bounds.NestBound` (or equivalent dict payloads),
+        typically :func:`repro.bounds.program_bounds` of the program
+        about to run, keyed by nest name (last registration wins)."""
+        for b in bounds:
+            d = b.to_dict() if hasattr(b, "to_dict") else dict(b)
+            self.bounds[d["nest"]] = d
+
+    def note_modeled_elements(self, modeled: Mapping[str, float]) -> None:
+        """Register the cost model's element estimates per nest —
+        typically :func:`repro.optimizer.cost.predict_program_elements`."""
+        self.modeled_elements.update(modeled)
+
+    def finalize_optimality(self) -> None:
+        """(Re)build the report's achieved-vs-bound table from the
+        collected records and registered bounds, and publish the
+        ``optimality.*`` gauges.  Idempotent, like
+        :meth:`finalize_drift`."""
+        if not self.bounds and not self.report.records:
+            return
+        self.report.optimality = build_optimality(
+            self.report.records, self.bounds, self.modeled_elements
+        )
+        if not self.config.metrics:
+            return
+        bound_sum = 0.0
+        measured_sum = 0
+        for r in self.report.optimality:
+            labels = {"nest": r.nest}
+            self.metrics.gauge(
+                "optimality.measured_elements", **labels
+            ).set(r.measured_elements)
+            if r.modeled_elements is not None:
+                self.metrics.gauge(
+                    "optimality.modeled_elements", **labels
+                ).set(r.modeled_elements)
+            if r.bound_elements is not None:
+                self.metrics.gauge(
+                    "optimality.bound_elements", **labels
+                ).set(r.bound_elements)
+            if r.ratio is not None:
+                self.metrics.gauge("optimality.ratio", **labels).set(r.ratio)
+                bound_sum += r.bound_elements
+                measured_sum += r.measured_elements
+        if bound_sum > 0:
+            self.metrics.gauge(
+                "optimality.run_ratio"
+            ).set(measured_sum / bound_sum)
 
     # -- simulated-time ingestion -----------------------------------------
 
@@ -263,17 +325,20 @@ __all__ = [
     "NestIORecord",
     "ObsConfig",
     "Observability",
+    "OptimalityRecord",
     "RedistRecord",
     "REQUIRED_EVENT_KEYS",
     "Span",
     "Tracer",
     "active",
     "build_drift",
+    "build_optimality",
     "chrome_trace_events",
     "decode_key",
     "drift_totals",
     "encode_key",
     "load_trace",
+    "optimality_totals",
     "render_report",
     "report_totals",
     "sanitize",

@@ -44,13 +44,18 @@ def cmd_report(args: argparse.Namespace) -> int:
     import json
 
     try:
-        payload = load_trace(args.trace)
+        if args.trace == "-":
+            # stdin payload: pipe a fresh capture straight into a report
+            payload = json.load(sys.stdin)
+        else:
+            payload = load_trace(args.trace)
     except FileNotFoundError:
         print(f"error: trace file not found: {args.trace}", file=sys.stderr)
         return 2
     except (json.JSONDecodeError, UnicodeDecodeError) as e:
+        source = "stdin" if args.trace == "-" else args.trace
         print(
-            f"error: malformed trace JSON in {args.trace}: {e}",
+            f"error: malformed trace JSON in {source}: {e}",
             file=sys.stderr,
         )
         return 2
@@ -99,6 +104,67 @@ def cmd_capture(args: argparse.Namespace) -> int:
         f"{args.workload}/{args.version} on {args.nodes} node(s): "
         f"time={run.time_s:.3f}s calls={run.total_io_calls} -> {args.out}"
     )
+    return 0
+
+
+def cmd_bounds(args: argparse.Namespace) -> int:
+    from ..bounds import program_bounds
+    from ..collective import CollectiveConfig
+    from ..experiments.harness import _scaled_params
+    from ..optimizer import build_version
+    from ..parallel import run_version_parallel
+    from ..workloads import build_analytics, build_workload
+    from .report import _render_optimality
+
+    try:
+        program = build_workload(args.workload, args.n)
+    except KeyError:
+        try:
+            program = build_analytics(args.workload, args.n)
+        except KeyError as e:
+            print(f"error: {e.args[0]}", file=sys.stderr)
+            return 2
+    if args.static:
+        bounds = program_bounds(
+            program, memory_elements=args.memory, n_nodes=args.nodes
+        )
+        header = (
+            f"{'nest':<16} {'rule':<22} {'bound':>10} "
+            f"{'reads>=':>10} {'writes>=':>10}  detail"
+        )
+        print(header)
+        print("-" * len(header))
+        for nb in bounds:
+            print(
+                f"{nb.nest:<16} {nb.rule:<22} {nb.bound_elements:>10.0f} "
+                f"{nb.read_elements:>10.0f} {nb.write_elements:>10.0f}  "
+                f"{nb.detail}"
+            )
+        print(
+            f"M={bounds[0].memory_elements if bounds else args.memory} "
+            f"elements/node, {args.nodes} node(s)"
+        )
+        return 0
+    obs = Observability()
+    cfg = build_version(args.version, program)
+    collective = CollectiveConfig(mode=args.mode) if args.collective else None
+    run = run_version_parallel(
+        cfg,
+        args.nodes,
+        params=_scaled_params(args.n),
+        memory_per_node=args.memory,
+        collective=collective,
+        obs=obs,
+    )
+    stats = run.total_stats.to_dict()
+    print(
+        f"{args.workload}/{args.version} on {args.nodes} node(s), "
+        f"path={'two-phase' if args.collective else 'independent'}"
+    )
+    print("\n".join(_render_optimality(obs.report.optimality, stats)))
+    if args.out:
+        obs.export(args.out)
+        print(f"trace -> {args.out}")
     return 0
 
 
@@ -157,7 +223,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_report = sub.add_parser(
         "report", help="per-nest x per-array I/O table from a trace file"
     )
-    p_report.add_argument("trace", help="trace JSON written by obs.export()")
+    p_report.add_argument(
+        "trace", help="trace JSON written by obs.export(), or '-' for stdin"
+    )
     p_report.add_argument(
         "--metrics", action="store_true", help="also dump the metrics registry"
     )
@@ -180,6 +248,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_cap.add_argument("--out", default="trace.json")
     p_cap.set_defaults(func=cmd_capture)
+
+    p_bounds = sub.add_parser(
+        "bounds",
+        help="static I/O lower bounds + achieved-vs-bound optimality",
+    )
+    p_bounds.add_argument("--workload", default="adi")
+    p_bounds.add_argument("--version", default="c-opt")
+    p_bounds.add_argument("--n", type=int, default=24)
+    p_bounds.add_argument("--nodes", type=int, default=4)
+    p_bounds.add_argument(
+        "--memory", type=int, default=None, metavar="ELEMENTS",
+        help="per-node memory capacity M (default: executor's budget)",
+    )
+    p_bounds.add_argument(
+        "--static", action="store_true",
+        help="print the static bounds only, without running",
+    )
+    p_bounds.add_argument(
+        "--collective", action="store_true",
+        help="run through the two-phase collective layer",
+    )
+    p_bounds.add_argument(
+        "--mode", default="auto", choices=("auto", "always", "never"),
+        help="collective mode (with --collective)",
+    )
+    p_bounds.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also export the obs trace JSON",
+    )
+    p_bounds.set_defaults(func=cmd_bounds)
 
     p_reg = sub.add_parser(
         "regress",
@@ -209,7 +307,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_rk.add_argument("baseline", help="stored baseline JSON")
     p_rk.add_argument(
-        "current", help="current results (pytest --json doc or baseline)"
+        "current",
+        help="current results (pytest --json doc or baseline), '-' for stdin",
     )
     p_rk.add_argument(
         "--rel-tol", type=float, default=0.01, metavar="FRAC",

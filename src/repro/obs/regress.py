@@ -28,7 +28,7 @@ exits 1 — the CI perf gate is exactly that exit code.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import Mapping
 
 #: histogram internals the gate never compares (percentiles carry the
 #: stable signal; bucket layout is an implementation detail)
@@ -37,13 +37,13 @@ SKIPPED_KEYS = frozenset({"bucket_counts", "bounds"})
 #: key fragments marking a float metric where *smaller* is better
 LOWER_BETTER = (
     "time", "_s", "latency", "makespan", "wait", "miss", "evict",
-    "over_budget", "peak", "error", "cost",
+    "over_budget", "peak", "error", "cost", "optimality",
 )
 
 #: key fragments marking a float metric where *bigger* is better
 HIGHER_BETTER = (
     "gain", "speedup", "saved", "saving", "hit", "reduction", "win",
-    "bandwidth", "overlap",
+    "bandwidth", "overlap", "bound",
 )
 
 
@@ -334,26 +334,32 @@ def check_paths(
 ) -> RegressReport:
     """Load both documents and diff them (the ``regress check`` core).
     The current side may be a bare ``pytest --json`` doc or a full
-    baseline envelope; the baseline side must be a valid envelope."""
+    baseline envelope — or ``-`` to read it from stdin; the baseline
+    side must be a valid envelope."""
     import json
+    import sys
 
     from .baselines import BaselineError, load_baseline
 
     baseline = load_baseline(baseline_path)
+    source = "stdin" if current_path == "-" else current_path
     try:
-        with open(current_path) as f:
-            current = json.load(f)
+        if current_path == "-":
+            current = json.load(sys.stdin)
+        else:
+            with open(current_path) as f:
+                current = json.load(f)
     except FileNotFoundError:
         raise BaselineError(
             f"current results file not found: {current_path}"
         ) from None
     except (json.JSONDecodeError, UnicodeDecodeError) as e:
         raise BaselineError(
-            f"malformed current results JSON in {current_path}: {e}"
+            f"malformed current results JSON in {source}: {e}"
         ) from None
     if not isinstance(current, dict) or "results" not in current:
         raise BaselineError(
-            f"{current_path} carries no results mapping "
+            f"{source} carries no results mapping "
             "(expected a pytest --json document or a baseline)"
         )
     return diff_docs(baseline, current, policy)

@@ -109,6 +109,49 @@ class CostDriftRecord:
 
 
 @dataclass
+class OptimalityRecord:
+    """Achieved-vs-optimal telemetry for one nest.
+
+    Pairs the static I/O lower bound from :mod:`repro.bounds` (and the
+    cost model's element estimate) with the nest's measured transfers,
+    aggregated over *all* of the nest's records — every rank, array and
+    path — so :func:`optimality_totals` equals :func:`report_totals`
+    (and hence the folded :class:`IOStats`) exactly.
+    """
+
+    nest: str
+    #: derivation rule tag from :mod:`repro.bounds.model`, None when the
+    #: run carried no bound for this nest
+    rule: str | None = None
+    bound_elements: float | None = None
+    modeled_elements: float | None = None
+    read_calls: int = 0
+    write_calls: int = 0
+    elements_read: int = 0
+    elements_written: int = 0
+    path: str = "direct"
+    detail: str = ""
+
+    @property
+    def measured_elements(self) -> int:
+        return self.elements_read + self.elements_written
+
+    @property
+    def ratio(self) -> float | None:
+        """Achieved/bound — >= 1 by the bound's soundness; 1 is optimal."""
+        if not self.bound_elements or self.bound_elements <= 0:
+            return None
+        return self.measured_elements / self.bound_elements
+
+    def to_dict(self) -> dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, object]) -> "OptimalityRecord":
+        return cls(**d)
+
+
+@dataclass
 class IOReport:
     """The report section of an exported trace."""
 
@@ -117,12 +160,16 @@ class IOReport:
     #: cost-model validation: one row per (nest, array), built by
     #: :func:`build_drift` once the run's records are complete
     drift: list[CostDriftRecord] = field(default_factory=list)
+    #: achieved-vs-lower-bound telemetry: one row per nest, built by
+    #: :func:`build_optimality` from the ``repro.bounds`` pass
+    optimality: list[OptimalityRecord] = field(default_factory=list)
 
     def to_dict(self) -> dict[str, object]:
         return {
             "records": [r.to_dict() for r in self.records],
             "redist": [r.to_dict() for r in self.redist],
             "drift": [r.to_dict() for r in self.drift],
+            "optimality": [r.to_dict() for r in self.optimality],
         }
 
     @classmethod
@@ -131,6 +178,7 @@ class IOReport:
             [NestIORecord.from_dict(r) for r in d.get("records", [])],
             [RedistRecord.from_dict(r) for r in d.get("redist", [])],
             [CostDriftRecord.from_dict(r) for r in d.get("drift", [])],
+            [OptimalityRecord.from_dict(r) for r in d.get("optimality", [])],
         )
 
 
@@ -207,6 +255,63 @@ def drift_totals(drift: Iterable[CostDriftRecord]) -> dict[str, int]:
     """Measured call/element totals of the drift table — the acceptance
     contract pins these equal to the run's folded :class:`IOStats`."""
     return report_totals(drift)
+
+
+def build_optimality(
+    records: Sequence[NestIORecord],
+    bounds: Mapping[str, Mapping[str, object]],
+    modeled: Mapping[str, float] | None = None,
+) -> list[OptimalityRecord]:
+    """Pair the run's measured per-nest transfers with the static lower
+    bounds (``bounds``: nest → :meth:`repro.bounds.NestBound.to_dict`
+    payload) and the cost model's element estimates.
+
+    Aggregation is per *nest* (not per array): ``h-opt`` group files
+    surface as ``group:<g>`` pseudo-arrays, and the bound is a per-nest
+    quantity anyway.  Every record contributes to some row, so
+    :func:`optimality_totals` equals :func:`report_totals` exactly;
+    bounds for nests the run never executed are appended with zero
+    measured transfers and ``path="unexecuted"``.
+    """
+    modeled = modeled or {}
+    rows: dict[str, OptimalityRecord] = {}
+    for r in records:
+        row = rows.get(r.nest)
+        if row is None:
+            b = bounds.get(r.nest, {})
+            bound = b.get("bound_elements")
+            rows[r.nest] = row = OptimalityRecord(
+                nest=r.nest,
+                rule=b.get("rule"),
+                bound_elements=None if bound is None else float(bound),
+                modeled_elements=modeled.get(r.nest),
+                path=r.path,
+                detail=str(b.get("detail", "")),
+            )
+        row.read_calls += r.read_calls
+        row.write_calls += r.write_calls
+        row.elements_read += r.elements_read
+        row.elements_written += r.elements_written
+        if row.path != r.path:
+            row.path = "mixed"
+    for nest, b in bounds.items():
+        if nest not in rows:
+            bound = b.get("bound_elements")
+            rows[nest] = OptimalityRecord(
+                nest=nest,
+                rule=b.get("rule"),
+                bound_elements=None if bound is None else float(bound),
+                modeled_elements=modeled.get(nest),
+                path="unexecuted",
+                detail=str(b.get("detail", "")),
+            )
+    return list(rows.values())
+
+
+def optimality_totals(optimality: Iterable[OptimalityRecord]) -> dict[str, int]:
+    """Measured call/element totals of the optimality table — pinned
+    equal to the run's folded :class:`IOStats`, like the other views."""
+    return report_totals(optimality)
 
 
 def _aggregate(
@@ -288,6 +393,9 @@ def render_report(
     if report.drift:
         lines.append("")
         lines.extend(_render_drift(report.drift, stats))
+    if report.optimality:
+        lines.append("")
+        lines.extend(_render_optimality(report.optimality, stats))
     if serve:
         lines.append("")
         lines.extend(_render_serve(serve))
@@ -400,6 +508,48 @@ def _render_drift(
         match = all(totals[k] == stats.get(k) for k in totals)
         lines.append(
             "drift measured totals vs folded IOStats: "
+            + ("exact match" if match else f"MISMATCH (stats={stats})")
+        )
+    return lines
+
+
+def _render_optimality(
+    optimality: Sequence[OptimalityRecord], stats: Mapping[str, object] | None
+) -> list[str]:
+    """The achieved-vs-lower-bound table: per nest the derivation rule,
+    static bound, modeled and measured element transfers and the
+    achieved/bound ratio (1.0 = I/O-optimal), plus the same exact
+    measured-totals cross-check the other report views pin."""
+    header = (
+        f"{'nest':<16} {'rule':<22} {'path':<11} "
+        f"{'bound':>10} {'modeled':>10} {'measured':>10} {'ratio':>7}"
+    )
+    lines = ["optimality (achieved vs I/O lower bound, repro.bounds)", header,
+             "-" * len(header)]
+    bound_sum = 0.0
+    measured_sum = 0
+    for r in optimality:
+        bound = "-" if r.bound_elements is None else f"{r.bound_elements:.0f}"
+        modeled = "-" if r.modeled_elements is None else f"{r.modeled_elements:.0f}"
+        ratio = r.ratio
+        ratio_s = "-" if ratio is None else f"{ratio:.2f}x"
+        if r.bound_elements and r.bound_elements > 0:
+            bound_sum += r.bound_elements
+            measured_sum += r.measured_elements
+        lines.append(
+            f"{r.nest:<16} {r.rule or '-':<22} {r.path:<11} "
+            f"{bound:>10} {modeled:>10} {r.measured_elements:>10} {ratio_s:>7}"
+        )
+    if bound_sum > 0:
+        lines.append(
+            f"run ratio: {measured_sum / bound_sum:.2f}x over bounded nests "
+            f"(bound={bound_sum:.0f}, measured={measured_sum})"
+        )
+    totals = optimality_totals(optimality)
+    if stats is not None:
+        match = all(totals[k] == stats.get(k) for k in totals)
+        lines.append(
+            "optimality measured totals vs folded IOStats: "
             + ("exact match" if match else f"MISMATCH (stats={stats})")
         )
     return lines

@@ -75,6 +75,7 @@ def run_version_parallel(
     memory_per_node: int | None = None,
     collective: CollectiveConfig | None = None,
     obs: Observability | None = None,
+    bounds: Sequence[object] | None = None,
     faults: FaultConfig | None = None,
     trace: bool = False,
     real: bool = False,
@@ -193,10 +194,26 @@ def run_version_parallel(
                 # the prediction is per-program, identical on every rank;
                 # the drift table compares it to the *summed* measured I/O
                 obs.note_predictions(ex.predicted_io())
+                obs.note_modeled_elements(ex.predicted_elements())
         if rank_backends[rank].measures:
             # disk-backed rank namespaces are done once the stats and
             # metrics are collected — release mmaps / chunk directories
             ex.close()
+    if obs is not None and obs.config.per_array:
+        if bounds is None:
+            from ..bounds import program_bounds
+
+            # the bound argues against the run's effective per-node
+            # capacity: the nominal budget, or the worst rank's peak
+            # when pathological tiles overran it
+            peak = max((r.peak_memory for r in results), default=0)
+            bounds = program_bounds(
+                cfg.program,
+                binding=b,
+                memory_elements=max(budget, peak),
+                n_nodes=n_nodes,
+            )
+        obs.note_bounds(bounds)
     if collective is None:
         run = ParallelRun(cfg.name, n_nodes, makespan(results), results)
         if obs is not None:
@@ -208,6 +225,7 @@ def run_version_parallel(
                     ):
                         obs.record_nest_io(rec)
                 obs.finalize_drift()
+                obs.finalize_optimality()
             obs.note_stats(run.total_stats)
         return run
     return _collective_run(
@@ -388,6 +406,7 @@ def _collective_run(
     if obs is not None:
         if obs.config.per_array:
             obs.finalize_drift()
+            obs.finalize_optimality()
         obs.note_stats(run.total_stats)
     return run
 

@@ -1,0 +1,299 @@
+"""Unit tests for the static lower-bound pass: iteration-domain
+counting, reference-image under-counts (exact and analytic), nest
+classification, and the NestBound model."""
+
+import math
+
+import pytest
+
+from repro.bounds import (
+    RULE_COLD,
+    RULE_CONTRACTION,
+    RULE_REDUCTION,
+    RULE_STENCIL,
+    RULE_TRANSPOSE,
+    NestBound,
+    bounds_by_nest,
+    classify_nest,
+    domain_size,
+    find_contraction,
+    nest_footprint_counts,
+    nest_lower_bound,
+    program_bounds,
+    ref_image_size,
+)
+from repro.bounds import analysis
+from repro.ir import Program, ProgramBuilder
+from repro.workloads import build_analytics, build_workload
+
+
+def _nest(program: Program, name: str):
+    for nest in program.nests:
+        if nest.name == name:
+            return nest
+    raise KeyError(name)
+
+
+def _shapes(program: Program, binding=None):
+    b = program.binding(binding)
+    return b, {a.name: a.shape(b) for a in program.arrays}
+
+
+def _exact_image(nest, ref, binding, shape):
+    """Brute-force ground truth: the full in-bounds image over the
+    complete iteration domain (no variable pinning)."""
+    points = set()
+    for env in nest.iterate(binding):
+        full = dict(binding)
+        full.update(env)
+        idx = tuple(s.evaluate(full) for s in ref.subscripts)
+        if all(0 <= x < d for x, d in zip(idx, shape)):
+            points.add(idx)
+    return len(points)
+
+
+class TestDomainSize:
+    def test_rectangular_exact(self):
+        p = build_workload("mxm", 12)
+        b, _ = _shapes(p)
+        nest = _nest(p, "mxm.jki")
+        brute = sum(1 for _ in nest.iterate(b))
+        assert domain_size(nest, b) == brute == 12 ** 3
+
+    def test_triangular_exact(self):
+        p = build_workload("syr2k", 12)
+        b, _ = _shapes(p)
+        nest = _nest(p, "syr2k.upd")
+        brute = sum(1 for _ in nest.iterate(b))
+        assert domain_size(nest, b) == brute
+
+    @pytest.mark.parametrize("name", ["adi", "btrix", "vpenta", "window"])
+    def test_matches_brute_force(self, name):
+        build = build_analytics if name == "window" else build_workload
+        p = build(name, 8)
+        b, _ = _shapes(p)
+        for nest in p.nests:
+            assert domain_size(nest, b) == sum(1 for _ in nest.iterate(b))
+
+
+class TestRefImage:
+    def test_exact_enumeration_matches_brute_force(self):
+        # rectangular nests: the enumerated image is exact
+        for name in ("mxm", "adi", "trans"):
+            p = build_workload(name, 10)
+            b, shapes = _shapes(p)
+            for nest in p.nests:
+                for _, ref, _ in nest.refs():
+                    got = ref_image_size(nest, ref, b, shapes[ref.array.name])
+                    want = _exact_image(nest, ref, b, shapes[ref.array.name])
+                    assert got == want, (nest.name, ref)
+
+    def test_triangular_domain_is_safe_undercount(self):
+        # syr2k's j range depends on i; pinning the unused i at its
+        # midpoint yields a sub-domain, so images under-count — never
+        # over-count
+        p = build_workload("syr2k", 10)
+        b, shapes = _shapes(p)
+        for nest in p.nests:
+            for _, ref, _ in nest.refs():
+                got = ref_image_size(nest, ref, b, shapes[ref.array.name])
+                want = _exact_image(nest, ref, b, shapes[ref.array.name])
+                assert got <= want, (nest.name, ref)
+
+    def test_constant_row_ref_counts_one_row(self):
+        # htribk's copy nest reads tau[2, j] (0-based row 1) against a
+        # shape-(2, N) array: a single row, image N — not 2N
+        p = build_workload("htribk", 12)
+        b, shapes = _shapes(p)
+        nest = _nest(p, "htribk.copy")
+        reads, _ = nest_footprint_counts(nest, b, shapes)
+        assert reads["TAU"] == 12
+
+    def test_fully_out_of_bounds_constant_dim_is_zero(self):
+        # a constant subscript past the array extent: the executor
+        # clips the region to empty and transfers nothing, so the image
+        # must be 0 — per-dimension counting would claim N
+        n = 12
+        pb = ProgramBuilder("oob", params=("N",), default_binding={"N": n})
+        N = pb.param("N")
+        A = pb.array("A", (2, N))
+        B = pb.array("B", (N,))
+        with pb.nest("oob.copy") as nb:
+            j = nb.loop("j", 1, N)
+            nb.assign(B[j], A[4, j])
+        p = pb.build()
+        b, shapes = _shapes(p)
+        nest = p.nests[0]
+        (ref,) = nest.body[0].reads()
+        assert ref_image_size(nest, ref, b, shapes["A"]) == 0
+        reads, _ = nest_footprint_counts(nest, b, shapes)
+        assert reads["A"] == 0
+
+    def test_anti_correlated_clipping(self):
+        # A[i, i - (N-1)] over i = 1..N: per-dimension independent
+        # counting sees N in-bounds rows and 2 in-bounds columns, but
+        # only i = N-1 lands both dimensions in bounds simultaneously
+        n = 16
+        pb = ProgramBuilder("clip", params=("N",), default_binding={"N": n})
+        N = pb.param("N")
+        A = pb.array("A", (N, N))
+        with pb.nest("clip.diag") as nb:
+            i = nb.loop("i", 1, N)
+            nb.assign(A[i, i - N + 1], 0.0)
+        p = pb.build()
+        b, shapes = _shapes(p)
+        nest = p.nests[0]
+        ref = nest.body[0].lhs
+        assert ref_image_size(nest, ref, b, shapes["A"]) == 1
+
+    def test_analytic_path_is_safe_undercount(self, monkeypatch):
+        # force the analytic sweep and check it never exceeds the exact
+        # image on representative rectangular / triangular / windowed /
+        # skewed nests
+        monkeypatch.setattr(analysis, "ENUM_CAP", 0)
+        for name, build in (
+            ("mxm", build_workload),
+            ("syr2k", build_workload),
+            ("vpenta", build_workload),
+            ("htribk", build_workload),
+            ("window", build_analytics),
+        ):
+            p = build(name, 10)
+            b, shapes = _shapes(p)
+            for nest in p.nests:
+                for _, ref, _ in nest.refs():
+                    got = ref_image_size(nest, ref, b, shapes[ref.array.name])
+                    want = _exact_image(nest, ref, b, shapes[ref.array.name])
+                    assert got <= want, (name, nest.name, ref)
+
+    def test_footprint_counts_undercount_union(self):
+        # per array, max-over-refs is <= the union of images
+        p = build_workload("adi", 10)
+        b, shapes = _shapes(p)
+        for nest in p.nests:
+            reads, writes = nest_footprint_counts(nest, b, shapes)
+            union_r: dict[str, set] = {}
+            union_w: dict[str, set] = {}
+            for env in nest.iterate(b):
+                full = dict(b)
+                full.update(env)
+                for _, ref, is_write in nest.refs():
+                    shape = shapes[ref.array.name]
+                    idx = tuple(s.evaluate(full) for s in ref.subscripts)
+                    if all(0 <= x < d for x, d in zip(idx, shape)):
+                        side = union_w if is_write else union_r
+                        side.setdefault(ref.array.name, set()).add(idx)
+            for name, count in reads.items():
+                assert count <= len(union_r.get(name, ()))
+            for name, count in writes.items():
+                assert count <= len(union_w.get(name, ()))
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "workload,nest,rule",
+        [
+            ("mat", "mat.mm", RULE_CONTRACTION),
+            ("mxm", "mxm.jki", RULE_CONTRACTION),
+            ("syr2k", "syr2k.upd", RULE_CONTRACTION),
+            ("htribk", "htribk.accum", RULE_CONTRACTION),
+            ("trans", "trans.t", RULE_TRANSPOSE),
+            ("gfunp", "gfunp.g1", RULE_TRANSPOSE),
+            ("htribk", "htribk.copy", RULE_TRANSPOSE),
+            ("adi", "adi.x", RULE_STENCIL),
+            ("mat", "mat.init", RULE_COLD),
+        ],
+    )
+    def test_registry_rules(self, workload, nest, rule):
+        p = build_workload(workload, 12)
+        got, _ = classify_nest(_nest(p, nest))
+        assert got == rule
+
+    def test_analytics_rules(self):
+        window = build_analytics("window", 12)
+        assert classify_nest(_nest(window, "window.agg"))[0] == RULE_STENCIL
+        ajoin = build_analytics("ajoin", 12)
+        assert classify_nest(_nest(ajoin, "ajoin.reduce"))[0] == RULE_REDUCTION
+        assert classify_nest(_nest(ajoin, "ajoin.initred"))[0] == RULE_COLD
+
+    def test_copy_without_self_accumulation_is_not_contraction(self):
+        # htribk.copy multiplies two refs but never accumulates into its
+        # own lhs — the Hong–Kung argument does not apply
+        p = build_workload("htribk", 12)
+        assert find_contraction(_nest(p, "htribk.copy")) is None
+
+    def test_every_nest_classifies(self):
+        from repro.bounds import RULES
+
+        for name in ("mat", "mxm", "adi", "vpenta", "btrix", "emit",
+                     "syr2k", "htribk", "gfunp", "trans"):
+            p = build_workload(name, 12)
+            for nest in p.nests:
+                rule, detail = classify_nest(nest)
+                assert rule in RULES
+                assert detail
+
+
+class TestNestBound:
+    def test_cold_formula(self):
+        p = build_workload("mxm", 12)
+        b, shapes = _shapes(p)
+        nest = _nest(p, "mxm.init")
+        reads, writes = nest_footprint_counts(nest, b, shapes)
+        nb = nest_lower_bound(nest, b, shapes, memory_elements=64)
+        assert nb.read_elements == nest.weight * sum(reads.values())
+        assert nb.write_elements == nest.weight * sum(writes.values())
+        assert nb.bound_elements == nb.read_elements + nb.write_elements
+
+    def test_warm_discounts_aggregate_memory(self):
+        p = build_workload("mxm", 12)
+        b, shapes = _shapes(p)
+        nest = _nest(p, "mxm.jki")
+        cold = nest_lower_bound(nest, b, shapes, memory_elements=100)
+        warm = nest_lower_bound(
+            nest, b, shapes, memory_elements=100, n_nodes=2, warm=True
+        )
+        assert warm.warm and not cold.warm
+        assert warm.write_elements == cold.write_elements
+        assert warm.read_elements == max(
+            0.0, cold.read_elements - nest.weight * 2 * 100
+        )
+
+    def test_hong_kung_term_dominates_with_tiny_memory(self):
+        # at M small enough, T/(2*sqrt(2)*sqrt(M)) - 2*p*M beats the
+        # O(N^2) footprint for an N^3-op contraction
+        p = build_workload("mxm", 64)
+        b, shapes = _shapes(p)
+        nest = _nest(p, "mxm.jki")
+        nb = nest_lower_bound(nest, b, shapes, memory_elements=16)
+        ops = domain_size(nest, b)
+        hk = nest.weight * ops / (2 * math.sqrt(2) * math.sqrt(16)) - 2 * 16
+        assert nb.rule == RULE_CONTRACTION
+        assert nb.bound_elements == pytest.approx(hk)
+        assert "Hong-Kung term dominates" in nb.detail
+
+    def test_roundtrip(self):
+        p = build_workload("adi", 12)
+        for nb in program_bounds(p, memory_elements=64):
+            assert NestBound.from_dict(nb.to_dict()) == nb
+
+    def test_program_bounds_default_memory_matches_executor(self):
+        import numpy as np
+
+        p = build_workload("adi", 24)
+        b = p.binding(None)
+        total = sum(
+            int(np.prod(a.shape(b))) for a in p.arrays
+        )
+        from repro.runtime import MachineParams
+
+        expected = max(64, total // MachineParams().memory_fraction)
+        for nb in program_bounds(p):
+            assert nb.memory_elements == expected
+
+    def test_bounds_by_nest_mapping(self):
+        p = build_workload("mxm", 12)
+        bounds = program_bounds(p, memory_elements=64)
+        mapping = bounds_by_nest(bounds)
+        assert set(mapping) == {n.name for n in p.nests}
+        assert mapping["mxm.jki"]["rule"] == RULE_CONTRACTION

@@ -1,0 +1,86 @@
+"""The acceptance property: for every registry + analytics workload,
+under every layout strategy and every execution path, the static lower
+bound is <= the measured element transfers, and the optimality view's
+measured totals equal the folded IOStats exactly."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.collective import CollectiveConfig
+from repro.engine import OOCExecutor
+from repro.experiments.harness import _scaled_params
+from repro.obs import Observability, optimality_totals
+from repro.optimizer.strategies import VERSION_NAMES, build_version
+from repro.parallel import run_version_parallel
+from repro.workloads import build_analytics, build_workload
+from repro.workloads.registry import analytics_names, workload_names
+
+N = 16
+N_NODES = 4
+PARAMS = replace(_scaled_params(N), n_io_nodes=4)
+
+ALL_WORKLOADS = tuple(workload_names()) + tuple(analytics_names())
+
+
+def _program(name):
+    build = build_workload if name in workload_names() else build_analytics
+    return build(name, N)
+
+
+def _check(optimality, stats):
+    """bound <= measured per nest, and exact totals vs folded stats."""
+    assert optimality, "optimality table must be populated"
+    for r in optimality:
+        assert r.bound_elements is not None, r.nest
+        assert r.bound_elements <= r.measured_elements + 1e-9, (
+            f"{r.nest}: bound {r.bound_elements} > measured "
+            f"{r.measured_elements} (rule {r.rule})"
+        )
+    totals = optimality_totals(optimality)
+    sd = stats.to_dict()
+    assert all(totals[k] == sd.get(k) for k in totals), (totals, sd)
+
+
+@pytest.mark.parametrize("workload", ALL_WORKLOADS)
+def test_bound_le_measured_all_versions_all_paths(workload):
+    program = _program(workload)
+    for version in VERSION_NAMES:
+        cfg = build_version(version, program, params=PARAMS)
+
+        obs = Observability()
+        result = OOCExecutor(
+            cfg.program, cfg.layouts, params=PARAMS, tiling=cfg.tiling,
+            storage_spec=cfg.storage_spec, obs=obs,
+        ).run()
+        _check(obs.report.optimality, result.stats)
+
+        obs = Observability()
+        run = run_version_parallel(cfg, N_NODES, params=PARAMS, obs=obs)
+        _check(obs.report.optimality, run.total_stats)
+
+        obs = Observability()
+        run = run_version_parallel(
+            cfg, N_NODES, params=PARAMS, collective=CollectiveConfig(),
+            obs=obs,
+        )
+        _check(obs.report.optimality, run.total_stats)
+
+
+@pytest.mark.parametrize("workload", ["adi", "mxm"])
+def test_bound_le_measured_with_warm_cache(workload):
+    # a live tile cache keeps data resident across repetitions; the
+    # warm-discounted bound must still sit under the measured transfers
+    from repro.cache import CacheConfig
+
+    program = _program(workload)
+    cfg = build_version("c-opt", program, params=PARAMS)
+    obs = Observability()
+    result = OOCExecutor(
+        cfg.program, cfg.layouts, params=PARAMS, tiling=cfg.tiling,
+        storage_spec=cfg.storage_spec, obs=obs,
+        cache=CacheConfig(budget_fraction=0.5),
+    ).run()
+    _check(obs.report.optimality, result.stats)
+    for b in obs.bounds.values():
+        assert b["warm"] is True

@@ -124,6 +124,14 @@ class TestDirection:
         # the bench is named after a time but the leaf is a speedup
         assert direction_of("bench_time_sweep/speedup") == 1
 
+    def test_optimality_fragment_is_lower_better(self):
+        # achieved/bound ratio: 1.0 is optimal, growth is a regression
+        assert direction_of("bench_bounds/mxm/c-opt/optimality_ratio") == -1
+
+    def test_bound_fragment_is_higher_better(self):
+        # a tighter (larger) lower bound is an analysis improvement
+        assert direction_of("bench_bounds/mxm/bound_elements") == 1
+
 
 class TestDiffEngine:
     def test_identical_docs_pass(self):
@@ -297,6 +305,26 @@ class TestCLI:
         c.write_text(json.dumps({"hello": 1}))
         assert main(["regress", "check", b, str(c)]) == 2
         assert "no results" in capsys.readouterr().err
+
+    def test_check_current_from_stdin(self, tmp_path, capsys, monkeypatch):
+        import io
+
+        b = self._write(tmp_path, "b.json", _doc(_results()))
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO(json.dumps({"results": _results()}))
+        )
+        assert main(["regress", "check", b, "-"]) == 0
+        assert "regress: PASS" in capsys.readouterr().out
+
+    def test_check_malformed_stdin_exit_2(self, tmp_path, capsys, monkeypatch):
+        import io
+
+        b = self._write(tmp_path, "b.json", _doc(_results()))
+        monkeypatch.setattr("sys.stdin", io.StringIO("{oops"))
+        assert main(["regress", "check", b, "-"]) == 2
+        assert "malformed current results JSON in stdin" in (
+            capsys.readouterr().err
+        )
 
     def test_report_exit_0(self, tmp_path, capsys):
         b = self._write(tmp_path, "b.json", _doc(_results()))
