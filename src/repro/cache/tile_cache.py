@@ -34,6 +34,7 @@ from typing import Iterator
 
 import numpy as np
 
+from ..obs import profile as _prof
 from ..runtime.memory import MemoryManager
 from ..runtime.ooc_array import Region, region_size
 from .metrics import CacheMetrics
@@ -189,13 +190,26 @@ class TileCache:
         return region_size(region) <= self.budget
 
     def peek(self, name: str, region: Region) -> CacheEntry | None:
-        """Residency check without touching counters or recency."""
+        """Residency check without touching hit/miss counters or
+        recency (the deterministic probe-work counter still ticks)."""
+        _prof.WORK.cache_probes += 1
         return self._entries.get((name, region))
 
     # -- the demand path ----------------------------------------------------
 
     def lookup(self, name: str, region: Region) -> CacheEntry | None:
         """Demand access: counts a hit or a miss, refreshes recency."""
+        _prof.WORK.cache_probes += 1
+        rec = _prof.ACTIVE
+        if rec is None:
+            return self._lookup(name, region)
+        rec.begin("cache.probe")
+        try:
+            return self._lookup(name, region)
+        finally:
+            rec.end()
+
+    def _lookup(self, name: str, region: Region) -> CacheEntry | None:
         entry = self._entries.get((name, region))
         if entry is None:
             self.metrics.misses += 1
@@ -308,12 +322,19 @@ class TileCache:
         entry = self._entries.get((name, region))
         if entry is None:
             return None
-        was_dirty = entry.dirty
-        self.metrics.evictions += 1
-        if was_dirty:
-            self.metrics.dirty_evictions += 1
-        self._remove(entry, count_eviction=False)
-        return entry if was_dirty else None
+        rec = _prof.ACTIVE
+        if rec is not None:
+            rec.begin("cache.evict")
+        try:
+            was_dirty = entry.dirty
+            self.metrics.evictions += 1
+            if was_dirty:
+                self.metrics.dirty_evictions += 1
+            self._remove(entry, count_eviction=False)
+            return entry if was_dirty else None
+        finally:
+            if rec is not None:
+                rec.end()
 
     # -- coherence and flushing --------------------------------------------
 
@@ -395,13 +416,24 @@ class TileCache:
 
     def _make_room(self, size: int) -> tuple[bool, list[CacheEntry]]:
         writeback: list[CacheEntry] = []
-        while self._entries and self._need_room(size):
-            victim = self.policy.victim(self._entries.values())
-            self.metrics.evictions += 1
-            if victim.dirty:
-                self.metrics.dirty_evictions += 1
-                writeback.append(victim)
-            self._remove(victim, count_eviction=False)
+        if not (self._entries and self._need_room(size)):
+            return not self._need_room(size), writeback
+        rec = _prof.ACTIVE
+        if rec is not None:
+            rec.begin("cache.evict")
+        n_evicted = 0
+        try:
+            while self._entries and self._need_room(size):
+                victim = self.policy.victim(self._entries.values())
+                self.metrics.evictions += 1
+                n_evicted += 1
+                if victim.dirty:
+                    self.metrics.dirty_evictions += 1
+                    writeback.append(victim)
+                self._remove(victim, count_eviction=False)
+        finally:
+            if rec is not None:
+                rec.end(count=n_evicted)
         return not self._need_room(size), writeback
 
     def _remove(self, entry: CacheEntry, *, count_eviction: bool) -> None:

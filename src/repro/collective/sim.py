@@ -39,6 +39,7 @@ import numpy as np
 
 from ..cache.prefetch import overlap_credit
 from ..engine.executor import RunResult
+from ..obs import profile as _prof
 from ..runtime.params import MachineParams
 
 #: resource id of the shared interconnect channel
@@ -178,71 +179,82 @@ def simulate(
 
     for i in range(n):
         schedule(i)
-    while heap:
-        arrival, i = heapq.heappop(heap)
-        op = timelines[i].ops[ptr[i]]
-        if op.kind == "net":
-            start = max(arrival, net_free)
-            done = start + op.service_s
-            net_free = done
-            net_busy += op.service_s
-        elif inj is None:
-            start = max(arrival, io_free[op.resource])
-            done = start + op.service_s
-            io_free[op.resource] = done
-            io_busy[op.resource] += op.service_s
-        else:
-            # perturbed, fallible request: each attempt waits for the
-            # queue and any outage covering it, occupies the I/O node
-            # for the multiplied service time, and a failed attempt
-            # backs off before re-queueing.  The recorded wait spans
-            # arrival to the *first* attempt's start; retries extend
-            # ``done`` (and the node's blocked time) instead.
-            res = op.resource
-            t, n_failed = arrival, 0
-            start = done = arrival
-            while True:
-                start_a = inj.sim_defer(res, max(t, io_free[res]))
-                svc = op.service_s * inj.sim_multiplier(res, start_a)
-                done = start_a + svc
-                io_free[res] = done
-                io_busy[res] += svc
-                if n_failed == 0:
-                    start = start_a
-                if not inj.sim_error(res, op.is_write, start_a):
-                    break
-                n_failed += 1
-                if n_failed > inj.policy.max_retries:
-                    inj.sim_give_up(res, op.is_write, done, n_failed)
-                t = done + inj.sim_retry_delay(n_failed, done)
-        if start > arrival:
-            waited += 1
-            wait_time += start - arrival
-        if events is not None:
-            events.append(
-                SimEvent(
-                    i,
-                    op.kind,
-                    op.resource if op.kind == "io" else NET,
-                    arrival,
-                    start,
-                    done,
+    rec = _prof.ACTIVE
+    if rec is not None:
+        rec.begin("sim.event_loop")
+    try:
+        while heap:
+            arrival, i = heapq.heappop(heap)
+            op = timelines[i].ops[ptr[i]]
+            if op.kind == "net":
+                start = max(arrival, net_free)
+                done = start + op.service_s
+                net_free = done
+                net_busy += op.service_s
+            elif inj is None:
+                start = max(arrival, io_free[op.resource])
+                done = start + op.service_s
+                io_free[op.resource] = done
+                io_busy[op.resource] += op.service_s
+            else:
+                # perturbed, fallible request: each attempt waits for the
+                # queue and any outage covering it, occupies the I/O node
+                # for the multiplied service time, and a failed attempt
+                # backs off before re-queueing.  The recorded wait spans
+                # arrival to the *first* attempt's start; retries extend
+                # ``done`` (and the node's blocked time) instead.
+                res = op.resource
+                t, n_failed = arrival, 0
+                start = done = arrival
+                while True:
+                    start_a = inj.sim_defer(res, max(t, io_free[res]))
+                    svc = op.service_s * inj.sim_multiplier(res, start_a)
+                    done = start_a + svc
+                    io_free[res] = done
+                    io_busy[res] += svc
+                    if n_failed == 0:
+                        start = start_a
+                    if not inj.sim_error(res, op.is_write, start_a):
+                        break
+                    n_failed += 1
+                    if n_failed > inj.policy.max_retries:
+                        inj.sim_give_up(res, op.is_write, done, n_failed)
+                    t = done + inj.sim_retry_delay(n_failed, done)
+            if start > arrival:
+                waited += 1
+                wait_time += start - arrival
+            if events is not None:
+                events.append(
+                    SimEvent(
+                        i,
+                        op.kind,
+                        op.resource if op.kind == "io" else NET,
+                        arrival,
+                        start,
+                        done,
+                    )
                 )
-            )
-        if metrics is not None:
-            metrics.histogram("sim.queue_wait_us").observe(
-                (start - arrival) * 1e6
-            )
-            metrics.histogram("sim.service_us").observe(op.service_s * 1e6)
-            metrics.counter(f"sim.{op.kind}_requests").inc()
-        # double-buffered prefetch: spend overlap credit to hide blocked
-        # time under the preceding compute (the data was fetched early)
-        use = min(credit[i], done - arrival)
-        credit[i] -= use
-        clock[i] = max(arrival, done - use)
-        ptr[i] += 1
-        n_events += 1
-        schedule(i)
+            if metrics is not None:
+                metrics.histogram("sim.queue_wait_us").observe(
+                    (start - arrival) * 1e6
+                )
+                metrics.histogram("sim.service_us").observe(
+                    op.service_s * 1e6
+                )
+                metrics.counter(f"sim.{op.kind}_requests").inc()
+            # double-buffered prefetch: spend overlap credit to hide
+            # blocked time under the preceding compute (the data was
+            # fetched early)
+            use = min(credit[i], done - arrival)
+            credit[i] -= use
+            clock[i] = max(arrival, done - use)
+            ptr[i] += 1
+            n_events += 1
+            schedule(i)
+    finally:
+        if rec is not None:
+            rec.end(count=n_events)
+        _prof.WORK.sim_events += n_events
 
     result = SimResult(
         max(finish) if finish else 0.0,

@@ -27,6 +27,8 @@ from ..ir.nest import LoopNest
 from ..ir.program import Program
 from ..layout import Layout, row_major
 from ..obs import NestIORecord, Observability, active as obs_active
+from ..obs import profile as _prof
+from ..obs.profile import ProfileConfig, ProfileResult, ProfileSession
 from ..runtime import (
     InterleavedChunkedStore,
     IOContext,
@@ -91,6 +93,10 @@ class RunResult:
     #: run used a measuring backend (mmap / chunked / object store);
     #: ``None`` for the in-memory and simulate-only defaults
     backend_metrics: BackendMetrics | None = None
+    #: hotspot table + deterministic work delta when the executor ran
+    #: with ``profile=ProfileConfig(...)``; ``None`` otherwise (and when
+    #: the profile session is driver-owned — the driver finishes it)
+    profile: ProfileResult | None = None
 
     @property
     def serial_time_s(self) -> float:
@@ -216,6 +222,7 @@ class OOCExecutor:
         obs: Observability | None = None,
         bounds: Sequence[object] | None = None,
         faults: FaultConfig | None = None,
+        profile: ProfileConfig | ProfileSession | None = None,
     ):
         if node_slice is not None:
             rank, n_nodes = node_slice
@@ -231,6 +238,14 @@ class OOCExecutor:
         self._trace = trace or (
             self._obs is not None and self._obs.config.per_array
         )
+        # hotspot profiling (repro.obs.profile): a ProfileConfig makes
+        # each run() own a fresh capture (finished into
+        # RunResult.profile); a ProfileSession is driver-owned — the
+        # executor only activates it around the run, and the driver
+        # finishes it.  None (the default) never touches the clock.
+        if isinstance(profile, ProfileConfig) and not profile.enabled:
+            profile = None
+        self._profile = profile
         # precomputed static I/O lower bounds (repro.bounds); None means
         # derive them at obs-finish time against the effective memory
         self._bounds = bounds
@@ -394,6 +409,31 @@ class OOCExecutor:
         return predict_program_elements(self.program, self.binding)
 
     def run(self) -> RunResult:
+        prof = self._profile
+        if prof is None:
+            return self._run()
+        # executor-owned capture (ProfileConfig) finishes into the
+        # result; a driver-owned ProfileSession is only activated here
+        owned = ProfileSession(prof) if isinstance(prof, ProfileConfig) \
+            else None
+        session = owned if owned is not None else prof
+        session.activate()
+        try:
+            result = self._run()
+        finally:
+            session.deactivate()
+        if owned is not None:
+            obs = self._obs
+            result.profile = owned.finish(
+                tracer=obs.tracer if obs is not None else None
+            )
+            if obs is not None:
+                obs.note_profile(result.profile)
+                if obs.config.metrics:
+                    _prof.publish_work(obs.metrics, result.profile.work)
+        return result
+
+    def _run(self) -> RunResult:
         obs = self._obs
         run_span = (
             obs.tracer.begin(
@@ -690,7 +730,10 @@ class OOCExecutor:
             var_ranges = self._tile_var_ranges(nest, windows)
             if var_ranges is None:
                 continue
-            fps = nest_footprints(nest, var_ranges, self.binding, self.shapes)
+            fps = _prof.timed(
+                "engine.footprints",
+                nest_footprints, nest, var_ranges, self.binding, self.shapes,
+            )
             fps = {
                 name: (region, r, w)
                 for name, (region, r, w) in fps.items()
@@ -738,8 +781,10 @@ class OOCExecutor:
                         if self._vectorizable.get(nest.name)
                         else run_element_loops
                     )
-                    count = runner(
-                        nest, self.binding, windows, tiles_data, regions
+                    count = _prof.timed(
+                        "interp.element_loops",
+                        runner, nest, self.binding, windows, tiles_data,
+                        regions,
                     )
                     ctx.record_compute(count, len(nest.body))
                 else:
@@ -760,6 +805,7 @@ class OOCExecutor:
                 if allocated:
                     self.memory.free(total_fp)
             tiles_executed += 1
+            _prof.WORK.add_loop_iters("tile", 1)
         return tiles_executed
 
     # -- cached execution (repro.cache) -----------------------------------
@@ -787,7 +833,10 @@ class OOCExecutor:
             var_ranges = self._tile_var_ranges(nest, windows)
             if var_ranges is None:
                 continue
-            fps = nest_footprints(nest, var_ranges, self.binding, self.shapes)
+            fps = _prof.timed(
+                "engine.footprints",
+                nest_footprints, nest, var_ranges, self.binding, self.shapes,
+            )
             fps = {
                 name: (region, r, w)
                 for name, (region, r, w) in fps.items()
@@ -829,8 +878,10 @@ class OOCExecutor:
                         if self._vectorizable.get(nest.name)
                         else run_element_loops
                     )
-                    count = runner(
-                        nest, self.binding, windows, tiles_data, regions
+                    count = _prof.timed(
+                        "interp.element_loops",
+                        runner, nest, self.binding, windows, tiles_data,
+                        regions,
                     )
                     ctx.record_compute(count, len(nest.body))
                 else:
@@ -848,6 +899,7 @@ class OOCExecutor:
             finally:
                 if allocated:
                     self.memory.free(total_fp)
+            _prof.WORK.add_loop_iters("tile", 1)
         # nest boundary: dirty tiles land on disk; clean data stays
         # resident for the next nest (or weight repetition)
         self._write_entries(cache.flush_all(), ctx)

@@ -43,15 +43,43 @@ from typing import IO, TYPE_CHECKING, Iterable, Mapping
 
 from .export import (
     REQUIRED_EVENT_KEYS,
+    OpenMetricsError,
     chrome_trace_events,
     decode_key,
     encode_key,
     load_trace,
+    parse_openmetrics,
+    render_openmetrics,
     sanitize,
     validate_trace_events,
     write_trace,
 )
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .journal import (
+    Journal,
+    JournalError,
+    doc_from_journal,
+    payload_from_journal,
+    read_journal,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    PercentileError,
+    registry_from_snapshot,
+)
+from .profile import (
+    HotspotRecorder,
+    HotspotTable,
+    ProfileConfig,
+    ProfileResult,
+    ProfileSession,
+    WorkCounters,
+    publish_work,
+    render_profile,
+    validate_collapsed,
+)
 from .report import (
     CostDriftRecord,
     IOReport,
@@ -100,11 +128,28 @@ class ObsConfig:
 class Observability:
     """One run's collected telemetry: tracer + registry + I/O report."""
 
-    def __init__(self, config: ObsConfig | None = None, *, clock=None):
+    def __init__(
+        self,
+        config: ObsConfig | None = None,
+        *,
+        clock=None,
+        journal: "Journal | str | IO[str] | None" = None,
+    ):
         self.config = config or ObsConfig()
         self.tracer = Tracer(**({"clock": clock} if clock is not None else {}))
         self.metrics = MetricsRegistry()
         self.report = IOReport()
+        #: streaming telemetry sink (:mod:`repro.obs.journal`): records
+        #: and snapshots are appended as JSONL events while the run is
+        #: in flight.  ``None`` (the default) emits nothing — payloads
+        #: are bit-identical without a journal attached.
+        if journal is None or isinstance(journal, Journal):
+            self.journal = journal
+        else:
+            self.journal = Journal(journal)
+        #: serialized hotspot/work capture (:meth:`note_profile`); the
+        #: payload's ``profile`` key exists only when this is set
+        self.profile: dict[str, object] | None = None
         self.run_stats: dict[str, object] | None = None
         self.sim_summary: dict[str, object] | None = None
         #: multi-tenant serving summary (:mod:`repro.serve`): per-tenant
@@ -137,19 +182,39 @@ class Observability:
 
     def record_nest_io(self, record: NestIORecord) -> None:
         self.report.records.append(record)
+        if self.journal is not None:
+            self.journal.emit("nest_io", **record.to_dict())
 
     def record_redist(self, record: RedistRecord) -> None:
         self.report.redist.append(record)
+        if self.journal is not None:
+            self.journal.emit("redist", **record.to_dict())
 
     def note_stats(self, stats: "IOStats") -> None:
         """Attach the run's folded stats (the report's ground truth)."""
         self.run_stats = stats.to_dict()
+        if self.journal is not None:
+            self.journal.emit("stats", data=self.run_stats)
 
     def note_serve(self, summary: Mapping[str, object]) -> None:
         """Attach a serving run's per-tenant summary
         (:meth:`repro.serve.ServeResult.summary_dict`); rendered as the
         tenant section of ``python -m repro.obs report``."""
         self.serve_summary = dict(summary)
+        if self.journal is not None:
+            self.journal.emit("serve", data=sanitize(self.serve_summary))
+
+    def note_profile(self, profile) -> None:
+        """Attach a finished hotspot capture — a
+        :class:`~repro.obs.profile.ProfileResult` or its ``to_dict()``
+        payload; rendered as the hotspot section of the report and the
+        ``top`` CLI."""
+        self.profile = (
+            profile.to_dict() if hasattr(profile, "to_dict")
+            else dict(profile)
+        )
+        if self.journal is not None:
+            self.journal.emit("profile", data=self.profile)
 
     # -- cost-model drift ---------------------------------------------------
 
@@ -298,12 +363,21 @@ class Observability:
             payload["sim"] = self.sim_summary
         if self.serve_summary is not None:
             payload["serve"] = self.serve_summary
+        if self.profile is not None:
+            payload["profile"] = self.profile
         return payload
 
     def export(self, path_or_file: str | IO[str]) -> dict[str, object]:
         """Write the Perfetto-loadable trace JSON; returns the payload."""
         payload = self.to_payload()
         write_trace(path_or_file, payload)
+        if self.journal is not None:
+            # snapshot kinds stream at export time (records streamed as
+            # they were collected); replay folds them back last-wins
+            self.journal.emit("metrics", data=payload["metrics"])
+            if self.sim_summary is not None:
+                self.journal.emit("sim", data=sanitize(self.sim_summary))
+            self.journal.flush()
         return payload
 
 
@@ -319,29 +393,48 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "HotspotRecorder",
+    "HotspotTable",
     "Instant",
     "IOReport",
+    "Journal",
+    "JournalError",
     "MetricsRegistry",
     "NestIORecord",
     "ObsConfig",
     "Observability",
+    "OpenMetricsError",
     "OptimalityRecord",
+    "PercentileError",
+    "ProfileConfig",
+    "ProfileResult",
+    "ProfileSession",
     "RedistRecord",
     "REQUIRED_EVENT_KEYS",
     "Span",
     "Tracer",
+    "WorkCounters",
     "active",
     "build_drift",
     "build_optimality",
     "chrome_trace_events",
     "decode_key",
+    "doc_from_journal",
     "drift_totals",
     "encode_key",
     "load_trace",
     "optimality_totals",
+    "parse_openmetrics",
+    "payload_from_journal",
+    "publish_work",
+    "read_journal",
+    "registry_from_snapshot",
+    "render_openmetrics",
+    "render_profile",
     "render_report",
     "report_totals",
     "sanitize",
+    "validate_collapsed",
     "validate_trace_events",
     "write_trace",
 ]
@@ -355,4 +448,7 @@ def _payload_report(
     report = IOReport.from_dict(payload.get("io_report", {}))
     stats = payload.get("stats")
     metrics = payload.get("metrics") if include_metrics else None
-    return render_report(report, stats, metrics, serve=payload.get("serve"))
+    return render_report(
+        report, stats, metrics,
+        serve=payload.get("serve"), profile=payload.get("profile"),
+    )

@@ -15,6 +15,29 @@
             --out trace.json
         python -m repro.obs report trace.json
 
+``profile``
+    Run one workload version with the hotspot profiler on and print the
+    ``top``-style report: instrumented sites by self time, the
+    pricing-stack share, and the deterministic work counters.
+    ``--folded`` adds a cProfile capture and writes flamegraph
+    collapsed-stack lines; ``--journal`` streams the run's telemetry to
+    a JSONL journal; ``--openmetrics`` writes the metrics registry in
+    Prometheus/OpenMetrics text exposition::
+
+        python -m repro.obs profile --workload adi --folded prof.folded \\
+            --journal run.jsonl
+
+``top <trace.json>``
+    Print the hotspot section of a previously exported trace (one that
+    was captured with profiling enabled).
+
+``journal <events.jsonl>``
+    Inspect a streamed JSONL journal: event-count summary by default,
+    ``--report`` replays it into the I/O report renderer,
+    ``--openmetrics`` re-renders the final metrics snapshot as
+    OpenMetrics text, ``--emit-doc`` folds ``result`` events into a
+    regression-gate document.
+
 ``regress capture|check|report``
     The benchmark regression observatory (:mod:`repro.obs.baselines`,
     :mod:`repro.obs.regress`): snapshot the benchmark suite's
@@ -86,7 +109,7 @@ def cmd_capture(args: argparse.Namespace) -> int:
     from ..parallel import run_version_parallel
     from ..workloads import build_workload
 
-    obs = Observability()
+    obs = Observability(journal=getattr(args, "journal", None))
     program = build_workload(args.workload, args.n)
     cfg = build_version(args.version, program)
     collective = (
@@ -104,6 +127,151 @@ def cmd_capture(args: argparse.Namespace) -> int:
         f"{args.workload}/{args.version} on {args.nodes} node(s): "
         f"time={run.time_s:.3f}s calls={run.total_io_calls} -> {args.out}"
     )
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from ..collective import CollectiveConfig
+    from ..experiments.harness import _scaled_params
+    from ..optimizer import build_version
+    from ..parallel import run_version_parallel
+    from ..workloads import build_workload
+    from .profile import ProfileConfig, validate_collapsed
+
+    try:
+        program = build_workload(args.workload, args.n)
+    except KeyError as e:
+        print(f"error: {e.args[0]}", file=sys.stderr)
+        return 2
+    try:
+        cfg = build_version(args.version, program)
+    except ValueError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    obs = Observability(journal=args.journal)
+    collective = (
+        CollectiveConfig(mode=args.mode) if args.collective else None
+    )
+    run = run_version_parallel(
+        cfg,
+        args.nodes,
+        params=_scaled_params(args.n),
+        collective=collective,
+        obs=obs,
+        profile=ProfileConfig(cprofile=bool(args.folded), top=args.top),
+    )
+    prof = run.profile
+    print(
+        f"{args.workload}/{args.version} on {args.nodes} node(s): "
+        f"time={run.time_s:.3f}s calls={run.total_io_calls}"
+    )
+    print(prof.render_top())
+    if args.folded:
+        lines = prof.collapsed()
+        validate_collapsed(lines)
+        with open(args.folded, "w") as fh:
+            fh.write("\n".join(lines) + ("\n" if lines else ""))
+        print(f"collapsed stacks ({len(lines)} line(s)) -> {args.folded}")
+    if args.openmetrics:
+        from .export import render_openmetrics
+
+        with open(args.openmetrics, "w") as fh:
+            fh.write(render_openmetrics(obs.metrics))
+        print(f"openmetrics -> {args.openmetrics}")
+    if args.out:
+        obs.export(args.out)
+        print(f"trace -> {args.out}")
+    elif args.journal:
+        # no trace export: flush the journal explicitly so the file is
+        # complete when the process exits
+        obs.journal.flush()
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    import json
+
+    from .profile import render_profile
+
+    try:
+        if args.trace == "-":
+            payload = json.load(sys.stdin)
+        else:
+            payload = load_trace(args.trace)
+    except FileNotFoundError:
+        print(f"error: trace file not found: {args.trace}", file=sys.stderr)
+        return 2
+    except (json.JSONDecodeError, UnicodeDecodeError) as e:
+        source = "stdin" if args.trace == "-" else args.trace
+        print(
+            f"error: malformed trace JSON in {source}: {e}",
+            file=sys.stderr,
+        )
+        return 2
+    prof = payload.get("profile") if isinstance(payload, dict) else None
+    if not isinstance(prof, dict):
+        print(
+            f"error: {args.trace} has no profile section "
+            "(captured without profiling?)",
+            file=sys.stderr,
+        )
+        return 2
+    print(render_profile(prof, top=args.top))
+    return 0
+
+
+def cmd_journal(args: argparse.Namespace) -> int:
+    import json
+
+    from .journal import (
+        JournalError,
+        doc_from_journal,
+        payload_from_journal,
+        read_journal,
+    )
+
+    try:
+        events = read_journal(args.path)
+    except FileNotFoundError:
+        print(
+            f"error: journal file not found: {args.path}", file=sys.stderr
+        )
+        return 2
+    except JournalError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    if args.emit_doc:
+        try:
+            doc = doc_from_journal(events)
+        except JournalError as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 2
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    payload = payload_from_journal(events)
+    if args.openmetrics:
+        from .export import render_openmetrics
+        from .metrics import registry_from_snapshot
+
+        metrics = payload.get("metrics")
+        print(
+            render_openmetrics(
+                registry_from_snapshot(
+                    metrics if isinstance(metrics, dict) else {}
+                )
+            ),
+            end="",
+        )
+        return 0
+    if args.report:
+        print(_payload_report(payload, include_metrics=args.metrics))
+        return 0
+    kinds: dict[str, int] = {}
+    for ev in events:
+        kinds[ev["kind"]] = kinds.get(ev["kind"], 0) + 1
+    print(f"{args.path}: {len(events)} event(s)")
+    for kind in sorted(kinds):
+        print(f"  {kind:<12} {kinds[kind]}")
     return 0
 
 
@@ -247,7 +415,83 @@ def build_parser() -> argparse.ArgumentParser:
         help="collective mode (with --collective)",
     )
     p_cap.add_argument("--out", default="trace.json")
+    p_cap.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="also stream events to an append-only JSONL journal",
+    )
     p_cap.set_defaults(func=cmd_capture)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="run a workload with the hotspot profiler, print top report",
+    )
+    p_prof.add_argument("--workload", default="adi")
+    p_prof.add_argument("--version", default="c-opt")
+    p_prof.add_argument("--n", type=int, default=24)
+    p_prof.add_argument("--nodes", type=int, default=4)
+    p_prof.add_argument(
+        "--collective", action="store_true",
+        help="run through the two-phase collective layer + event sim",
+    )
+    p_prof.add_argument(
+        "--mode", default="auto", choices=("auto", "always", "never"),
+        help="collective mode (with --collective)",
+    )
+    p_prof.add_argument(
+        "--top", type=int, default=20, metavar="N",
+        help="hotspot rows to show (default 20)",
+    )
+    p_prof.add_argument(
+        "--folded", default=None, metavar="PATH",
+        help="enable cProfile, write flamegraph collapsed-stack lines",
+    )
+    p_prof.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="stream telemetry to an append-only JSONL journal",
+    )
+    p_prof.add_argument(
+        "--openmetrics", default=None, metavar="PATH",
+        help="write the metrics registry as OpenMetrics text",
+    )
+    p_prof.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also export the obs trace JSON (includes the profile)",
+    )
+    p_prof.set_defaults(func=cmd_profile)
+
+    p_top = sub.add_parser(
+        "top", help="hotspot section of a profiled trace file"
+    )
+    p_top.add_argument(
+        "trace", help="trace JSON from a profiled capture, '-' for stdin"
+    )
+    p_top.add_argument(
+        "--top", type=int, default=20, metavar="N",
+        help="hotspot rows to show (default 20)",
+    )
+    p_top.set_defaults(func=cmd_top)
+
+    p_jr = sub.add_parser(
+        "journal", help="inspect / replay a streamed JSONL event journal"
+    )
+    p_jr.add_argument("path", help="JSONL journal written with --journal")
+    p_jr.add_argument(
+        "--report", action="store_true",
+        help="replay the journal into the I/O report renderer",
+    )
+    p_jr.add_argument(
+        "--metrics", action="store_true",
+        help="with --report: also dump the metrics registry",
+    )
+    p_jr.add_argument(
+        "--openmetrics", action="store_true",
+        help="re-render the final metrics snapshot as OpenMetrics text",
+    )
+    p_jr.add_argument(
+        "--emit-doc", action="store_true", dest="emit_doc",
+        help="fold result events into a regression-gate document (JSON)",
+    )
+    p_jr.set_defaults(func=cmd_journal)
 
     p_bounds = sub.add_parser(
         "bounds",

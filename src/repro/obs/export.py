@@ -205,3 +205,238 @@ def sanitize(obj: object) -> object:
     if isinstance(obj, (str, int, float, bool)) or obj is None:
         return obj
     return repr(obj)
+
+
+# -- OpenMetrics / Prometheus text exposition -------------------------------
+
+
+class OpenMetricsError(ValueError):
+    """An OpenMetrics document violates the exposition format (carries
+    the offending 1-based line number when raised by the parser)."""
+
+
+def _om_name(name: str) -> str:
+    """A valid Prometheus metric name: the registry's dotted names map
+    to underscores (``io.read_calls`` → ``io_read_calls``)."""
+    out = "".join(
+        c if c.isalnum() or c in "_:" else "_" for c in str(name)
+    )
+    if not out or out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _om_escape(value: object) -> str:
+    """Label-value escaping per the exposition format: backslash,
+    double-quote and newline."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _om_labels(labels: Mapping[str, object]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_om_name(k)}="{_om_escape(labels[k])}"' for k in sorted(labels)
+    )
+    return "{" + inner + "}"
+
+
+def _om_number(value: float) -> str:
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_openmetrics(registry) -> str:
+    """Prometheus/OpenMetrics text exposition of a live
+    :class:`~repro.obs.metrics.MetricsRegistry`.
+
+    One ``# TYPE`` line per metric family, counter samples with the
+    ``_total`` suffix, histograms as cumulative ``_bucket{le=...}``
+    series (``+Inf`` last) plus ``_sum``/``_count``, label values
+    escaped per the format, and the ``# EOF`` terminator.  Two dotted
+    names that collide after sanitization with different instrument
+    types raise :class:`OpenMetricsError`.
+    """
+    from .metrics import Counter, Gauge, Histogram
+
+    families: dict[str, str] = {}
+    grouped: dict[str, list[tuple[Mapping[str, object], object]]] = {}
+    meta = getattr(registry, "_meta", {})
+    for key, inst in sorted(registry.items()):
+        name, labels = meta.get(key, (key, {}))
+        fam = _om_name(name)
+        if isinstance(inst, Counter):
+            typ = "counter"
+        elif isinstance(inst, Gauge):
+            typ = "gauge"
+        elif isinstance(inst, Histogram):
+            typ = "histogram"
+        else:
+            raise OpenMetricsError(
+                f"metric {key!r} has unknown instrument type "
+                f"{type(inst).__name__}"
+            )
+        prev = families.get(fam)
+        if prev is not None and prev != typ:
+            raise OpenMetricsError(
+                f"metric family {fam!r} is both {prev} and {typ}"
+            )
+        families[fam] = typ
+        grouped.setdefault(fam, []).append((labels, inst))
+    lines: list[str] = []
+    for fam in sorted(grouped):
+        typ = families[fam]
+        lines.append(f"# TYPE {fam} {typ}")
+        for labels, inst in grouped[fam]:
+            if typ == "counter":
+                lines.append(
+                    f"{fam}_total{_om_labels(labels)} "
+                    f"{_om_number(inst.value)}"
+                )
+            elif typ == "gauge":
+                lines.append(
+                    f"{fam}{_om_labels(labels)} {_om_number(inst.value)}"
+                )
+            else:
+                cumulative = 0
+                for bound, n in zip(inst.bounds, inst.bucket_counts):
+                    cumulative += n
+                    le = dict(labels)
+                    le["le"] = format(float(bound), "g")
+                    lines.append(
+                        f"{fam}_bucket{_om_labels(le)} {cumulative}"
+                    )
+                le = dict(labels)
+                le["le"] = "+Inf"
+                lines.append(f"{fam}_bucket{_om_labels(le)} {inst.count}")
+                lines.append(
+                    f"{fam}_sum{_om_labels(labels)} {_om_number(inst.total)}"
+                )
+                lines.append(
+                    f"{fam}_count{_om_labels(labels)} {inst.count}"
+                )
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def _om_parse_labels(s: str, lineno: int) -> tuple[dict[str, str], int]:
+    """Parse a ``key="value",...}`` label block (``s`` starts just after
+    the ``{``); returns the labels and the index just past the ``}``."""
+    labels: dict[str, str] = {}
+    i = 0
+    try:
+        while True:
+            if s[i] == "}":
+                return labels, i + 1
+            eq = s.index("=", i)
+            key = s[i:eq]
+            if not key or s[eq + 1] != '"':
+                raise OpenMetricsError(
+                    f"line {lineno}: malformed label near {s[i:]!r}"
+                )
+            i = eq + 2
+            buf: list[str] = []
+            while True:
+                c = s[i]
+                if c == "\\":
+                    nxt = s[i + 1]
+                    buf.append(
+                        {"\\": "\\", '"': '"', "n": "\n"}.get(nxt, nxt)
+                    )
+                    i += 2
+                elif c == '"':
+                    i += 1
+                    break
+                else:
+                    buf.append(c)
+                    i += 1
+            labels[key] = "".join(buf)
+            if s[i] == ",":
+                i += 1
+            elif s[i] != "}":
+                raise OpenMetricsError(
+                    f"line {lineno}: expected ',' or '}}' after label "
+                    f"{key!r}"
+                )
+    except (IndexError, ValueError):
+        raise OpenMetricsError(
+            f"line {lineno}: unterminated label block"
+        ) from None
+
+
+def parse_openmetrics(text: str) -> dict[str, object]:
+    """Validate an exposition document and decode it into
+    ``{"types": {family: type}, "samples": {(name, labels...): value}}``
+    — the structured form the round-trip tests compare.  Raises
+    :class:`OpenMetricsError` on format violations: unknown or
+    duplicate ``# TYPE``, malformed samples, text after (or a missing)
+    ``# EOF`` terminator."""
+    types: dict[str, str] = {}
+    samples: dict[tuple, float] = {}
+    saw_eof = False
+    for lineno, line in enumerate(text.split("\n"), start=1):
+        if saw_eof:
+            if line:
+                raise OpenMetricsError(
+                    f"line {lineno}: content after the # EOF terminator"
+                )
+            continue
+        if not line:
+            continue
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                raise OpenMetricsError(
+                    f"line {lineno}: malformed # TYPE line: {line!r}"
+                )
+            fam, typ = parts[2], parts[3]
+            if typ not in ("counter", "gauge", "histogram"):
+                raise OpenMetricsError(
+                    f"line {lineno}: unknown metric type {typ!r}"
+                )
+            if fam in types:
+                raise OpenMetricsError(
+                    f"line {lineno}: duplicate # TYPE for {fam!r}"
+                )
+            types[fam] = typ
+            continue
+        if line.startswith("#"):
+            continue  # HELP/UNIT comments pass through unvalidated
+        if "{" in line:
+            name, rest = line.split("{", 1)
+            labels, end = _om_parse_labels(rest, lineno)
+            value_text = rest[end:].strip()
+        else:
+            name, sep, value_text = line.partition(" ")
+            labels = {}
+            if not sep:
+                raise OpenMetricsError(
+                    f"line {lineno}: sample has no value: {line!r}"
+                )
+            value_text = value_text.strip()
+        if not name:
+            raise OpenMetricsError(
+                f"line {lineno}: sample has no metric name: {line!r}"
+            )
+        try:
+            value = float(value_text)
+        except ValueError:
+            raise OpenMetricsError(
+                f"line {lineno}: sample value is not a number: "
+                f"{value_text!r}"
+            ) from None
+        samples[(name,) + tuple(sorted(labels.items()))] = value
+    if not saw_eof:
+        raise OpenMetricsError("missing # EOF terminator")
+    return {"types": types, "samples": samples}

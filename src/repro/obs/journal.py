@@ -1,0 +1,178 @@
+"""Streaming telemetry: an append-only JSONL event journal.
+
+The trace JSON written by :meth:`Observability.export` is a *snapshot*
+— nothing exists until the run ends and the whole payload is dumped.
+Long sweeps and the serving layer want the opposite: telemetry that
+hits disk **while the run is in flight**, survives a crash mid-run, and
+can be tailed / shipped line-by-line.  The journal is that path:
+
+- one JSON object per line (JSON Lines), each carrying a monotonically
+  increasing ``seq`` and a ``kind`` tag (``nest_io``, ``redist``,
+  ``stats``, ``metrics``, ``sim``, ``serve``, ``profile``, ``result``,
+  ``doc_meta``, …) plus the event's payload fields;
+- incremental flush (``flush_every=1`` by default — every event reaches
+  the OS before ``emit`` returns), append mode so restarted runs extend
+  the same file;
+- replay: :func:`payload_from_journal` folds a journal back into a
+  trace-shaped payload for ``python -m repro.obs report``/``top``, and
+  :func:`doc_from_journal` folds ``result``/``doc_meta`` events into a
+  regress-checkable document, so ``regress check baseline run.jsonl``
+  gates a run that only ever streamed.
+
+Journaling is opt-in (``Observability(journal=...)``) and bit-identical
+off: with no journal attached, the emission hooks are a single ``is
+None`` test and every payload byte is unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Mapping
+
+
+class JournalError(ValueError):
+    """A journal file violates the JSONL contract (carries the offending
+    1-based line number when raised by :func:`read_journal`)."""
+
+
+class Journal:
+    """Append-only JSONL event sink with incremental flush."""
+
+    def __init__(
+        self, path_or_file: str | IO[str], *, flush_every: int = 1
+    ):
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
+        if hasattr(path_or_file, "write"):
+            self._f: IO[str] = path_or_file
+            self._owns = False
+        else:
+            self._f = open(path_or_file, "a")
+            self._owns = True
+        self.flush_every = flush_every
+        self.seq = 0
+        self._pending = 0
+
+    def emit(self, kind: str, **fields: object) -> None:
+        """Append one event line.  ``kind`` and ``seq`` are reserved
+        field names; everything else passes through as-is (values must
+        already be JSON-serializable — run results go through
+        :func:`~repro.obs.export.sanitize` before they get here)."""
+        event = {"seq": self.seq, "kind": kind}
+        event.update(fields)
+        self._f.write(json.dumps(event, sort_keys=True) + "\n")
+        self.seq += 1
+        self._pending += 1
+        if self._pending >= self.flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        self._f.flush()
+        self._pending = 0
+
+    def close(self) -> None:
+        self.flush()
+        if self._owns:
+            self._f.close()
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+def read_journal(path_or_file: str | IO[str]) -> list[dict[str, object]]:
+    """Parse a journal into its event dicts, validating the contract:
+    every non-blank line is a JSON object with a string ``kind``.
+    Raises :class:`JournalError` naming the first offending line."""
+    if hasattr(path_or_file, "read"):
+        lines = path_or_file.read().splitlines()
+    else:
+        with open(path_or_file) as f:
+            lines = f.read().splitlines()
+    events: list[dict[str, object]] = []
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as e:
+            raise JournalError(
+                f"journal line {lineno} is not valid JSON: {e}"
+            ) from None
+        if not isinstance(event, dict):
+            raise JournalError(
+                f"journal line {lineno} is not a JSON object "
+                f"(got {type(event).__name__})"
+            )
+        if not isinstance(event.get("kind"), str):
+            raise JournalError(
+                f"journal line {lineno} has no string 'kind' field"
+            )
+        events.append(event)
+    return events
+
+
+def _strip(event: Mapping[str, object]) -> dict[str, object]:
+    return {k: v for k, v in event.items() if k not in ("seq", "kind")}
+
+
+def payload_from_journal(
+    events: Iterable[Mapping[str, object]],
+) -> dict[str, object]:
+    """Fold journal events back into a trace-shaped payload renderable
+    by ``python -m repro.obs report`` / ``top``.
+
+    Record-shaped kinds (``nest_io``, ``redist``) accumulate in arrival
+    order; snapshot kinds (``stats``, ``metrics``, ``sim``, ``serve``,
+    ``profile``) are last-wins, matching how the live objects overwrite
+    on re-finalization.  Unknown kinds are ignored — journals may carry
+    application events the report does not render.
+    """
+    payload: dict[str, object] = {
+        "traceEvents": [],
+        "io_report": {"records": [], "redist": []},
+        "metrics": {},
+    }
+    report = payload["io_report"]
+    for event in events:
+        kind = event.get("kind")
+        if kind == "nest_io":
+            report["records"].append(_strip(event))
+        elif kind == "redist":
+            report["redist"].append(_strip(event))
+        elif kind in ("stats", "metrics", "sim", "serve", "profile"):
+            data = event.get("data")
+            payload[kind] = data if isinstance(data, (dict, list)) \
+                else _strip(event)
+    return payload
+
+
+def doc_from_journal(
+    events: Iterable[Mapping[str, object]],
+) -> dict[str, object]:
+    """Fold ``result`` / ``doc_meta`` events into a regress-checkable
+    document (the ``{"results", "meta", "smoke", ...}`` shape the PR-4
+    gate diffs).  ``result`` events carry ``name``/``payload``/optional
+    ``meta``; ``doc_meta`` events merge envelope fields (``smoke``,
+    ``machine``, …) last-wins."""
+    doc: dict[str, object] = {"results": {}, "meta": {}, "smoke": False}
+    results: dict[str, object] = doc["results"]
+    meta: dict[str, object] = doc["meta"]
+    for event in events:
+        kind = event.get("kind")
+        if kind == "result":
+            name = event.get("name")
+            if not isinstance(name, str):
+                raise JournalError(
+                    f"result event seq={event.get('seq')} has no "
+                    "string 'name'"
+                )
+            results[name] = event.get("payload")
+            if event.get("meta") is not None:
+                meta[name] = event["meta"]
+        elif kind == "doc_meta":
+            doc.update(_strip(event))
+    return doc

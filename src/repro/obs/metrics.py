@@ -28,6 +28,11 @@ def _key(name: str, labels: dict[str, object]) -> str:
     return f"{name}{{{inner}}}"
 
 
+class PercentileError(ValueError):
+    """A percentile query outside ``[0, 1]`` (named validation error;
+    subclasses ``ValueError`` so pre-existing handlers keep working)."""
+
+
 class Counter:
     """Monotonically increasing count."""
 
@@ -101,7 +106,9 @@ class Histogram:
         distributions report that value exactly.  ``None`` when empty.
         """
         if not 0.0 <= q <= 1.0:
-            raise ValueError(f"percentile q must be in [0, 1], got {q}")
+            raise PercentileError(
+                f"percentile q must be in [0, 1], got {q}"
+            )
         if self.count == 0:
             return None
         target = q * self.count
@@ -150,6 +157,9 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        #: key -> (bare name, labels) for exporters that need the
+        #: metric family and label set separately (OpenMetrics)
+        self._meta: dict[str, tuple[str, dict[str, object]]] = {}
 
     def _get(self, name: str, labels: dict[str, object], factory):
         key = _key(name, labels)
@@ -157,6 +167,7 @@ class MetricsRegistry:
         if inst is None:
             inst = factory()
             self._instruments[key] = inst
+            self._meta[key] = (name, dict(labels))
         elif not isinstance(inst, factory):
             raise TypeError(
                 f"metric {key!r} already registered as "
@@ -178,6 +189,7 @@ class MetricsRegistry:
         if inst is None:
             inst = Histogram(bounds) if bounds is not None else Histogram()
             self._instruments[key] = inst
+            self._meta[key] = (name, dict(labels))
         elif not isinstance(inst, Histogram):
             raise TypeError(f"metric {key!r} already registered")
         return inst
@@ -196,3 +208,53 @@ class MetricsRegistry:
             key: inst.to_dict()
             for key, inst in sorted(self._instruments.items())
         }
+
+
+def _parse_key(key: str) -> tuple[str, dict[str, object]]:
+    """Invert :func:`_key` for snapshot keys (label values must not
+    contain ``,`` or ``=`` — true for every metric the system emits)."""
+    if not (key.endswith("}") and "{" in key):
+        return key, {}
+    name, _, inner = key[:-1].partition("{")
+    labels: dict[str, object] = {}
+    for item in inner.split(","):
+        k, _, v = item.partition("=")
+        labels[k] = v
+    return name, labels
+
+
+def registry_from_snapshot(
+    snapshot: dict[str, dict[str, object]],
+) -> MetricsRegistry:
+    """Rebuild a registry from a serialized ``to_dict()`` snapshot (a
+    trace payload's ``metrics`` section / a journal's metrics event), so
+    replayed captures can be re-rendered through exporters that need
+    live instruments — OpenMetrics exposition in particular.  Raises
+    ``ValueError`` on an unknown instrument type."""
+    reg = MetricsRegistry()
+    for key, data in snapshot.items():
+        name, labels = _parse_key(key)
+        typ = data.get("type")
+        if typ == "counter":
+            reg.counter(name, **labels).value = float(data.get("value", 0))
+        elif typ == "gauge":
+            reg.gauge(name, **labels).set(float(data.get("value", 0)))
+        elif typ == "histogram":
+            bounds = data.get("bounds")
+            h = reg.histogram(
+                name, bounds=bounds if bounds else None, **labels
+            )
+            h.count = int(data.get("count", 0))
+            h.total = float(data.get("sum", 0.0))
+            h.min = data.get("min")
+            h.max = data.get("max")
+            counts = data.get("bucket_counts")
+            if isinstance(counts, list) and len(counts) == len(
+                h.bucket_counts
+            ):
+                h.bucket_counts = [int(c) for c in counts]
+        else:
+            raise ValueError(
+                f"snapshot metric {key!r} has unknown type {typ!r}"
+            )
+    return reg

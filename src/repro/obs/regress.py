@@ -333,15 +333,31 @@ def check_paths(
     policy: TolerancePolicy | None = None,
 ) -> RegressReport:
     """Load both documents and diff them (the ``regress check`` core).
-    The current side may be a bare ``pytest --json`` doc or a full
-    baseline envelope — or ``-`` to read it from stdin; the baseline
-    side must be a valid envelope."""
+    The current side may be a bare ``pytest --json`` doc, a full
+    baseline envelope, a ``.jsonl`` streaming journal carrying
+    ``result`` events (:func:`~repro.obs.journal.doc_from_journal`), or
+    ``-`` to read JSON from stdin; the baseline side must be a valid
+    envelope."""
     import json
     import sys
 
     from .baselines import BaselineError, load_baseline
 
     baseline = load_baseline(baseline_path)
+    if current_path != "-" and current_path.endswith(".jsonl"):
+        from .journal import JournalError, doc_from_journal, read_journal
+
+        try:
+            current = doc_from_journal(read_journal(current_path))
+        except FileNotFoundError:
+            raise BaselineError(
+                f"current results file not found: {current_path}"
+            ) from None
+        except JournalError as e:
+            raise BaselineError(
+                f"malformed journal in {current_path}: {e}"
+            ) from None
+        return diff_docs(baseline, current, policy)
     source = "stdin" if current_path == "-" else current_path
     try:
         if current_path == "-":

@@ -345,13 +345,16 @@ def render_report(
     metrics: Mapping[str, Mapping[str, object]] | None = None,
     *,
     serve: Mapping[str, object] | None = None,
+    profile: Mapping[str, object] | None = None,
 ) -> str:
     """The per-nest × per-array breakdown table, plus the redistribution
     lines, the cost-model drift section (when the report carries drift
     records), an optional metrics dump with percentile summaries, a
     per-tenant serving section (``serve``, a
-    :meth:`repro.serve.ServeResult.summary_dict` payload), and — when
-    the run's folded stats are available — an explicit totals
+    :meth:`repro.serve.ServeResult.summary_dict` payload), a hotspot
+    section (``profile``, a
+    :meth:`repro.obs.profile.ProfileResult.to_dict` payload), and —
+    when the run's folded stats are available — an explicit totals
     cross-check."""
     rows = _aggregate(report.records)
     header = (
@@ -399,10 +402,21 @@ def render_report(
     if serve:
         lines.append("")
         lines.extend(_render_serve(serve))
+    if profile:
+        lines.append("")
+        lines.extend(_render_profile(profile))
     if metrics:
         lines.append("")
         lines.extend(_render_metrics(metrics))
     return "\n".join(lines)
+
+
+def _render_profile(profile: Mapping[str, object]) -> list[str]:
+    """The hotspot section: delegated to the profiler's own ``top``
+    renderer so the report and ``python -m repro.obs top`` agree."""
+    from .profile import render_profile
+
+    return render_profile(profile).splitlines()
 
 
 def _render_serve(serve: Mapping[str, object]) -> list[str]:

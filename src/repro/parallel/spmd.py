@@ -32,6 +32,8 @@ from ..obs import (
     RedistRecord,
     active as obs_active,
 )
+from ..obs import profile as _prof
+from ..obs.profile import ProfileConfig, ProfileResult, ProfileSession
 from ..optimizer.strategies import VersionConfig
 from ..runtime import IOStats, MachineParams, ParallelFileSystem
 from .model import makespan
@@ -46,6 +48,10 @@ class ParallelRun:
     #: per-nest collective decisions + event-sim record; ``None`` for
     #: plain independent runs (``collective`` not passed)
     collective: CollectiveReport | None = None
+    #: hotspot table + deterministic work-counter deltas for the whole
+    #: driver (all ranks + the collective re-pricing); ``None`` unless
+    #: ``profile=ProfileConfig(...)`` was passed
+    profile: ProfileResult | None = None
 
     @property
     def total_io_calls(self) -> int:
@@ -80,6 +86,7 @@ def run_version_parallel(
     trace: bool = False,
     real: bool = False,
     backend: StorageBackend | str | None = None,
+    profile: ProfileConfig | ProfileSession | None = None,
 ) -> ParallelRun:
     """Execute a version on ``n_nodes`` (simulate mode by default).
 
@@ -128,6 +135,15 @@ def run_version_parallel(
     :attr:`ParallelRun.backend_metrics` folds the measured side across
     ranks.  Accounted stats are identical for every data-carrying
     backend.
+
+    ``profile`` (a :class:`repro.obs.ProfileConfig`) turns on hotspot
+    attribution and deterministic work counting for the *whole driver*:
+    one session spans every rank's executor plus the collective
+    re-pricing, and :attr:`ParallelRun.profile` carries the resulting
+    :class:`~repro.obs.ProfileResult`.  Passing an already-active
+    :class:`~repro.obs.ProfileSession` nests this run inside a caller's
+    capture instead (the caller finishes it).  ``None`` (default)
+    records nothing and is bit-identical.
     """
     params = params or MachineParams()
     obs = obs_active(obs)
@@ -157,81 +173,107 @@ def run_version_parallel(
         ]
     else:
         rank_backends = [resolve_backend(backend) for _ in range(n_nodes)]
-    for rank in range(n_nodes):
-        pfs = ParallelFileSystem(params)
-        pfs.advance(rank * stagger)
-        span = (
-            obs.tracer.begin(f"rank {rank}", "execute", rank=rank)
-            if obs is not None and obs.config.wall_time
-            else None
-        )
-        ex = OOCExecutor(
-            cfg.program,
-            cfg.layouts,
-            params=params,
-            binding=b,
-            memory_budget=budget,
-            backend=rank_backends[rank],
-            tiling=cfg.tiling,
-            storage_spec=cfg.storage_spec,
-            pfs=pfs,
-            node_slice=(rank, n_nodes) if n_nodes > 1 else None,
-            trace=trace,
-            faults=faults,
-        )
-        results.append(ex.run())
-        if span is not None:
-            obs.tracer.end(span, calls=results[-1].stats.calls)
-        if obs is not None:
-            file_maps.append(ex.file_names())
-            if ex.injector is not None:
-                if obs.config.metrics:
-                    ex.injector.publish_counters(obs.metrics)
-                    ex.injector.publish_metrics(obs.metrics)
-                if ex.injector.events:
-                    obs.add_fault_events(ex.injector.events)
-            if obs.config.per_array and rank == 0:
-                # the prediction is per-program, identical on every rank;
-                # the drift table compares it to the *summed* measured I/O
-                obs.note_predictions(ex.predicted_io())
-                obs.note_modeled_elements(ex.predicted_elements())
-        if rank_backends[rank].measures:
-            # disk-backed rank namespaces are done once the stats and
-            # metrics are collected — release mmaps / chunk directories
-            ex.close()
-    if obs is not None and obs.config.per_array:
-        if bounds is None:
-            from ..bounds import program_bounds
-
-            # the bound argues against the run's effective per-node
-            # capacity: the nominal budget, or the worst rank's peak
-            # when pathological tiles overran it
-            peak = max((r.peak_memory for r in results), default=0)
-            bounds = program_bounds(
-                cfg.program,
-                binding=b,
-                memory_elements=max(budget, peak),
-                n_nodes=n_nodes,
+    # one profile session spans every rank plus the collective
+    # re-pricing: a config here is driver-owned (activated, finished,
+    # published); a live session is a caller's capture we nest inside
+    owned: ProfileSession | None = None
+    if isinstance(profile, ProfileConfig):
+        owned = ProfileSession(profile) if profile.enabled else None
+        session: ProfileSession | None = owned
+    else:
+        session = profile
+    if session is not None:
+        session.activate()
+    try:
+        for rank in range(n_nodes):
+            pfs = ParallelFileSystem(params)
+            pfs.advance(rank * stagger)
+            span = (
+                obs.tracer.begin(f"rank {rank}", "execute", rank=rank)
+                if obs is not None and obs.config.wall_time
+                else None
             )
-        obs.note_bounds(bounds)
-    if collective is None:
-        run = ParallelRun(cfg.name, n_nodes, makespan(results), results)
+            ex = OOCExecutor(
+                cfg.program,
+                cfg.layouts,
+                params=params,
+                binding=b,
+                memory_budget=budget,
+                backend=rank_backends[rank],
+                tiling=cfg.tiling,
+                storage_spec=cfg.storage_spec,
+                pfs=pfs,
+                node_slice=(rank, n_nodes) if n_nodes > 1 else None,
+                trace=trace,
+                faults=faults,
+            )
+            results.append(ex.run())
+            if span is not None:
+                obs.tracer.end(span, calls=results[-1].stats.calls)
+            if obs is not None:
+                file_maps.append(ex.file_names())
+                if ex.injector is not None:
+                    if obs.config.metrics:
+                        ex.injector.publish_counters(obs.metrics)
+                        ex.injector.publish_metrics(obs.metrics)
+                    if ex.injector.events:
+                        obs.add_fault_events(ex.injector.events)
+                if obs.config.per_array and rank == 0:
+                    # the prediction is per-program, identical on every
+                    # rank; the drift table compares it to the *summed*
+                    # measured I/O
+                    obs.note_predictions(ex.predicted_io())
+                    obs.note_modeled_elements(ex.predicted_elements())
+            if rank_backends[rank].measures:
+                # disk-backed rank namespaces are done once the stats
+                # and metrics are collected — release mmaps / chunk
+                # directories
+                ex.close()
+        if obs is not None and obs.config.per_array:
+            if bounds is None:
+                from ..bounds import program_bounds
+
+                # the bound argues against the run's effective per-node
+                # capacity: the nominal budget, or the worst rank's peak
+                # when pathological tiles overran it
+                peak = max((r.peak_memory for r in results), default=0)
+                bounds = program_bounds(
+                    cfg.program,
+                    binding=b,
+                    memory_elements=max(budget, peak),
+                    n_nodes=n_nodes,
+                )
+            obs.note_bounds(bounds)
+        if collective is None:
+            run = ParallelRun(cfg.name, n_nodes, makespan(results), results)
+            if obs is not None:
+                if obs.config.per_array:
+                    for rank, r in enumerate(results):
+                        for rec in nest_records(
+                            params, r.nest_runs, file_maps[rank],
+                            node=rank, path="independent",
+                        ):
+                            obs.record_nest_io(rec)
+                    obs.finalize_drift()
+                    obs.finalize_optimality()
+                obs.note_stats(run.total_stats)
+        else:
+            run = _collective_run(
+                cfg.name, n_nodes, params, results, collective,
+                obs=obs, file_maps=file_maps, faults=faults,
+            )
+    finally:
+        if session is not None:
+            session.deactivate()
+    if owned is not None:
+        run.profile = owned.finish(
+            tracer=obs.tracer if obs is not None else None
+        )
         if obs is not None:
-            if obs.config.per_array:
-                for rank, r in enumerate(results):
-                    for rec in nest_records(
-                        params, r.nest_runs, file_maps[rank],
-                        node=rank, path="independent",
-                    ):
-                        obs.record_nest_io(rec)
-                obs.finalize_drift()
-                obs.finalize_optimality()
-            obs.note_stats(run.total_stats)
-        return run
-    return _collective_run(
-        cfg.name, n_nodes, params, results, collective,
-        obs=obs, file_maps=file_maps, faults=faults,
-    )
+            obs.note_profile(run.profile)
+            if obs.config.metrics:
+                _prof.publish_work(obs.metrics, run.profile.work)
+    return run
 
 
 def speedup_curve(

@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
+from ..obs import profile as _prof
 from .params import MachineParams
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cache → stats)
@@ -51,6 +52,23 @@ def plan_runs(
     batch of contiguous runs: sieve small gaps, then split runs longer
     than the maximum request size.  Pure — no accounting is recorded —
     so the tile cache can price *avoided* transfers identically."""
+    _prof.WORK.plan_runs_calls += 1
+    rec = _prof.ACTIVE
+    if rec is not None:
+        rec.begin("pricing.plan_runs")
+        try:
+            out = _plan_runs_impl(params, offsets, lengths)
+        finally:
+            rec.end()
+    else:
+        out = _plan_runs_impl(params, offsets, lengths)
+    _prof.WORK.priced_runs += int(out[0].size)
+    return out
+
+
+def _plan_runs_impl(
+    params: MachineParams, offsets: np.ndarray, lengths: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
     offsets = np.asarray(offsets, dtype=np.int64)
     lengths = np.asarray(lengths, dtype=np.int64)
     if offsets.size == 0:
@@ -306,6 +324,20 @@ class IOContext:
         """Account one I/O call for ``n_elems`` contiguous elements starting
         at ``offset_elem`` within a file whose stripe-0 begins at
         ``file_base_elem`` (element units)."""
+        rec = _prof.ACTIVE
+        if rec is None:
+            return self._record_call(
+                file_base_elem, offset_elem, n_elems, is_write
+            )
+        rec.begin("io.record_call")
+        try:
+            return self._record_call(
+                file_base_elem, offset_elem, n_elems, is_write
+            )
+        finally:
+            rec.end()
+
+    def _record_call(self, file_base_elem: int, offset_elem: int, n_elems: int, is_write: bool) -> None:
         p = self.params
         nbytes = n_elems * p.element_size
         if is_write:
@@ -345,6 +377,26 @@ class IOContext:
         """Vectorized accounting for a batch of contiguous runs (element
         units).  Runs longer than the maximum request size are split into
         multiple calls.  Returns the number of I/O calls recorded."""
+        rec = _prof.ACTIVE
+        if rec is None:
+            return self._record_runs(
+                file_base_elem, offsets, lengths, is_write
+            )
+        rec.begin("io.record_runs")
+        try:
+            return self._record_runs(
+                file_base_elem, offsets, lengths, is_write
+            )
+        finally:
+            rec.end()
+
+    def _record_runs(
+        self,
+        file_base_elem: int,
+        offsets: np.ndarray,
+        lengths: np.ndarray,
+        is_write: bool,
+    ) -> int:
         p = self.params
         offsets, lengths = plan_runs(p, offsets, lengths)
         if offsets.size == 0:
@@ -475,6 +527,7 @@ class IOContext:
             )
 
     def record_compute(self, n_iterations: int, ops_per_iteration: int = 1) -> None:
+        _prof.WORK.add_loop_iters("element", int(n_iterations))
         self.stats.compute_time_s += (
             n_iterations * ops_per_iteration * self.params.compute_per_element_s
         )

@@ -1,0 +1,281 @@
+"""Streaming JSONL telemetry (repro.obs.journal): append-only emission,
+contract-validating reads, replay into report payloads and
+regress-checkable documents, and the CLI surface."""
+
+import io
+import json
+
+import pytest
+
+from dataclasses import replace
+
+from repro.experiments.harness import _scaled_params
+from repro.obs import (
+    Journal,
+    JournalError,
+    Observability,
+    doc_from_journal,
+    payload_from_journal,
+    read_journal,
+)
+from repro.obs.cli import main
+from repro.optimizer import build_version
+from repro.parallel import run_version_parallel
+from repro.workloads import build_workload
+
+N = 24
+PARAMS = replace(_scaled_params(N), n_io_nodes=4)
+N_NODES = 4
+
+
+class TestJournal:
+    def test_emit_read_round_trip(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(str(path)) as j:
+            j.emit("stats", data={"calls": 3})
+            j.emit("nest_io", nest="adi.x", array="U1")
+        events = read_journal(str(path))
+        assert [e["seq"] for e in events] == [0, 1]
+        assert [e["kind"] for e in events] == ["stats", "nest_io"]
+        assert events[0]["data"] == {"calls": 3}
+
+    def test_lines_are_sorted_key_json(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(str(path)) as j:
+            j.emit("stats", zebra=1, alpha=2)
+        line = path.read_text().strip()
+        assert line == json.dumps(
+            json.loads(line), sort_keys=True
+        )
+        assert line.index('"alpha"') < line.index('"zebra"')
+
+    def test_append_mode_extends(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(str(path)) as j:
+            j.emit("stats")
+        with Journal(str(path)) as j:
+            j.emit("stats")
+        assert len(read_journal(str(path))) == 2
+
+    def test_flush_every_batches(self):
+        class CountingIO(io.StringIO):
+            flushes = 0
+
+            def flush(self):
+                self.flushes += 1
+                super().flush()
+
+        buf = CountingIO()
+        j = Journal(buf, flush_every=3)
+        j.emit("a")
+        j.emit("a")
+        assert buf.flushes == 0
+        j.emit("a")
+        assert buf.flushes == 1
+
+    def test_default_flush_every_event(self):
+        buf = io.StringIO()
+        j = Journal(buf)
+        j.emit("a")
+        assert len(buf.getvalue().splitlines()) == 1
+
+    def test_flush_every_must_be_positive(self):
+        with pytest.raises(ValueError, match="flush_every"):
+            Journal(io.StringIO(), flush_every=0)
+
+    def test_file_like_not_closed(self):
+        buf = io.StringIO()
+        with Journal(buf) as j:
+            j.emit("a")
+        assert not buf.closed
+
+
+class TestReadJournal:
+    def test_blank_lines_skipped(self):
+        buf = io.StringIO('{"seq": 0, "kind": "a"}\n\n\n')
+        assert len(read_journal(buf)) == 1
+
+    def test_malformed_json_names_line(self):
+        buf = io.StringIO('{"seq": 0, "kind": "a"}\n{oops\n')
+        with pytest.raises(JournalError, match="line 2"):
+            read_journal(buf)
+
+    def test_non_object_line_rejected(self):
+        with pytest.raises(JournalError, match="not a JSON object"):
+            read_journal(io.StringIO("[1, 2]\n"))
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(JournalError, match="kind"):
+            read_journal(io.StringIO('{"seq": 0}\n'))
+
+
+class TestReplay:
+    def test_payload_accumulates_and_last_wins(self):
+        events = [
+            {"seq": 0, "kind": "nest_io", "nest": "a", "array": "X"},
+            {"seq": 1, "kind": "stats", "data": {"calls": 1}},
+            {"seq": 2, "kind": "nest_io", "nest": "b", "array": "Y"},
+            {"seq": 3, "kind": "redist", "nest": "a", "messages": 2},
+            {"seq": 4, "kind": "stats", "data": {"calls": 9}},
+            {"seq": 5, "kind": "custom", "whatever": True},
+        ]
+        payload = payload_from_journal(events)
+        assert [r["nest"] for r in payload["io_report"]["records"]] == [
+            "a", "b",
+        ]
+        assert payload["io_report"]["redist"][0]["messages"] == 2
+        assert payload["stats"] == {"calls": 9}
+        assert "custom" not in payload
+
+    def test_doc_from_journal_folds_results(self):
+        events = [
+            {"seq": 0, "kind": "doc_meta", "smoke": True, "machine": "m"},
+            {"seq": 1, "kind": "result", "name": "bench_a",
+             "payload": {"x": 1}, "meta": {"n": 8}},
+            {"seq": 2, "kind": "result", "name": "bench_b",
+             "payload": {"y": 2}},
+        ]
+        doc = doc_from_journal(events)
+        assert doc["smoke"] is True
+        assert doc["machine"] == "m"
+        assert doc["results"] == {"bench_a": {"x": 1}, "bench_b": {"y": 2}}
+        assert doc["meta"] == {"bench_a": {"n": 8}}
+
+    def test_result_without_name_rejected(self):
+        with pytest.raises(JournalError, match="name"):
+            doc_from_journal([{"seq": 0, "kind": "result", "payload": {}}])
+
+
+class TestObservabilityJournal:
+    def _run(self, journal):
+        obs = Observability(journal=journal)
+        cfg = build_version("c-opt", build_workload("adi", N))
+        run_version_parallel(cfg, N_NODES, params=PARAMS, obs=obs)
+        return obs
+
+    def test_streams_while_running(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        obs = self._run(str(path))
+        # no export() yet: records and stats already hit the file
+        events = read_journal(str(path))
+        kinds = {e["kind"] for e in events}
+        assert "nest_io" in kinds and "stats" in kinds
+        obs.export(str(tmp_path / "t.json"))
+        kinds = {e["kind"] for e in read_journal(str(path))}
+        assert "metrics" in kinds
+
+    def test_replay_matches_export(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        trace = tmp_path / "t.json"
+        obs = self._run(str(path))
+        obs.export(str(trace))
+        replayed = payload_from_journal(read_journal(str(path)))
+        exported = json.loads(trace.read_text())
+        assert replayed["io_report"]["records"] == \
+            exported["io_report"]["records"]
+        assert replayed["stats"] == exported["stats"]
+        assert replayed["metrics"] == exported["metrics"]
+
+    def test_no_journal_is_none(self):
+        obs = Observability()
+        assert obs.journal is None
+
+
+class TestRegressOnJournal:
+    def _write_baseline(self, tmp_path, results):
+        from repro.obs.baselines import make_envelope
+
+        doc = make_envelope(results, smoke=True)
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def _write_journal(self, tmp_path, results):
+        path = tmp_path / "run.jsonl"
+        with Journal(str(path)) as j:
+            j.emit("doc_meta", smoke=True)
+            for name, payload in results.items():
+                j.emit("result", name=name, payload=payload)
+        return str(path)
+
+    def test_check_passes_on_matching_journal(self, tmp_path, capsys):
+        results = {"bench": {"calls": 42, "time_s": 1.5}}
+        b = self._write_baseline(tmp_path, results)
+        c = self._write_journal(tmp_path, results)
+        assert main(["regress", "check", b, c]) == 0
+
+    def test_check_fails_on_counter_drift(self, tmp_path, capsys):
+        b = self._write_baseline(tmp_path, {"bench": {"calls": 42}})
+        c = self._write_journal(tmp_path, {"bench": {"calls": 43}})
+        assert main(["regress", "check", b, c]) == 1
+
+    def test_missing_journal_exits_2(self, tmp_path):
+        b = self._write_baseline(tmp_path, {"bench": {"calls": 1}})
+        assert main([
+            "regress", "check", b, str(tmp_path / "no.jsonl"),
+        ]) == 2
+
+    def test_malformed_journal_exits_2(self, tmp_path, capsys):
+        b = self._write_baseline(tmp_path, {"bench": {"calls": 1}})
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{nope\n")
+        assert main(["regress", "check", b, str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestJournalCLI:
+    def _journal(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        obs = Observability(journal=str(path))
+        cfg = build_version("c-opt", build_workload("adi", N))
+        run_version_parallel(cfg, N_NODES, params=PARAMS, obs=obs)
+        obs.journal.flush()
+        return str(path)
+
+    def test_summary(self, tmp_path, capsys):
+        path = self._journal(tmp_path)
+        assert main(["journal", path]) == 0
+        out = capsys.readouterr().out
+        assert "event(s)" in out and "nest_io" in out
+
+    def test_report_replay(self, tmp_path, capsys):
+        path = self._journal(tmp_path)
+        assert main(["journal", path, "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "nest" in out
+
+    def test_emit_doc(self, tmp_path, capsys):
+        path = tmp_path / "r.jsonl"
+        with Journal(str(path)) as j:
+            j.emit("result", name="bench", payload={"x": 1})
+        assert main(["journal", str(path), "--emit-doc"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["results"] == {"bench": {"x": 1}}
+
+    def test_openmetrics_from_journal(self, tmp_path, capsys):
+        from repro.obs import parse_openmetrics
+
+        path = tmp_path / "run.jsonl"
+        obs = Observability(journal=str(path))
+        cfg = build_version("c-opt", build_workload("adi", N))
+        run_version_parallel(cfg, N_NODES, params=PARAMS, obs=obs)
+        obs.export(str(tmp_path / "t.json"))
+        assert main(["journal", str(path), "--openmetrics"]) == 0
+        text = capsys.readouterr().out
+        parse_openmetrics(text)
+        assert text.rstrip().endswith("# EOF")
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["journal", str(tmp_path / "no.jsonl")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_malformed_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        assert main(["journal", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_subcommand_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["bogus"])
+        assert exc.value.code == 2

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.obs import Histogram, MetricsRegistry
+from repro.obs import Histogram, MetricsRegistry, PercentileError
 
 
 class TestCounter:
@@ -111,6 +111,21 @@ class TestPercentiles:
             h.percentile(-0.1)
         with pytest.raises(ValueError):
             h.percentile(1.5)
+
+    def test_out_of_range_raises_named_error(self):
+        """The named subclass pins the error contract (it stays a
+        ValueError, so pre-existing handlers keep working), and fires
+        even on an empty histogram — validation precedes emptiness."""
+        h = Histogram()
+        with pytest.raises(PercentileError, match=r"\[0, 1\]"):
+            h.percentile(1.5)
+        assert issubclass(PercentileError, ValueError)
+
+    def test_q_zero_is_min_q_one_is_max(self):
+        h = Histogram()
+        h.observe_many([3.0, 7.0, 11.0])
+        assert h.percentile(0.0) == 3.0
+        assert h.percentile(1.0) == 11.0
 
     def test_single_value_reports_that_value(self):
         h = Histogram()

@@ -1,0 +1,139 @@
+"""Prometheus/OpenMetrics text exposition (repro.obs.export): format
+rules, label escaping, and render → parse round trips."""
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    OpenMetricsError,
+    parse_openmetrics,
+    registry_from_snapshot,
+    render_openmetrics,
+)
+
+
+def _registry():
+    reg = MetricsRegistry()
+    reg.counter("io.read_calls", node=0).inc(5)
+    reg.counter("io.read_calls", node=1).inc(7)
+    reg.gauge("cache.capacity").set(4096)
+    h = reg.histogram("io.call_size", bounds=(10.0, 100.0))
+    h.observe_many([3, 30, 300])
+    return reg
+
+
+class TestRender:
+    def test_type_lines_and_suffixes(self):
+        text = render_openmetrics(_registry())
+        lines = text.splitlines()
+        assert "# TYPE io_read_calls counter" in lines
+        assert "# TYPE cache_capacity gauge" in lines
+        assert "# TYPE io_call_size histogram" in lines
+        assert 'io_read_calls_total{node="0"} 5' in lines
+        assert "cache_capacity 4096" in lines
+        assert lines[-1] == "# EOF"
+        assert text.endswith("\n")
+
+    def test_one_type_line_per_family(self):
+        lines = render_openmetrics(_registry()).splitlines()
+        assert (
+            sum(1 for l in lines if l == "# TYPE io_read_calls counter")
+            == 1
+        )
+
+    def test_histogram_buckets_cumulative(self):
+        text = render_openmetrics(_registry())
+        lines = text.splitlines()
+        assert 'io_call_size_bucket{le="10"} 1' in lines
+        assert 'io_call_size_bucket{le="100"} 2' in lines
+        assert 'io_call_size_bucket{le="+Inf"} 3' in lines
+        assert "io_call_size_count 3" in lines
+        assert "io_call_size_sum 333.0" in lines
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("c", tag='a"b\\c\nd').inc()
+        text = render_openmetrics(reg)
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+        parsed = parse_openmetrics(text)
+        assert parsed["samples"][
+            ("c_total", ("tag", 'a"b\\c\nd'))
+        ] == 1.0
+
+    def test_dotted_names_sanitized(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b-c d").inc()
+        text = render_openmetrics(reg)
+        assert "a_b_c_d_total 1" in text.splitlines()
+
+    def test_type_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x.y").inc()
+        reg.gauge("x_y").set(1)
+        with pytest.raises(OpenMetricsError, match="both"):
+            render_openmetrics(reg)
+
+    def test_empty_registry_is_just_eof(self):
+        assert render_openmetrics(MetricsRegistry()) == "# EOF\n"
+
+
+class TestParse:
+    def test_round_trip_values(self):
+        reg = _registry()
+        parsed = parse_openmetrics(render_openmetrics(reg))
+        s = parsed["samples"]
+        assert s[("io_read_calls_total", ("node", "0"))] == 5.0
+        assert s[("io_read_calls_total", ("node", "1"))] == 7.0
+        assert s[("cache_capacity",)] == 4096.0
+        assert s[("io_call_size_bucket", ("le", "+Inf"))] == 3.0
+        assert parsed["types"] == {
+            "io_read_calls": "counter",
+            "cache_capacity": "gauge",
+            "io_call_size": "histogram",
+        }
+
+    def test_missing_eof_rejected(self):
+        with pytest.raises(OpenMetricsError, match="EOF"):
+            parse_openmetrics("# TYPE a counter\na_total 1\n")
+
+    def test_content_after_eof_rejected(self):
+        with pytest.raises(OpenMetricsError, match="after"):
+            parse_openmetrics("# EOF\na 1\n")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(OpenMetricsError, match="unknown metric type"):
+            parse_openmetrics("# TYPE a summary\n# EOF\n")
+
+    def test_duplicate_type_rejected(self):
+        with pytest.raises(OpenMetricsError, match="duplicate"):
+            parse_openmetrics(
+                "# TYPE a counter\n# TYPE a counter\n# EOF\n"
+            )
+
+    def test_non_numeric_value_rejected(self):
+        with pytest.raises(OpenMetricsError, match="not a number"):
+            parse_openmetrics("a abc\n# EOF\n")
+
+    def test_sample_without_value_rejected(self):
+        with pytest.raises(OpenMetricsError, match="no value"):
+            parse_openmetrics("lonely\n# EOF\n")
+
+    def test_unterminated_labels_rejected(self):
+        with pytest.raises(OpenMetricsError, match="unterminated"):
+            parse_openmetrics('a{x="1\n# EOF\n')
+
+    def test_line_numbers_reported(self):
+        with pytest.raises(OpenMetricsError, match="line 2"):
+            parse_openmetrics("# TYPE a counter\na_total oops\n# EOF\n")
+
+
+class TestSnapshotRoundTrip:
+    def test_registry_snapshot_renders_identically(self):
+        reg = _registry()
+        rebuilt = registry_from_snapshot(reg.to_dict())
+        assert parse_openmetrics(render_openmetrics(rebuilt)) == \
+            parse_openmetrics(render_openmetrics(reg))
+
+    def test_unknown_type_in_snapshot_rejected(self):
+        with pytest.raises(ValueError, match="unknown type"):
+            registry_from_snapshot({"x": {"type": "mystery", "value": 1}})
