@@ -1,0 +1,61 @@
+"""repro.autotune — joint co-optimization + drift-driven recalibration.
+
+Three pieces, composable or closed-loop:
+
+- :mod:`repro.autotune.search` — ``solve_joint`` extends the PR-2
+  layout ILP into a joint search over per-array layouts x per-nest tile
+  sizes x collective aggregator count x tile-cache budget, all priced
+  by the shared cost model.  Returns a typed :class:`TuneDecision` with
+  per-knob provenance (what was chosen, against which candidates, and
+  the predicted-cost delta of reverting it).
+- :mod:`repro.autotune.calibrate` — refits
+  :class:`~repro.runtime.MachineParams` latency/bandwidth (I/O and
+  interconnect) from measured runs by deterministic closed-form least
+  squares; degenerate sample sets raise a named
+  :class:`CalibrationError`.
+- :mod:`repro.autotune.loop` — :class:`Autotuner` watches the PR-4
+  drift gauges (``cost_model.call_error``, ``backend.io_ratio``) plus
+  predicted-vs-measured cost drift; past threshold it recalibrates and
+  re-solves, emitting ``autotune.*`` telemetry and an "autotuning"
+  report section.
+
+Everything is opt-in: no executor or parallel-run path constructs any
+of these objects, and runs without a tuner are bit-identical to the
+pre-autotune tree.
+"""
+
+from .calibrate import (
+    CalibrationError,
+    CalibrationResult,
+    CalibrationSample,
+    ParamFit,
+    calibrate,
+    fit_linear,
+    samples_from_run,
+)
+from .loop import AutotuneConfig, AutotuneConfigError, Autotuner
+from .model import ConfigCost, NestConfigCost, config_cost
+from .search import KnobChoice, TuneDecision, solve_joint
+from .space import AutotuneError, TuneSpace, TuneSpaceError
+
+__all__ = [
+    "AutotuneConfig",
+    "AutotuneConfigError",
+    "AutotuneError",
+    "Autotuner",
+    "CalibrationError",
+    "CalibrationResult",
+    "CalibrationSample",
+    "ConfigCost",
+    "KnobChoice",
+    "NestConfigCost",
+    "ParamFit",
+    "TuneDecision",
+    "TuneSpace",
+    "TuneSpaceError",
+    "calibrate",
+    "config_cost",
+    "fit_linear",
+    "samples_from_run",
+    "solve_joint",
+]

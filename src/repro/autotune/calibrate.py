@@ -1,0 +1,222 @@
+"""Recalibrating :class:`~repro.runtime.MachineParams` from measurement.
+
+The simulator prices every I/O call as ``latency + bytes/bandwidth``
+(and every redistribution message as ``net_latency + bytes/net_bw``),
+so a run's per-nest ``(calls, bytes, seconds)`` triples lie exactly on
+a plane through the origin.  Fitting ``(latency, 1/bandwidth)`` is
+therefore a two-parameter linear least-squares problem with a closed
+form — the 2x2 normal equations — and on simulated runs the fit
+recovers the generating parameters to machine precision.  On measured
+backends (:mod:`repro.backends`) the same fit yields the best
+homogeneous-linear explanation of the observed wall seconds.
+
+Degenerate sample sets fail with a named :class:`CalibrationError`
+(too few samples, collinear samples that leave the normal matrix
+singular, non-finite inputs, a fit implying non-positive bandwidth)
+instead of propagating ``numpy`` warnings or nonsense parameters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Iterable, Sequence
+
+from ..runtime import MachineParams
+from .space import AutotuneError
+
+
+class CalibrationError(AutotuneError):
+    """A least-squares fit cannot be performed or is physically
+    meaningless (named reason in the message)."""
+
+
+@dataclass(frozen=True)
+class CalibrationSample:
+    """One observation: ``seconds`` spent issuing ``calls`` requests
+    moving ``nbytes`` bytes (``source`` names where it came from)."""
+
+    calls: float
+    nbytes: float
+    seconds: float
+    source: str = ""
+
+
+@dataclass(frozen=True)
+class ParamFit:
+    """Provenance of one fitted parameter pair."""
+
+    latency_s: float
+    bandwidth_bps: float
+    n_samples: int
+    #: root-mean-square residual of the fit in seconds
+    residual_s: float
+
+    def to_dict(self) -> dict:
+        return {
+            "latency_s": self.latency_s,
+            "bandwidth_bps": self.bandwidth_bps,
+            "n_samples": self.n_samples,
+            "residual_s": self.residual_s,
+        }
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """The refitted parameters plus per-channel provenance."""
+
+    params: MachineParams
+    io: ParamFit
+    net: ParamFit | None = None
+
+    def to_dict(self) -> dict:
+        out = {"io": self.io.to_dict()}
+        if self.net is not None:
+            out["net"] = self.net.to_dict()
+        return out
+
+
+def fit_linear(
+    samples: Sequence[CalibrationSample], *, channel: str = "io",
+    min_samples: int = 2,
+) -> ParamFit:
+    """Closed-form least squares for ``t = latency*calls + beta*bytes``.
+
+    Solves the 2x2 normal equations directly; deterministic, no
+    iteration, no regularization.  Raises :class:`CalibrationError`
+    for under-determined or degenerate sample sets.
+    """
+    if len(samples) < min_samples:
+        raise CalibrationError(
+            f"{channel}: need >= {min_samples} samples to fit "
+            f"(latency, bandwidth), got {len(samples)}"
+        )
+    for s in samples:
+        if not all(map(math.isfinite, (s.calls, s.nbytes, s.seconds))):
+            raise CalibrationError(
+                f"{channel}: non-finite sample {s!r}"
+            )
+        if s.calls < 0 or s.nbytes < 0 or s.seconds < 0:
+            raise CalibrationError(
+                f"{channel}: negative sample {s!r}"
+            )
+    scc = sum(s.calls * s.calls for s in samples)
+    scb = sum(s.calls * s.nbytes for s in samples)
+    sbb = sum(s.nbytes * s.nbytes for s in samples)
+    sct = sum(s.calls * s.seconds for s in samples)
+    sbt = sum(s.nbytes * s.seconds for s in samples)
+    det = scc * sbb - scb * scb
+    scale = max(scc * sbb, 1.0)
+    if abs(det) <= 1e-12 * scale:
+        raise CalibrationError(
+            f"{channel}: samples are collinear (normal matrix "
+            f"determinant {det:.3e}); vary calls and bytes "
+            "independently — e.g. observe nests with different "
+            "request sizes"
+        )
+    latency = (sct * sbb - sbt * scb) / det
+    beta = (scc * sbt - scb * sct) / det
+    if beta <= 0.0:
+        raise CalibrationError(
+            f"{channel}: fit implies non-positive transfer time per "
+            f"byte ({beta:.3e} s/B) — samples do not look like "
+            "latency + bytes/bandwidth behavior"
+        )
+    latency = max(0.0, latency)
+    sq = 0.0
+    for s in samples:
+        r = s.seconds - (latency * s.calls + beta * s.nbytes)
+        sq += r * r
+    return ParamFit(
+        latency_s=latency,
+        bandwidth_bps=1.0 / beta,
+        n_samples=len(samples),
+        residual_s=math.sqrt(sq / len(samples)),
+    )
+
+
+def _nest_samples(results: Iterable, element_size: int) -> tuple[
+    list[CalibrationSample], list[CalibrationSample]
+]:
+    io: list[CalibrationSample] = []
+    net: list[CalibrationSample] = []
+    for i, r in enumerate(results):
+        for nr in r.nest_runs:
+            st = nr.stats
+            if st.calls > 0 or st.io_time_s > 0:
+                io.append(CalibrationSample(
+                    calls=float(st.calls),
+                    nbytes=float(
+                        (st.elements_read + st.elements_written)
+                        * element_size
+                    ),
+                    seconds=st.io_time_s,
+                    source=f"rank{i}:{nr.nest_name}",
+                ))
+            if st.redist_messages > 0 or st.redist_time_s > 0:
+                net.append(CalibrationSample(
+                    calls=float(st.redist_messages),
+                    nbytes=float(st.redist_elements * element_size),
+                    seconds=st.redist_time_s,
+                    source=f"rank{i}:{nr.nest_name}",
+                ))
+    return io, net
+
+
+def samples_from_run(
+    run, *, element_size: int = 8
+) -> tuple[list[CalibrationSample], list[CalibrationSample]]:
+    """Extract per-(rank, nest) I/O and interconnect samples from a
+    :class:`~repro.parallel.ParallelRun` or a single
+    :class:`~repro.engine.executor.RunResult`."""
+    results = getattr(run, "node_results", None)
+    if results is None:
+        results = [run]
+    return _nest_samples(results, element_size)
+
+
+def calibrate(
+    run_or_samples,
+    *,
+    believed: MachineParams | None = None,
+    min_samples: int = 2,
+) -> CalibrationResult:
+    """Refit I/O (and, when redistribution samples exist, interconnect)
+    parameters from a run, returning new :class:`MachineParams`.
+
+    Only the fitted fields change — everything else (stripe size,
+    request cap, memory fraction, …) carries over from ``believed``.
+    """
+    believed = believed or MachineParams()
+    if isinstance(run_or_samples, tuple):
+        io_samples, net_samples = run_or_samples
+    else:
+        io_samples, net_samples = samples_from_run(
+            run_or_samples, element_size=believed.element_size
+        )
+    io_fit = fit_linear(io_samples, channel="io", min_samples=min_samples)
+    fields = {
+        "io_latency_s": io_fit.latency_s,
+        "io_bandwidth_bps": io_fit.bandwidth_bps,
+    }
+    net_fit = None
+    if len(net_samples) >= min_samples:
+        net_fit = fit_linear(
+            net_samples, channel="net", min_samples=min_samples
+        )
+        fields["net_latency_s"] = net_fit.latency_s
+        fields["net_bandwidth_bps"] = net_fit.bandwidth_bps
+    return CalibrationResult(
+        params=replace(believed, **fields), io=io_fit, net=net_fit
+    )
+
+
+__all__ = [
+    "CalibrationError",
+    "CalibrationResult",
+    "CalibrationSample",
+    "ParamFit",
+    "calibrate",
+    "fit_linear",
+    "samples_from_run",
+]

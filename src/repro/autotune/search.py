@@ -1,0 +1,345 @@
+"""Joint knob search: layouts × loop orders × tiles × cache × cb_nodes.
+
+Stage A solves the layout/loop slice with the exact machinery of
+:mod:`repro.optimizer.ilp` (MILP when scipy's HiGHS is available,
+exhaustive enumeration as the recorded fallback, or the deterministic
+coordinate-descent solver on request).  Stage B prices the remaining
+machine knobs — per-nest block sizes, the tile-cache share of the
+memory budget, and the collective aggregator count — on the
+configuration model of :mod:`repro.autotune.model`, by deterministic
+grid sweep: the per-nest block choice is separable once the cache
+share is fixed, so the sweep is ``|cache| x |cb_nodes|`` outer by
+``|blocks|`` inner.
+
+The result is a typed :class:`TuneDecision`: every knob carries its
+chosen value, the candidates it beat, and the predicted-cost delta of
+reverting it to the default — so a report reader can see *why* each
+setting was picked, and a benchmark can assert *which* solver ran.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from ..cache import CacheConfig
+from ..collective.planner import CollectiveConfig
+from ..ir.program import Program
+from ..layout import Layout
+from ..optimizer.global_opt import GlobalDecision, ReportEvent
+from ..optimizer.ilp import SOLVERS, optimize_program_ilp
+from ..optimizer.strategies import VersionConfig
+from ..runtime import MachineParams
+from ..transforms.tiling import ooc_tiling
+from .model import ConfigCost, config_cost, plan_for
+from .space import TuneSpace, TuneSpaceError
+
+
+@dataclass(frozen=True)
+class KnobChoice:
+    """One knob's provenance: what was chosen, from which candidates,
+    and what reverting it to the default would cost."""
+
+    knob: str
+    chosen: object
+    candidates: tuple
+    #: modeled seconds of the full chosen configuration
+    predicted_s: float
+    #: modeled seconds *added* by reverting this knob to its default
+    #: (>= 0 means the chosen setting helps under the model)
+    delta_s: float
+
+    def to_dict(self) -> dict:
+        return {
+            "knob": self.knob,
+            "chosen": self.chosen,
+            "candidates": list(self.candidates),
+            "predicted_s": self.predicted_s,
+            "delta_s": self.delta_s,
+        }
+
+
+@dataclass
+class TuneDecision:
+    """A complete machine configuration plus its provenance."""
+
+    decision: GlobalDecision
+    #: which stage-A solver actually ran: "milp" | "exhaustive" |
+    #: "descent" (a failed MILP records the fallback here)
+    solver: str
+    #: stage-A objective (the paper's call model, relative units)
+    objective: float
+    tile_sizes: dict[str, int]
+    cache_budget: int
+    cache_policy: str
+    cb_nodes: int | None
+    n_nodes: int
+    memory_budget: int
+    #: modeled seconds of the chosen configuration
+    predicted: ConfigCost
+    knobs: list[KnobChoice] = field(default_factory=list)
+    report: list[ReportEvent] = field(default_factory=list)
+
+    @property
+    def predicted_cost_s(self) -> float:
+        return self.predicted.total_s
+
+    @property
+    def program(self) -> Program:
+        return self.decision.program
+
+    def layout_objects(self) -> dict[str, Layout]:
+        return self.decision.layout_objects()
+
+    def version_config(self, name: str = "autotune") -> VersionConfig:
+        return VersionConfig(
+            name, self.program, self.layout_objects(), ooc_tiling
+        )
+
+    def cache_config(self) -> CacheConfig | None:
+        if self.cache_budget <= 0:
+            return None
+        return CacheConfig(
+            policy=self.cache_policy, budget_elements=self.cache_budget
+        )
+
+    def collective_config(self) -> CollectiveConfig | None:
+        if self.cb_nodes is None:
+            return None
+        return CollectiveConfig(mode="auto", cb_nodes=self.cb_nodes)
+
+    def run_kwargs(self) -> dict:
+        """Keyword arguments realizing this decision under
+        :func:`repro.parallel.run_version_parallel`."""
+        return {
+            "cache": self.cache_config(),
+            "tile_sizes": dict(self.tile_sizes) or None,
+            "collective": self.collective_config(),
+        }
+
+    @property
+    def report_lines(self) -> list[str]:
+        return [str(e) for e in self.report]
+
+    def to_dict(self) -> dict:
+        return {
+            "solver": self.solver,
+            "objective": self.objective,
+            "predicted_cost_s": self.predicted_cost_s,
+            "tile_sizes": dict(self.tile_sizes),
+            "cache_budget": self.cache_budget,
+            "cache_policy": self.cache_policy,
+            "cb_nodes": self.cb_nodes,
+            "n_nodes": self.n_nodes,
+            "memory_budget": self.memory_budget,
+            "knobs": [k.to_dict() for k in self.knobs],
+        }
+
+
+def _default_budget(
+    program: Program, binding: Mapping[str, int], params: MachineParams
+) -> int:
+    total = sum(
+        int(np.prod(a.shape(binding))) for a in program.arrays
+    )
+    return max(64, total // params.memory_fraction)
+
+
+def _row_directions(program: Program) -> dict[str, tuple[int, ...]]:
+    """The untuned default: row-major fast directions for every array."""
+    return {
+        a.name: (0,) * (a.rank - 1) + (1,)
+        for a in program.arrays
+        if a.rank >= 2
+    }
+
+
+def solve_joint(
+    program: Program,
+    *,
+    binding: Mapping[str, int] | None = None,
+    params: MachineParams | None = None,
+    n_nodes: int = 1,
+    memory_budget: int | None = None,
+    space: TuneSpace | None = None,
+    solver: str = "auto",
+) -> TuneDecision:
+    """Jointly choose layouts, loop orders, tile sizes, the cache
+    budget and the collective aggregator count.
+
+    ``solver`` is the stage-A request: ``"auto"`` (MILP with recorded
+    exhaustive fallback) or an explicit member of
+    :data:`repro.optimizer.ilp.SOLVERS`.
+    """
+    if solver != "auto" and solver not in SOLVERS:
+        raise ValueError(
+            f"unknown solver {solver!r}; known: ('auto',) + {SOLVERS}"
+        )
+    params = params or MachineParams()
+    space = space or TuneSpace.default_for(n_nodes)
+    space.validate_ranks(n_nodes)
+
+    # -- stage A: layouts x loop orders on the paper's call model ------
+    requested = "milp" if solver == "auto" else solver
+    gd = optimize_program_ilp(program, binding=binding, solver=requested)
+    used, objective = requested, 0.0
+    for ev in gd.report:
+        if ev.kind == "solver" and "used" in ev.data:
+            used = ev.data["used"]
+            objective = ev.data.get("objective", objective)
+    prog = gd.program
+    b = prog.binding(binding)
+    shapes = {a.name: a.shape(b) for a in prog.arrays}
+    budget = memory_budget or _default_budget(prog, b, params)
+    directions = dict(gd.directions)
+
+    # -- stage B: tiles x cache x cb_nodes on the machine model --------
+    def cache_candidates() -> list[int]:
+        if space.cache_budget_elements is not None:
+            if space.cache_budget_elements >= budget:
+                raise TuneSpaceError(
+                    f"no feasible cache budgets below the memory budget: "
+                    f"cache_budget_elements {space.cache_budget_elements} "
+                    f">= memory budget {budget}"
+                )
+            cands = [0, space.cache_budget_elements]
+        else:
+            cands = sorted({
+                int(f * budget) for f in space.cache_fractions
+            })
+        return [c for c in cands if c < budget]
+
+    def evaluate(cache_budget: int, cb: int | None) -> tuple[
+        float, dict[str, int], ConfigCost
+    ]:
+        plan_budget = max(1, budget - cache_budget)
+        tiles: dict[str, int] = {}
+        for nest in prog.nests:
+            base = plan_for(nest, b, shapes, plan_budget)
+            cands = space.tile_candidates(nest.name, max(1, base.tile_size))
+            best_b, best_c = None, None
+            for blk in cands:
+                cost = config_cost(
+                    prog, binding=b, shapes=shapes, params=params,
+                    directions=directions, n_nodes=n_nodes,
+                    memory_budget=budget, cache_budget=cache_budget,
+                    tile_sizes={**tiles, nest.name: blk}, cb_nodes=cb,
+                )
+                c = cost.total_s
+                if best_c is None or c < best_c - 1e-12:
+                    best_b, best_c = blk, c
+            if best_b is not None:
+                tiles[nest.name] = best_b
+        final = config_cost(
+            prog, binding=b, shapes=shapes, params=params,
+            directions=directions, n_nodes=n_nodes,
+            memory_budget=budget, cache_budget=cache_budget,
+            tile_sizes=tiles, cb_nodes=cb,
+        )
+        return final.total_s, tiles, final
+
+    cache_cands = cache_candidates()
+    if not cache_cands:
+        raise TuneSpaceError(
+            f"no feasible cache budgets below the memory budget "
+            f"{budget} (candidates {space.cache_fractions})"
+        )
+    if space.cache_budget_elements is not None:
+        min_tile = min(
+            plan_for(nest, b, shapes, max(
+                1, budget - space.cache_budget_elements
+            ), 1).footprint_elements
+            for nest in prog.nests
+        )
+        if space.cache_budget_elements < min_tile:
+            raise TuneSpaceError(
+                f"cache budget {space.cache_budget_elements} is below "
+                f"one tile (smallest tile footprint {min_tile})"
+            )
+    cb_cands = space.cb_candidates(n_nodes)
+
+    best = None
+    for cache_budget in cache_cands:
+        for cb in cb_cands:
+            total, tiles, cost = evaluate(cache_budget, cb)
+            if best is None or total < best[0] - 1e-12:
+                best = (total, cache_budget, cb, tiles, cost)
+    assert best is not None
+    total_s, cache_budget, cb, tiles, cost = best
+
+    # -- per-knob provenance: cost of reverting each knob --------------
+    def revert(
+        dirs=None, cache=None, cb_nodes="keep", tile_sizes="keep"
+    ) -> float:
+        return config_cost(
+            prog, binding=b, shapes=shapes, params=params,
+            directions=dirs if dirs is not None else directions,
+            n_nodes=n_nodes, memory_budget=budget,
+            cache_budget=cache if cache is not None else cache_budget,
+            tile_sizes=tiles if tile_sizes == "keep" else tile_sizes,
+            cb_nodes=cb if cb_nodes == "keep" else cb_nodes,
+        ).total_s
+
+    knobs = [
+        KnobChoice(
+            "layouts",
+            {a: list(d) for a, d in sorted(directions.items())},
+            ("ilp", "row-major"),
+            total_s,
+            revert(dirs=_row_directions(prog)) - total_s,
+        ),
+        KnobChoice(
+            "tile_sizes", dict(sorted(tiles.items())),
+            tuple(space.tile_fractions), total_s,
+            revert(tile_sizes=None) - total_s,
+        ),
+        KnobChoice(
+            "cache_budget", cache_budget, tuple(cache_cands), total_s,
+            revert(cache=0) - total_s,
+        ),
+        KnobChoice(
+            "cb_nodes", cb, cb_cands, total_s,
+            revert(cb_nodes=None) - total_s,
+        ),
+    ]
+
+    report = list(gd.report) + [
+        ReportEvent(
+            "autotune",
+            f"joint config: cache={cache_budget} cb={cb} "
+            f"tiles={tiles} predicted={total_s:.4f}s",
+            {
+                "cache_budget": cache_budget,
+                "cb_nodes": cb,
+                "tile_sizes": dict(tiles),
+                "predicted_cost_s": total_s,
+            },
+        ),
+    ] + [
+        ReportEvent(
+            "knob",
+            f"{k.knob}: {k.chosen} (revert costs {k.delta_s:+.4f}s)",
+            k.to_dict(),
+        )
+        for k in knobs
+    ]
+
+    return TuneDecision(
+        decision=gd,
+        solver=used,
+        objective=objective,
+        tile_sizes=tiles,
+        cache_budget=cache_budget,
+        cache_policy=space.cache_policy,
+        cb_nodes=cb,
+        n_nodes=n_nodes,
+        memory_budget=budget,
+        predicted=cost,
+        knobs=knobs,
+        report=report,
+    )
+
+
+__all__ = ["KnobChoice", "TuneDecision", "solve_joint"]

@@ -1,0 +1,140 @@
+"""The joint tuning space: which knob settings the solver may pick.
+
+Four knobs span the machine configuration the paper's greedy algorithm
+and the layout-only ILP leave fixed:
+
+- per-array **layouts** × per-nest **loop orders** — delegated to the
+  :mod:`repro.optimizer.ilp` machinery (stage A of the search);
+- per-nest **tile/block sizes** — candidate block values, either
+  explicit per nest or derived as fractions of the planner's
+  binary-search maximum;
+- **tile-cache budget** — a fraction of the per-node memory budget
+  carved away from the compute tiles (the coupling knob: more cache
+  means smaller tiles);
+- collective **cb_nodes** — how many aggregator ranks two-phase I/O
+  may use (``None`` = independent I/O).
+
+Degenerate spaces fail fast with :class:`TuneSpaceError` naming the
+offending knob instead of surfacing as an ``IndexError``/``KeyError``
+deep inside the solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+
+class AutotuneError(ValueError):
+    """Base class for named autotune validation failures."""
+
+
+class TuneSpaceError(AutotuneError):
+    """A tuning space is degenerate (empty candidate lists, cache
+    budget below one tile, more aggregators than ranks, …)."""
+
+
+@dataclass(frozen=True)
+class TuneSpace:
+    """Candidate knob settings for :func:`repro.autotune.solve_joint`.
+
+    ``tile_sizes`` gives explicit per-nest block candidates; nests not
+    listed (or all nests, when ``None``) derive candidates from
+    ``tile_fractions`` of the planner's maximum feasible block.
+    ``cache_fractions`` are candidate cache shares of the per-node
+    memory budget (``0.0`` = cache off); ``cache_budget_elements``
+    optionally pins an absolute budget instead, checked against the
+    smallest candidate tile.  ``cb_nodes`` lists aggregator counts for
+    two-phase collective I/O (``None`` = independent).
+    """
+
+    tile_sizes: Mapping[str, Sequence[int]] | None = None
+    tile_fractions: tuple[float, ...] = (1.0, 0.5)
+    cache_fractions: tuple[float, ...] = (0.0, 0.25, 0.5)
+    cache_budget_elements: int | None = None
+    cb_nodes: tuple[int | None, ...] = (None, 2, 4)
+    cache_policy: str = "lru"
+
+    def __post_init__(self):
+        if self.tile_sizes is not None:
+            for nest, cands in self.tile_sizes.items():
+                if not list(cands):
+                    raise TuneSpaceError(
+                        f"empty candidate tile sizes for nest {nest!r}"
+                    )
+                bad = [b for b in cands if int(b) < 1]
+                if bad:
+                    raise TuneSpaceError(
+                        f"tile sizes must be >= 1, nest {nest!r} has {bad}"
+                    )
+        if not self.tile_fractions:
+            raise TuneSpaceError("tile_fractions must not be empty")
+        if any(not (0.0 < f <= 1.0) for f in self.tile_fractions):
+            raise TuneSpaceError(
+                f"tile_fractions must lie in (0, 1], got "
+                f"{self.tile_fractions}"
+            )
+        if not self.cache_fractions:
+            raise TuneSpaceError("cache_fractions must not be empty")
+        if any(not (0.0 <= f < 1.0) for f in self.cache_fractions):
+            raise TuneSpaceError(
+                f"cache_fractions must lie in [0, 1), got "
+                f"{self.cache_fractions}"
+            )
+        if self.cache_budget_elements is not None \
+                and self.cache_budget_elements < 1:
+            raise TuneSpaceError(
+                f"cache_budget_elements must be >= 1, got "
+                f"{self.cache_budget_elements}"
+            )
+        if not self.cb_nodes:
+            raise TuneSpaceError("cb_nodes must not be empty")
+        if any(k is not None and k < 1 for k in self.cb_nodes):
+            raise TuneSpaceError(
+                f"cb_nodes entries must be >= 1 (or None), got "
+                f"{self.cb_nodes}"
+            )
+
+    @classmethod
+    def default_for(cls, n_nodes: int) -> "TuneSpace":
+        """The default space adapted to a rank count: aggregator
+        candidates beyond ``n_nodes`` are dropped rather than rejected
+        (strict validation is for spaces the caller spelled out)."""
+        base = cls()
+        return cls(cb_nodes=tuple(
+            k for k in base.cb_nodes if k is None or k <= n_nodes
+        ))
+
+    def validate_ranks(self, n_nodes: int) -> None:
+        """Aggregators are ranks: ``cb_nodes`` beyond ``n_nodes`` could
+        never be scheduled."""
+        over = [
+            k for k in self.cb_nodes if k is not None and k > n_nodes
+        ]
+        if over:
+            raise TuneSpaceError(
+                f"cb_nodes {over} exceed the run's {n_nodes} ranks"
+            )
+
+    def cb_candidates(self, n_nodes: int) -> tuple[int | None, ...]:
+        self.validate_ranks(n_nodes)
+        return self.cb_nodes
+
+    def tile_candidates(self, nest: str, planner_max: int) -> list[int]:
+        """Ordered candidate blocks for one nest (largest first, no
+        duplicates, every value clamped into ``[1, planner_max]``)."""
+        if self.tile_sizes is not None and nest in self.tile_sizes:
+            raw = [int(b) for b in self.tile_sizes[nest]]
+        else:
+            raw = [
+                max(1, int(planner_max * f)) for f in self.tile_fractions
+            ]
+        out: list[int] = []
+        for b in sorted(raw, reverse=True):
+            b = min(b, max(1, planner_max))
+            if b not in out:
+                out.append(b)
+        return out
+
+
+__all__ = ["AutotuneError", "TuneSpace", "TuneSpaceError"]

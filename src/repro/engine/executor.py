@@ -217,6 +217,7 @@ class OOCExecutor:
         pfs: ParallelFileSystem | None = None,
         node_slice: tuple[int, int] | None = None,
         vectorize: bool = True,
+        tile_sizes: Mapping[str, int] | None = None,
         cache: CacheConfig | None = None,
         trace: bool = False,
         obs: Observability | None = None,
@@ -282,6 +283,9 @@ class OOCExecutor:
         else:
             specs = dict(tiling)
             self._tiling_for = lambda nest: specs[nest.name]
+        # forced per-nest block sizes (the autotuner's tile knob); None
+        # or a missing nest keeps the planner's binary-search choice
+        self._tile_sizes = dict(tile_sizes) if tile_sizes else {}
 
         # build storage
         self.pfs = pfs or ParallelFileSystem(self.params)
@@ -453,7 +457,8 @@ class OOCExecutor:
             )
             spec = self._tiling_for(nest)
             plan = plan_nest(
-                nest, spec, self._plan_budget, self.binding, self.shapes
+                nest, spec, self._plan_budget, self.binding, self.shapes,
+                force_block=self._tile_sizes.get(nest.name),
             )
             # with a live cache, weight repetitions are executed (not
             # scaled): the cache warms across repetitions, so repetition

@@ -120,8 +120,17 @@ def plan_nest(
     shapes: Mapping[str, tuple[int, ...]],
     *,
     edges: list[DependenceEdge] | None = None,
+    force_block: int | None = None,
 ) -> NestPlan:
-    """Choose a legal tiling and the largest block size fitting memory."""
+    """Choose a legal tiling and the largest block size fitting memory.
+
+    ``force_block`` caps the block size at a caller-chosen value (the
+    autotuner's tile-size knob).  The cap can only shrink the block the
+    binary search would pick, so a forced plan is never less
+    memory-safe than the default one.
+    """
+    if force_block is not None and force_block < 1:
+        raise ValueError(f"force_block must be >= 1, got {force_block}")
     degraded = False
     if spec.any_tiled:
         if edges is None:
@@ -155,6 +164,8 @@ def plan_nest(
                 lo_b = mid + 1
             else:
                 hi_b = mid - 1
+    if force_block is not None:
+        best = min(best, force_block)
     fp = _footprint_for_block(nest, binding, shapes, spec, best)
     if fp > memory_budget:
         # Even B=1 does not fit: the untiled inner levels span too much
@@ -166,7 +177,8 @@ def plan_nest(
             edges if edges is not None else analyze_nest(nest), all_spec
         ):
             return plan_nest(
-                nest, all_spec, memory_budget, binding, shapes, edges=edges
+                nest, all_spec, memory_budget, binding, shapes, edges=edges,
+                force_block=force_block,
             )
         return NestPlan(nest, spec, best, fp, degraded, over_budget=True)
     return NestPlan(nest, spec, best, fp, degraded)

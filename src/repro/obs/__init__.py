@@ -156,6 +156,11 @@ class Observability:
         #: job counts, queue delays and folded stats, set by
         #: :meth:`note_serve` when a scheduler run completes
         self.serve_summary: dict[str, object] | None = None
+        #: autotuning-loop summary (:mod:`repro.autotune`): solver
+        #: provenance, drift signals and recalibration history, set by
+        #: :meth:`note_autotune`; the payload's ``autotune`` key exists
+        #: only when this is set
+        self.autotune_summary: dict[str, object] | None = None
         #: cost-model predictions per nest → array → estimated calls,
         #: registered by the executor / parallel driver before the run's
         #: drift table is built (:meth:`finalize_drift`)
@@ -203,6 +208,16 @@ class Observability:
         self.serve_summary = dict(summary)
         if self.journal is not None:
             self.journal.emit("serve", data=sanitize(self.serve_summary))
+
+    def note_autotune(self, summary: Mapping[str, object]) -> None:
+        """Attach an autotuning summary
+        (:meth:`repro.autotune.Autotuner.summary`); rendered as the
+        autotuning section of ``python -m repro.obs report``."""
+        self.autotune_summary = dict(summary)
+        if self.journal is not None:
+            self.journal.emit(
+                "autotune", data=sanitize(self.autotune_summary)
+            )
 
     def note_profile(self, profile) -> None:
         """Attach a finished hotspot capture — a
@@ -363,6 +378,8 @@ class Observability:
             payload["sim"] = self.sim_summary
         if self.serve_summary is not None:
             payload["serve"] = self.serve_summary
+        if self.autotune_summary is not None:
+            payload["autotune"] = self.autotune_summary
         if self.profile is not None:
             payload["profile"] = self.profile
         return payload
@@ -451,4 +468,5 @@ def _payload_report(
     return render_report(
         report, stats, metrics,
         serve=payload.get("serve"), profile=payload.get("profile"),
+        autotune=payload.get("autotune"),
     )

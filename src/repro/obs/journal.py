@@ -8,8 +8,9 @@ can be tailed / shipped line-by-line.  The journal is that path:
 
 - one JSON object per line (JSON Lines), each carrying a monotonically
   increasing ``seq`` and a ``kind`` tag (``nest_io``, ``redist``,
-  ``stats``, ``metrics``, ``sim``, ``serve``, ``profile``, ``result``,
-  ``doc_meta``, …) plus the event's payload fields;
+  ``stats``, ``metrics``, ``sim``, ``serve``, ``profile``,
+  ``autotune``, ``result``, ``doc_meta``, …) plus the event's payload
+  fields;
 - incremental flush (``flush_every=1`` by default — every event reaches
   the OS before ``emit`` returns), append mode so restarted runs extend
   the same file;
@@ -127,7 +128,8 @@ def payload_from_journal(
 
     Record-shaped kinds (``nest_io``, ``redist``) accumulate in arrival
     order; snapshot kinds (``stats``, ``metrics``, ``sim``, ``serve``,
-    ``profile``) are last-wins, matching how the live objects overwrite
+    ``profile``, ``autotune``) are last-wins, matching how the live
+    objects overwrite
     on re-finalization.  Unknown kinds are ignored — journals may carry
     application events the report does not render.
     """
@@ -143,7 +145,9 @@ def payload_from_journal(
             report["records"].append(_strip(event))
         elif kind == "redist":
             report["redist"].append(_strip(event))
-        elif kind in ("stats", "metrics", "sim", "serve", "profile"):
+        elif kind in (
+            "stats", "metrics", "sim", "serve", "profile", "autotune"
+        ):
             data = event.get("data")
             payload[kind] = data if isinstance(data, (dict, list)) \
                 else _strip(event)

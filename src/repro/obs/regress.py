@@ -38,6 +38,7 @@ SKIPPED_KEYS = frozenset({"bucket_counts", "bounds"})
 LOWER_BETTER = (
     "time", "_s", "latency", "makespan", "wait", "miss", "evict",
     "over_budget", "peak", "error", "cost", "optimality",
+    "predicted_cost", "drift",
 )
 
 #: key fragments marking a float metric where *bigger* is better

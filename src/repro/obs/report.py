@@ -346,12 +346,15 @@ def render_report(
     *,
     serve: Mapping[str, object] | None = None,
     profile: Mapping[str, object] | None = None,
+    autotune: Mapping[str, object] | None = None,
 ) -> str:
     """The per-nest × per-array breakdown table, plus the redistribution
     lines, the cost-model drift section (when the report carries drift
     records), an optional metrics dump with percentile summaries, a
     per-tenant serving section (``serve``, a
-    :meth:`repro.serve.ServeResult.summary_dict` payload), a hotspot
+    :meth:`repro.serve.ServeResult.summary_dict` payload), an
+    autotuning section (``autotune``, a
+    :meth:`repro.autotune.Autotuner.summary` payload), a hotspot
     section (``profile``, a
     :meth:`repro.obs.profile.ProfileResult.to_dict` payload), and —
     when the run's folded stats are available — an explicit totals
@@ -402,6 +405,9 @@ def render_report(
     if serve:
         lines.append("")
         lines.extend(_render_serve(serve))
+    if autotune:
+        lines.append("")
+        lines.extend(_render_autotune(autotune))
     if profile:
         lines.append("")
         lines.extend(_render_profile(profile))
@@ -417,6 +423,56 @@ def _render_profile(profile: Mapping[str, object]) -> list[str]:
     from .profile import render_profile
 
     return render_profile(profile).splitlines()
+
+
+def _render_autotune(autotune: Mapping[str, object]) -> list[str]:
+    """The autotuning section: loop state, solver provenance, the
+    predicted-vs-measured drift signal that drives recalibration, and
+    one line per knob with the modeled cost of reverting it."""
+    lines = [
+        "autotuning (repro.autotune) — "
+        f"state={autotune.get('state', '?')} "
+        f"solver={autotune.get('solver', '?')}"
+    ]
+    pred = autotune.get("predicted_cost_s")
+    if pred is not None:
+        lines.append(f"predicted cost: {float(pred):.4f}s/node")
+    meas = autotune.get("measured_io_s")
+    if meas is not None:
+        lines.append(f"measured I/O:   {float(meas):.4f}s/node")
+    drift = autotune.get("cost_drift")
+    if drift is not None:
+        thr = autotune.get("drift_threshold")
+        flag = ""
+        if thr is not None:
+            flag = " (over threshold)" if float(drift) > float(thr) \
+                else " (within threshold)"
+        lines.append(f"cost drift:     {float(drift):.3f}{flag}")
+    err = autotune.get("max_call_error")
+    if err is not None:
+        lines.append(f"max call error: {float(err):.3f}")
+    lines.append(
+        f"recalibrations: {autotune.get('recalibrations', 0)}  "
+        f"re-solves: {autotune.get('resolves', 0)}  "
+        f"drift events: {autotune.get('drift_events', 0)}"
+    )
+    knobs = autotune.get("knobs") or []
+    if knobs:
+        header = f"{'knob':<14} {'chosen':<40} {'revert costs':>12}"
+        lines += [header, "-" * len(header)]
+        for k in knobs:
+            chosen = str(k.get("chosen"))
+            if len(chosen) > 40:
+                chosen = chosen[:37] + "..."
+            lines.append(
+                f"{str(k.get('knob')):<14} {chosen:<40} "
+                f"{float(k.get('delta_s', 0.0)):>+11.4f}s"
+            )
+    for ev in autotune.get("history") or []:
+        lines.append(
+            f"event: {ev.get('event', '?')} — {ev.get('detail', '')}"
+        )
+    return lines
 
 
 def _render_serve(serve: Mapping[str, object]) -> list[str]:

@@ -37,7 +37,7 @@ from ..ir.program import Program
 from ..linalg import IMat, primitive
 from ..transforms import apply_loop_transform, normalize_program
 from .cost import access_is_spatial
-from .global_opt import GlobalDecision
+from .global_opt import GlobalDecision, ReportEvent
 from .locality import (
     _elementary,
     _legal_completion,
@@ -46,6 +46,17 @@ from .locality import (
 
 #: sentinel direction meaning "this array's layout is unconstrained"
 FREE = ("*",)
+
+#: the solver names a decision can report having used
+SOLVERS = ("milp", "exhaustive", "descent")
+
+
+class MilpError(RuntimeError):
+    """``scipy.optimize.milp`` is unavailable or failed to converge.
+
+    Raised instead of silently falling back so callers decide the
+    fallback *and* record the reason (:func:`optimize_program_ilp`
+    reports it as a structured ``solver`` event)."""
 
 
 @dataclass
@@ -192,8 +203,15 @@ def solve_milp(
     dirs: Mapping[str, list[tuple[int, ...]]],
     binding: Mapping[str, int],
 ) -> tuple[dict[str, tuple[int, ...]], dict[str, tuple[int, ...]], float]:
-    """The ILP formulation, solved with scipy's MILP (HiGHS)."""
-    from scipy.optimize import Bounds, LinearConstraint, milp
+    """The ILP formulation, solved with scipy's MILP (HiGHS).
+
+    Raises :class:`MilpError` when scipy is missing or HiGHS reports
+    failure — no silent fallback; the caller picks the substitute
+    solver and logs why."""
+    try:
+        from scipy.optimize import Bounds, LinearConstraint, milp
+    except ImportError as e:  # pragma: no cover - scipy ships in CI
+        raise MilpError(f"scipy.optimize.milp unavailable: {e}") from e
 
     # variable layout: x[n][q], y[a][d], z[n,q,a,d] (only for pairs that
     # appear in some reference's cost)
@@ -275,7 +293,9 @@ def solve_milp(
         bounds=Bounds(0, 1),
     )
     if not res.success:  # pragma: no cover - HiGHS solves these trivially
-        return solve_exhaustive(models, dirs, binding)
+        raise MilpError(
+            f"MILP solver failed (status {res.status}): {res.message}"
+        )
     q_choice = {
         n: q for (n, q), k in x_index.items() if res.x[k] > 0.5
     }
@@ -286,20 +306,97 @@ def solve_milp(
     return q_choice, directions, cost
 
 
+def solve_descent(
+    models: Sequence[_NestModel],
+    dirs: Mapping[str, list[tuple[int, ...]]],
+    binding: Mapping[str, int],
+) -> tuple[dict[str, tuple[int, ...]], dict[str, tuple[int, ...]], float]:
+    """Deterministic coordinate descent — the MILP-free fallback.
+
+    Start from each nest's first legal ``q`` and each array's best
+    direction given those; then alternate sweeps (nests in program
+    order picking the best ``q`` given current directions, arrays in
+    sorted order picking the best direction given current ``q``\\s)
+    until a full sweep changes nothing.  Every step is an argmin over
+    an explicitly ordered candidate list with strict-improvement
+    acceptance, so the result is deterministic; it is a local optimum,
+    not guaranteed global like the other two solvers.
+    """
+    q_choice = {m.nest.name: m.q_options[0] for m in models}
+    directions: dict[str, tuple[int, ...]] = {}
+    for name in sorted(dirs):
+        best_d, best_c = None, None
+        for d in dirs[name]:
+            c = _array_cost(models, q_choice, name, d, binding)
+            if best_c is None or c < best_c:
+                best_d, best_c = d, c
+        if best_d is not None:
+            directions[name] = best_d
+    for _ in range(32):  # descent converges in a handful of sweeps
+        changed = False
+        for m in models:
+            best_q, best_c = None, None
+            for q in m.q_options:
+                trial = dict(q_choice)
+                trial[m.nest.name] = q
+                c = _total_cost(models, trial, directions, binding)
+                if best_c is None or c < best_c:
+                    best_q, best_c = q, c
+            if best_q is not None and best_q != q_choice[m.nest.name]:
+                q_choice[m.nest.name] = best_q
+                changed = True
+        for name in sorted(dirs):
+            best_d, best_c = None, None
+            for d in dirs[name]:
+                c = _array_cost(models, q_choice, name, d, binding)
+                if best_c is None or c < best_c:
+                    best_d, best_c = d, c
+            if best_d is not None and best_d != directions.get(name):
+                directions[name] = best_d
+                changed = True
+        if not changed:
+            break
+    return q_choice, directions, _total_cost(
+        models, q_choice, directions, binding
+    )
+
+
 def optimize_program_ilp(
     program: Program,
     *,
     binding: Mapping[str, int] | None = None,
     solver: str = "milp",
 ) -> GlobalDecision:
-    """Jointly optimal layouts + loop choices (extension of the paper)."""
-    if solver not in ("milp", "exhaustive"):
-        raise ValueError(f"unknown solver {solver!r}")
+    """Jointly optimal layouts + loop choices (extension of the paper).
+
+    ``solver`` requests ``"milp"``, ``"exhaustive"`` or ``"descent"``.
+    A failed/unavailable MILP falls back to the exhaustive solver and
+    the fallback is *recorded*: the decision report carries a
+    structured ``solver`` event with the failure reason, and its data
+    exposes which solver actually ran.
+    """
+    if solver not in SOLVERS:
+        raise ValueError(f"unknown solver {solver!r}; known: {SOLVERS}")
     program = normalize_program(program)
     b = program.binding(binding)
     models, dirs = _build_models(program, b)
-    solve = solve_milp if solver == "milp" else solve_exhaustive
-    q_choice, directions, cost = solve(models, dirs, b)
+    events: list[ReportEvent] = []
+    used = solver
+    if solver == "milp":
+        try:
+            q_choice, directions, cost = solve_milp(models, dirs, b)
+        except MilpError as e:
+            used = "exhaustive"
+            q_choice, directions, cost = solve_exhaustive(models, dirs, b)
+            events.append(ReportEvent(
+                "solver",
+                f"MILP failed, fell back to exhaustive: {e}",
+                {"requested": solver, "used": used, "reason": str(e)},
+            ))
+    elif solver == "exhaustive":
+        q_choice, directions, cost = solve_exhaustive(models, dirs, b)
+    else:
+        q_choice, directions, cost = solve_descent(models, dirs, b)
 
     transforms: dict[str, IMat] = {}
     new_nests = []
@@ -316,10 +413,22 @@ def optimize_program_ilp(
         g = hyperplane_from_direction(d)
         if g is not None:
             layouts[a] = g
-    report = [
-        f"ILP ({solver}): objective {cost:.1f}",
-        f"q choices: {q_choice}",
-        f"directions: {directions}",
+    report = events + [
+        ReportEvent(
+            "solver",
+            f"ILP ({used}): objective {cost:.1f}",
+            {"requested": solver, "used": used, "objective": cost},
+        ),
+        ReportEvent(
+            "ilp",
+            f"q choices: {q_choice}",
+            {"q": {n: list(q) for n, q in q_choice.items()}},
+        ),
+        ReportEvent(
+            "ilp",
+            f"directions: {directions}",
+            {"directions": {a: list(d) for a, d in directions.items()}},
+        ),
     ]
     return GlobalDecision(
         program.with_nests(new_nests),

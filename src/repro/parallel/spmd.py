@@ -24,6 +24,7 @@ from ..collective.sim import (
     simulate,
 )
 from ..backends import BackendMetrics, StorageBackend, resolve_backend
+from ..cache import CacheConfig
 from ..engine.executor import NestRun, OOCExecutor, RunResult, nest_records
 from ..faults import FaultConfig, FaultInjector
 from ..obs import (
@@ -87,6 +88,8 @@ def run_version_parallel(
     real: bool = False,
     backend: StorageBackend | str | None = None,
     profile: ProfileConfig | ProfileSession | None = None,
+    cache: CacheConfig | None = None,
+    tile_sizes: Mapping[str, int] | None = None,
 ) -> ParallelRun:
     """Execute a version on ``n_nodes`` (simulate mode by default).
 
@@ -144,6 +147,13 @@ def run_version_parallel(
     :class:`~repro.obs.ProfileSession` nests this run inside a caller's
     capture instead (the caller finishes it).  ``None`` (default)
     records nothing and is bit-identical.
+
+    ``cache``/``tile_sizes`` are the autotuner's executable knobs
+    (:mod:`repro.autotune`): a :class:`~repro.cache.CacheConfig` gives
+    every rank's executor a tile cache carved out of its memory budget,
+    and ``tile_sizes`` forces per-nest block sizes (capped at what the
+    planner's binary search would allow, so forced plans stay
+    memory-safe).  Both default to ``None`` and are bit-identical off.
     """
     params = params or MachineParams()
     obs = obs_active(obs)
@@ -205,6 +215,8 @@ def run_version_parallel(
                 pfs=pfs,
                 node_slice=(rank, n_nodes) if n_nodes > 1 else None,
                 trace=trace,
+                tile_sizes=tile_sizes,
+                cache=cache,
                 faults=faults,
             )
             results.append(ex.run())

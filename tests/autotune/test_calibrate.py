@@ -1,0 +1,154 @@
+"""Calibration: exact parameter recovery on simulated runs and named
+failures on degenerate sample sets."""
+
+import math
+from dataclasses import replace
+
+import pytest
+
+from repro.autotune import (
+    CalibrationError,
+    CalibrationSample,
+    calibrate,
+    fit_linear,
+    samples_from_run,
+)
+from repro.experiments.harness import _scaled_params
+from repro.optimizer import build_version
+from repro.parallel import run_version_parallel
+from repro.runtime import MachineParams
+from repro.workloads import build_workload
+
+N = 24
+TRUE = replace(_scaled_params(N), n_io_nodes=4)
+
+
+def _run(workload="adi", n_nodes=2, params=TRUE):
+    cfg = build_version("c-opt", build_workload(workload, N))
+    return run_version_parallel(cfg, n_nodes, params=params)
+
+
+def _synthetic(latency, bandwidth, pairs):
+    return [
+        CalibrationSample(
+            calls=c, nbytes=b, seconds=latency * c + b / bandwidth
+        )
+        for c, b in pairs
+    ]
+
+
+class TestFitLinear:
+    def test_recovers_generating_parameters(self):
+        samples = _synthetic(
+            0.01, 2.0e6, [(10, 1e5), (40, 8e5), (7, 3e6), (100, 5e4)]
+        )
+        fit = fit_linear(samples)
+        assert fit.latency_s == pytest.approx(0.01, rel=1e-9)
+        assert fit.bandwidth_bps == pytest.approx(2.0e6, rel=1e-9)
+        assert fit.residual_s == pytest.approx(0.0, abs=1e-9)
+        assert fit.n_samples == 4
+
+    def test_too_few_samples_named(self):
+        with pytest.raises(CalibrationError, match="need >= 2 samples"):
+            fit_linear([CalibrationSample(1, 1e3, 0.1)])
+
+    def test_min_samples_threshold_respected(self):
+        samples = _synthetic(0.01, 1e6, [(10, 1e5), (20, 9e5)])
+        with pytest.raises(CalibrationError, match="need >= 3"):
+            fit_linear(samples, min_samples=3)
+
+    def test_non_finite_sample_named(self):
+        samples = _synthetic(0.01, 1e6, [(10, 1e5), (20, 9e5)])
+        samples.append(CalibrationSample(math.nan, 1e3, 0.1))
+        with pytest.raises(CalibrationError, match="non-finite"):
+            fit_linear(samples)
+
+    def test_negative_sample_named(self):
+        samples = _synthetic(0.01, 1e6, [(10, 1e5), (20, 9e5)])
+        samples.append(CalibrationSample(-1.0, 1e3, 0.1))
+        with pytest.raises(CalibrationError, match="negative"):
+            fit_linear(samples)
+
+    def test_collinear_samples_named(self):
+        # identical (calls, bytes) ratios leave the normal matrix
+        # singular no matter how many samples there are
+        samples = _synthetic(
+            0.01, 1e6, [(10, 1e5), (20, 2e5), (40, 4e5)]
+        )
+        with pytest.raises(CalibrationError, match="collinear"):
+            fit_linear(samples)
+
+    def test_nonpositive_bandwidth_named(self):
+        # seconds *decreasing* with bytes at fixed calls
+        samples = [
+            CalibrationSample(10, 1e5, 2.0),
+            CalibrationSample(10, 9e5, 0.1),
+            CalibrationSample(50, 1e5, 9.0),
+        ]
+        with pytest.raises(CalibrationError, match="non-positive"):
+            fit_linear(samples)
+
+    def test_channel_appears_in_message(self):
+        with pytest.raises(CalibrationError, match="net:"):
+            fit_linear([], channel="net")
+
+
+class TestSamplesFromRun:
+    def test_per_rank_per_nest_samples(self):
+        run = _run(n_nodes=2)
+        io, _net = samples_from_run(run)
+        # 2 ranks x 3 adi nests
+        assert len(io) == 6
+        assert all(s.seconds > 0 for s in io)
+        assert {s.source.split(":")[0] for s in io} == {"rank0", "rank1"}
+
+    def test_single_run_result_accepted(self):
+        run = _run(n_nodes=1)
+        io, _ = samples_from_run(run.node_results[0])
+        assert len(io) == 3
+
+
+class TestCalibrate:
+    def test_exact_recovery_from_drifted_belief(self):
+        """The simulator prices I/O exactly linearly, so the fit
+        recovers the machine that generated the run to machine
+        precision regardless of what was believed."""
+        believed = replace(
+            TRUE,
+            io_latency_s=TRUE.io_latency_s * 3.0,
+            io_bandwidth_bps=TRUE.io_bandwidth_bps * 0.5,
+        )
+        result = calibrate(_run(n_nodes=2), believed=believed)
+        assert result.params.io_latency_s == pytest.approx(
+            TRUE.io_latency_s, rel=1e-9
+        )
+        assert result.params.io_bandwidth_bps == pytest.approx(
+            TRUE.io_bandwidth_bps, rel=1e-9
+        )
+        assert result.io.residual_s < 1e-6
+
+    def test_non_fitted_fields_carry_over(self):
+        believed = replace(TRUE, io_latency_s=1.0)
+        result = calibrate(_run(), believed=believed)
+        assert result.params.stripe_bytes == TRUE.stripe_bytes
+        assert result.params.memory_fraction == TRUE.memory_fraction
+        assert result.params.element_size == TRUE.element_size
+
+    def test_net_fit_absent_without_redistribution(self):
+        result = calibrate(_run(), believed=TRUE)
+        assert result.net is None
+        assert "net" not in result.to_dict()
+
+    def test_accepts_prebuilt_sample_tuple(self):
+        io = _synthetic(0.02, 4e6, [(10, 1e5), (3, 8e5), (77, 2e4)])
+        result = calibrate((io, []), believed=MachineParams())
+        assert result.params.io_latency_s == pytest.approx(0.02, rel=1e-9)
+        assert result.params.io_bandwidth_bps == pytest.approx(
+            4e6, rel=1e-9
+        )
+
+    def test_to_dict_is_json_shaped(self):
+        import json
+
+        result = calibrate(_run(), believed=TRUE)
+        json.dumps(result.to_dict())

@@ -1,0 +1,88 @@
+"""Off-by-default contract: with no tuner in the picture, every
+execution path is bit-identical to the pre-autotune tree.
+
+``run_version_parallel`` grew ``cache``/``tile_sizes`` kwargs and
+``plan_nest`` grew ``force_block`` for the tuner's sake; these pins
+hold the None/absent paths to exactly the same counters on the paper's
+motivating kernels across direct, independent-parallel and two-phase
+collective execution.
+"""
+
+from dataclasses import asdict, replace
+
+import pytest
+
+from repro.engine.plan import plan_nest
+from repro.experiments.harness import _scaled_params
+from repro.optimizer import build_version
+from repro.parallel import CollectiveConfig, run_version_parallel
+from repro.transforms import normalize_program
+from repro.transforms.tiling import ooc_tiling
+from repro.workloads import build_workload
+
+N = 24
+PARAMS = replace(_scaled_params(N), n_io_nodes=4)
+
+
+def _stats(workload, n_nodes, collective=None, **kw):
+    cfg = build_version("c-opt", build_workload(workload, N))
+    run = run_version_parallel(
+        cfg, n_nodes, params=PARAMS, collective=collective, **kw
+    )
+    return asdict(run.total_stats)
+
+
+@pytest.mark.parametrize("workload", ["adi", "mxm"])
+class TestBitIdenticalOff:
+    def test_direct(self, workload):
+        base = _stats(workload, 1)
+        assert _stats(workload, 1, cache=None, tile_sizes=None) == base
+
+    def test_independent_parallel(self, workload):
+        base = _stats(workload, 4)
+        assert _stats(workload, 4, cache=None, tile_sizes=None) == base
+
+    def test_two_phase_collective(self, workload):
+        coll = CollectiveConfig(mode="always", cb_nodes=2)
+        base = _stats(workload, 4, collective=coll)
+        assert _stats(
+            workload, 4, collective=coll, cache=None, tile_sizes=None
+        ) == base
+
+
+class TestForceBlock:
+    def _nest(self):
+        p = normalize_program(build_workload("adi", N))
+        b = p.binding()
+        shapes = {a.name: a.shape(b) for a in p.arrays}
+        return p.nests[0], b, shapes
+
+    def test_none_is_identity(self):
+        nest, b, shapes = self._nest()
+        spec = ooc_tiling(nest)
+        a = plan_nest(nest, spec, 512, b, shapes)
+        c = plan_nest(nest, spec, 512, b, shapes, force_block=None)
+        assert (a.tile_size, a.spec, a.footprint_elements) == \
+            (c.tile_size, c.spec, c.footprint_elements)
+
+    def test_cap_at_planner_choice_is_identity(self):
+        nest, b, shapes = self._nest()
+        spec = ooc_tiling(nest)
+        a = plan_nest(nest, spec, 512, b, shapes)
+        c = plan_nest(
+            nest, spec, 512, b, shapes, force_block=a.tile_size
+        )
+        assert c.tile_size == a.tile_size
+
+    def test_cap_only_shrinks(self):
+        nest, b, shapes = self._nest()
+        spec = ooc_tiling(nest)
+        a = plan_nest(nest, spec, 512, b, shapes)
+        c = plan_nest(nest, spec, 512, b, shapes, force_block=10**9)
+        assert c.tile_size == a.tile_size
+
+    def test_invalid_block_rejected(self):
+        nest, b, shapes = self._nest()
+        with pytest.raises(ValueError, match="force_block"):
+            plan_nest(nest, ooc_tiling(nest), 512, b, shapes,
+                      force_block=0)

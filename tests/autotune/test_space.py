@@ -1,0 +1,84 @@
+"""Tuning-space validation: degenerate spaces fail with named errors."""
+
+import pytest
+
+from repro.autotune import AutotuneError, TuneSpace, TuneSpaceError
+
+
+class TestValidation:
+    def test_default_space_is_valid(self):
+        TuneSpace()
+
+    def test_empty_tile_candidates_named(self):
+        with pytest.raises(TuneSpaceError, match="empty candidate tile"):
+            TuneSpace(tile_sizes={"nest1": []})
+
+    def test_tile_candidates_below_one(self):
+        with pytest.raises(TuneSpaceError, match="tile sizes must be >= 1"):
+            TuneSpace(tile_sizes={"nest1": [4, 0]})
+
+    def test_empty_tile_fractions(self):
+        with pytest.raises(TuneSpaceError, match="tile_fractions"):
+            TuneSpace(tile_fractions=())
+
+    def test_tile_fraction_out_of_range(self):
+        with pytest.raises(TuneSpaceError, match="tile_fractions"):
+            TuneSpace(tile_fractions=(1.5,))
+
+    def test_empty_cache_fractions(self):
+        with pytest.raises(TuneSpaceError, match="cache_fractions"):
+            TuneSpace(cache_fractions=())
+
+    def test_cache_fraction_whole_budget_rejected(self):
+        # 1.0 would leave no compute tiles at all
+        with pytest.raises(TuneSpaceError, match="cache_fractions"):
+            TuneSpace(cache_fractions=(0.0, 1.0))
+
+    def test_cache_budget_below_one_element(self):
+        with pytest.raises(TuneSpaceError, match="cache_budget_elements"):
+            TuneSpace(cache_budget_elements=0)
+
+    def test_empty_cb_nodes(self):
+        with pytest.raises(TuneSpaceError, match="cb_nodes"):
+            TuneSpace(cb_nodes=())
+
+    def test_cb_nodes_below_one(self):
+        with pytest.raises(TuneSpaceError, match="cb_nodes"):
+            TuneSpace(cb_nodes=(None, 0))
+
+    def test_errors_are_value_errors(self):
+        assert issubclass(TuneSpaceError, AutotuneError)
+        assert issubclass(AutotuneError, ValueError)
+
+
+class TestRanks:
+    def test_cb_beyond_ranks_rejected(self):
+        space = TuneSpace(cb_nodes=(None, 8))
+        with pytest.raises(TuneSpaceError, match="exceed the run's 4 ranks"):
+            space.validate_ranks(4)
+
+    def test_cb_within_ranks_ok(self):
+        TuneSpace(cb_nodes=(None, 4)).validate_ranks(4)
+
+    def test_default_for_filters_instead_of_raising(self):
+        space = TuneSpace.default_for(2)
+        space.validate_ranks(2)
+        assert all(k is None or k <= 2 for k in space.cb_nodes)
+        assert None in space.cb_nodes
+
+    def test_default_for_keeps_full_list_at_scale(self):
+        assert TuneSpace.default_for(8).cb_nodes == TuneSpace().cb_nodes
+
+
+class TestTileCandidates:
+    def test_fractions_of_planner_max(self):
+        space = TuneSpace(tile_fractions=(1.0, 0.5, 0.25))
+        assert space.tile_candidates("n", 16) == [16, 8, 4]
+
+    def test_explicit_clamped_and_deduped(self):
+        space = TuneSpace(tile_sizes={"n": [64, 8, 8, 2]})
+        assert space.tile_candidates("n", 16) == [16, 8, 2]
+
+    def test_never_empty_even_for_tiny_planner_max(self):
+        space = TuneSpace(tile_fractions=(0.01,))
+        assert space.tile_candidates("n", 3) == [1]

@@ -132,6 +132,17 @@ class TestDirection:
         # a tighter (larger) lower bound is an analysis improvement
         assert direction_of("bench_bounds/mxm/bound_elements") == 1
 
+    def test_predicted_cost_is_lower_better(self):
+        # autotune decisions: a cheaper modeled configuration is better
+        assert direction_of(
+            "bench_autotune/adi/joint/predicted_cost_s"
+        ) == -1
+
+    def test_drift_fragment_is_lower_better(self):
+        # predicted-vs-measured divergence shrinking is recovery
+        assert direction_of("bench_autotune/adi/cost_drift") == -1
+        assert direction_of("bench_autotune/loop/drift_after") == -1
+
 
 class TestDiffEngine:
     def test_identical_docs_pass(self):
